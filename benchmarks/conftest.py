@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Every benchmark both *times* a representative workload and *asserts* the
+paper-shape claim it reproduces (who terminates, how many values survive,
+what the extracted output looks like), so `pytest benchmarks/
+--benchmark-only` doubles as an experiment run.
+"""

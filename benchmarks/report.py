@@ -1,0 +1,490 @@
+#!/usr/bin/env python3
+"""Regenerate the measured tables of EXPERIMENTS.md.
+
+Runs every experiment of the DESIGN.md index at report scale (more seeds
+than the timing benchmarks) and prints the Markdown tables.
+
+Usage:
+
+    python benchmarks/report.py > /tmp/body.md
+    cat benchmarks/experiments_head.md /tmp/body.md > EXPERIMENTS.md
+
+(the head file carries the summary/fidelity commentary; the body is fully
+regenerated).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro import (
+    Environment,
+    FailurePattern,
+    OmegaKSpec,
+    OmegaSpec,
+    RandomScheduler,
+    Simulation,
+    System,
+    UpsilonFSpec,
+    UpsilonSpec,
+    make_omega_k_to_upsilon_f,
+    make_upsilon1_to_omega,
+    make_upsilon_to_omega_two_processes,
+    make_upsilon_set_agreement,
+    omega_n,
+    run_extraction_trial,
+    run_latency_comparison,
+    run_set_agreement_trial,
+    run_theorem1_adversary,
+    run_theorem5_adversary,
+    stable_emulated_output,
+)
+from repro.core import (
+    candidate_complement_extractor,
+    candidate_complement_extractor_f,
+    candidate_heartbeat_extractor,
+    candidate_heartbeat_extractor_f,
+    candidate_sticky_extractor,
+    k_converge,
+)
+from repro.detectors import ConstantHistory, EventuallyPerfectSpec
+from repro.memory import make_snapshot_api
+from repro.runtime import Decide, RoundRobinScheduler
+
+SEEDS = range(20)
+
+
+def med(xs):
+    return statistics.median(xs)
+
+
+def f1_table():
+    print("### F1 — Fig. 1 (Υ-based n-set agreement), Theorem 2\n")
+    print("| n+1 | Υ stab. time | runs | all properties | median steps to last decision | max distinct decisions | median rounds |")
+    print("|---|---|---|---|---|---|---|")
+    for n_procs in (3, 4, 5):
+        system = System(n_procs)
+        for stab in (0, 100, 300):
+            rs = [run_set_agreement_trial(system, system.n, seed=s,
+                                          stabilization_time=stab)
+                  for s in SEEDS]
+            ok = all(r.ok for r in rs)
+            print(f"| {n_procs} | {stab} | {len(rs)} | "
+                  f"{'✓' if ok else '✗'} | "
+                  f"{med([r.last_decision_time for r in rs]):.0f} | "
+                  f"{max(r.distinct_decisions for r in rs)} | "
+                  f"{med([r.rounds for r in rs]):.0f} |")
+    print()
+
+
+def f1_adversarial_table():
+    print("### F1b — Fig. 1 under the adversarial regime\n")
+    print("Lockstep schedule, failure-free, noise pinned to the correct "
+          "set (the one value Υ shows only transiently): no progress is "
+          "possible before stabilization, so latency tracks the Υ "
+          "stabilization time.\n")
+    print("| n+1 | Υ stab. time | steps to last decision |")
+    print("|---|---|---|")
+    for n_procs in (3, 4):
+        system = System(n_procs)
+        for stab in (0, 200, 800, 3200):
+            r = run_set_agreement_trial(system, system.n, seed=1,
+                                        stabilization_time=stab,
+                                        adversarial=True)
+            assert r.ok, r.violations
+            print(f"| {n_procs} | {stab} | {r.last_decision_time} |")
+    print()
+
+
+def f2_table():
+    print("### F2 — Fig. 2 (Υf-based f-set agreement), Theorem 6\n")
+    print("| n+1 | f | runs | all properties | median steps | max distinct (bound f) | median rounds |")
+    print("|---|---|---|---|---|---|---|")
+    for n_procs in (4, 5):
+        system = System(n_procs)
+        for f in range(1, system.n + 1):
+            rs = [run_set_agreement_trial(system, f, seed=s,
+                                          stabilization_time=80,
+                                          use_fig2=True)
+                  for s in SEEDS]
+            ok = all(r.ok for r in rs)
+            print(f"| {n_procs} | {f} | {len(rs)} | {'✓' if ok else '✗'} | "
+                  f"{med([r.last_decision_time for r in rs]):.0f} | "
+                  f"{max(r.distinct_decisions for r in rs)} ≤ {f} | "
+                  f"{med([r.rounds for r in rs]):.0f} |")
+    print()
+
+
+def f3_table():
+    print("### F3 — Fig. 3 (extraction of Υf), Theorem 10\n")
+    print("| source D | environment | runs | stabilized+legal | median output settle time | w(σ) path |")
+    print("|---|---|---|---|---|---|")
+    system = System(4)
+    env = Environment.wait_free(system)
+    cases = [
+        (OmegaSpec(system), env, 0),
+        (omega_n(system), env, 0),
+        (EventuallyPerfectSpec(system), env, 0),
+        (UpsilonSpec(system), env, 0),
+        (OmegaSpec(system), env, 2),
+    ]
+    sys5 = System(5)
+    env2 = Environment(sys5, 2)
+    cases.append((OmegaKSpec(sys5, 2), env2, 0))
+    for spec, environment, shift in cases:
+        rs = [run_extraction_trial(spec, environment, seed=s,
+                                   stabilization_time=60,
+                                   max_steps=60_000, shift=shift)
+              for s in SEEDS]
+        good = all(r.stabilized and r.legal for r in rs)
+        print(f"| {spec.name} | E_{environment.f} (n+1={environment.system.n_processes}) | "
+              f"{len(rs)} | {'✓' if good else '✗'} | "
+              f"{med([r.output_settle_time for r in rs]):.0f} | "
+              f"{'batches, w=' + str(shift) if shift else 'w=0'} |")
+    print()
+
+
+def t1_table():
+    print("### T1 — Theorem 1 adversary (Υ ⊀ Ωn)\n")
+    print("| candidate extractor | n+1 | phases | forced flips | stalled (witness) |")
+    print("|---|---|---|---|---|")
+    for n_procs in (3, 4):
+        system = System(n_procs)
+        for name, factory in [
+            ("heartbeat", candidate_heartbeat_extractor),
+            ("sticky", candidate_sticky_extractor),
+            ("memoryless", candidate_complement_extractor),
+        ]:
+            r = run_theorem1_adversary(factory(), system, phases=10,
+                                       solo_budget=2_000)
+            stalled = ("phase %d" % r.stalled_at) if r.stalled_at is not None else "—"
+            print(f"| {name} | {n_procs} | 10 | {r.flips} | {stalled} |")
+    print()
+
+
+def t5_table():
+    print("### T5 — Theorem 5 adversary (Υf ⊀ Ωf, 2 ≤ f ≤ n)\n")
+    print("| candidate extractor | n+1 | f | refuted | mode |")
+    print("|---|---|---|---|---|")
+    system = System(5)
+    for f in (2, 3):
+        for name, factory in [
+            ("complement_f", candidate_complement_extractor_f),
+            ("heartbeat_f", candidate_heartbeat_extractor_f),
+        ]:
+            r = run_theorem5_adversary(factory(f), system, f=f, phases=5,
+                                       solo_budget=4_000)
+            mode = "flips" if r.stalled_at is None else "stall + witness"
+            print(f"| {name} | 5 | {f} | {'✓' if r.refuted else '✗'} | {mode} |")
+    print()
+
+
+def reductions_table():
+    print("### E6 / E10 — constructive reductions\n")
+    print("| reduction | environment | runs | stabilized + legal | median emit settle time |")
+    print("|---|---|---|---|---|")
+
+    def drive(protocol_factory, env, source_spec, target_spec, steps=40_000):
+        settles, all_ok = [], True
+        for s in SEEDS:
+            rng = random.Random(f"rep:{s}")
+            pattern = env.random_pattern(rng, max_crash_time=40)
+            history = source_spec.sample_history(pattern, rng,
+                                                 stabilization_time=50)
+            sim = Simulation(env.system, protocol_factory(), inputs={},
+                             pattern=pattern, history=history)
+            sim.run(max_steps=steps, scheduler=RandomScheduler(s))
+            outputs = stable_emulated_output(sim, pattern)
+            if outputs is None or len(set(outputs.values())) != 1:
+                all_ok = False
+                continue
+            (value,) = set(outputs.values())
+            all_ok &= target_spec.is_legal_stable_value(pattern, value)
+            settles.append(max(sim.trace.emit_stabilization_time(p) or 0
+                               for p in pattern.correct))
+        return all_ok, med(settles)
+
+    sys2, sys4, sys5 = System(2), System(4), System(5)
+    env2p = Environment.wait_free(sys2)
+    env1 = Environment(sys4, 1)
+    rows = [
+        ("Υ → Ω (n = 1)", make_upsilon_to_omega_two_processes, env2p,
+         UpsilonSpec(sys2), OmegaSpec(sys2)),
+        ("Ωn → Υ", make_omega_k_to_upsilon_f, Environment.wait_free(sys4),
+         omega_n(sys4), UpsilonSpec(sys4)),
+        ("Υ¹ → Ω (E₁)", make_upsilon1_to_omega, env1,
+         UpsilonFSpec(env1), OmegaSpec(sys4)),
+        ("Ω² → Υ² (E₂)", make_omega_k_to_upsilon_f, Environment(sys5, 2),
+         OmegaKSpec(sys5, 2), UpsilonFSpec(Environment(sys5, 2))),
+    ]
+    for title, factory, env, src, dst in rows:
+        ok, settle = drive(factory, env, src, dst)
+        print(f"| {title} | E_{env.f} (n+1={env.system.n_processes}) | "
+              f"{len(list(SEEDS))} | {'✓' if ok else '✗'} | {settle:.0f} |")
+    print()
+
+
+def converge_table():
+    print("### E8 — k-converge substrate\n")
+    print("| n+1 | k | back-end | steps per instance (all processes) | commits with n+1 distinct inputs |")
+    print("|---|---|---|---|---|")
+    for n_procs in (3, 5):
+        for register_based in (False, True):
+            system = System(n_procs)
+
+            def protocol(ctx, value):
+                result = yield from k_converge(
+                    ctx, "rep", n_procs - 1, value,
+                    register_based=register_based)
+                yield Decide(result)
+
+            steps, committed = [], []
+            for s in SEEDS:
+                sim = Simulation(system, protocol,
+                                 inputs={p: f"v{p}" for p in system.pids})
+                sim.run_until(Simulation.all_correct_decided, 500_000,
+                              RandomScheduler(s))
+                steps.append(sim.time)
+                committed.append(any(c for (_, c) in sim.decisions().values()))
+            backend = "registers" if register_based else "primitive"
+            print(f"| {n_procs} | {n_procs - 1} | {backend} | "
+                  f"{med(steps):.0f} | "
+                  f"{sum(committed)}/{len(committed)} runs |")
+    print()
+
+
+def snapshot_table():
+    print("### E9 — atomic-snapshot substrate\n")
+    print("| n+1 | back-end | median steps (3 update+scan rounds/process) |")
+    print("|---|---|---|")
+    for n_procs in (3, 5, 7):
+        for register_based in (False, True):
+            system = System(n_procs)
+
+            def protocol(ctx, _):
+                api = make_snapshot_api("obj", system.n_processes,
+                                        register_based)
+                for i in range(3):
+                    yield from api.update(ctx.pid, (ctx.pid, i))
+                    yield from api.scan()
+                yield Decide("done")
+
+            steps = []
+            for s in SEEDS:
+                sim = Simulation(system, protocol,
+                                 inputs={p: None for p in system.pids})
+                sim.run_until(Simulation.all_correct_decided, 2_000_000,
+                              RandomScheduler(s))
+                steps.append(sim.time)
+            backend = "registers" if register_based else "primitive"
+            print(f"| {n_procs} | {backend} | {med(steps):.0f} |")
+    print()
+
+
+def latency_table():
+    print("### E11 — decision latency: Υ-direct vs Ωn-complemented\n")
+    print("| Υ/Ωn stab. time | runs | median steps (Υ direct) | median steps (via Ωn complement) |")
+    print("|---|---|---|---|")
+    system = System(4)
+    for stab in (0, 100, 300):
+        rs = [run_latency_comparison(system, seed=s, stabilization_time=stab)
+              for s in SEEDS]
+        print(f"| {stab} | {len(rs)} | "
+              f"{med([r.upsilon_steps for r in rs]):.0f} | "
+              f"{med([r.omega_n_steps for r in rs]):.0f} |")
+    print()
+
+
+def messaging_table():
+    print("### E13 — registers over messages (ABD emulation)\n")
+    print("| n+1 | quorum | runs | ops complete | median steps/run | median messages/run |")
+    print("|---|---|---|---|---|---|")
+    from repro.messaging import AbdRegisters, Network
+
+    for n_procs in (3, 5):
+        system = System(n_procs)
+
+        def protocol(ctx, _):
+            abd = AbdRegisters(ctx)
+            yield from abd.write("x", ctx.pid)
+            got = yield from abd.read("x")
+            yield Decide(got)
+            yield from abd.serve()
+
+        steps, msgs, ok = [], [], True
+        for s in SEEDS:
+            net = Network(system, seed=s, max_delay=2)
+            sim = Simulation(system, protocol,
+                             inputs={p: p for p in system.pids}, network=net)
+            sim.run(max_steps=500_000, scheduler=RandomScheduler(s),
+                    stop_when=Simulation.all_correct_decided)
+            ok &= sim.all_correct_decided()
+            steps.append(sim.time)
+            msgs.append(net.sent_count)
+        print(f"| {n_procs} | {n_procs // 2 + 1} | {len(list(SEEDS))} | "
+              f"{'✓' if ok else '✗'} | {med(steps):.0f} | {med(msgs):.0f} |")
+    print()
+
+
+def immediate_table():
+    print("### E14 — immediate snapshots (Borowsky–Gafni substrate)\n")
+    print("| n+1 | back-end | runs | self-inclusion+containment+immediacy |")
+    print("|---|---|---|---|")
+    from repro.memory import check_immediacy, make_immediate_api
+
+    for n_procs in (3, 5):
+        for register_based in (False, True):
+            system = System(n_procs)
+
+            def protocol(ctx, value):
+                api = make_immediate_api("obj", system.n_processes,
+                                         register_based)
+                view = yield from api.write_and_scan(ctx.pid, value)
+                yield Decide(view)
+
+            ok = True
+            for s in SEEDS:
+                sim = Simulation(system, protocol,
+                                 inputs={p: f"v{p}" for p in system.pids})
+                sim.run_until(Simulation.all_correct_decided, 100_000,
+                              RandomScheduler(s))
+                ok &= check_immediacy(sim.decisions()) == []
+            backend = "level/registers" if register_based else "primitive"
+            print(f"| {n_procs} | {backend} | {len(list(SEEDS))} | "
+                  f"{'✓' if ok else '✗'} |")
+    print()
+
+
+def timeout_table():
+    print("### E15 — timeout-based Υ (the Sect. 1 motivation)\n")
+    print("| schedule | runs | emitted output | legal Υ value |")
+    print("|---|---|---|---|")
+    from repro.core import (
+        EventuallySynchronousScheduler,
+        GrowingDelayScheduler,
+        make_timeout_upsilon,
+        stable_emulated_output,
+    )
+
+    system = System(3)
+    spec = UpsilonSpec(system)
+    pattern = FailurePattern.crash_at(system, {2: 100})
+    ok = True
+    for s in SEEDS:
+        sim = Simulation(system, make_timeout_upsilon(), inputs={},
+                         pattern=pattern)
+        sim.run(max_steps=12_000,
+                scheduler=EventuallySynchronousScheduler(gst=400, seed=s))
+        outputs = stable_emulated_output(sim, pattern)
+        ok &= outputs is not None and all(
+            spec.is_legal_stable_value(pattern, frozenset(v))
+            for v in outputs.values()
+        ) and len({frozenset(v) for v in outputs.values()}) == 1
+    print(f"| eventually synchronous (GST = 400) | {len(list(SEEDS))} | "
+          f"stabilizes | {'✓' if ok else '✗'} |")
+
+    two = System(2)
+    sim = Simulation(two, make_timeout_upsilon(initial_timeout=2),
+                     inputs={})
+    sim.run(max_steps=120_000, scheduler=GrowingDelayScheduler())
+    flips = sim.trace.emit_change_count(0)
+    print(f"| fully asynchronous (doubling delays) | 1 | "
+          f"{flips} flips, never stabilizes | n/a (no stable value) |")
+    print()
+
+
+def ablation_table():
+    print("### A1 — design-choice ablations\n")
+    print("| removed ingredient | expected failure | observed |")
+    print("|---|---|---|")
+    from repro.core.ablations import (
+        NaiveConvergeInstance,
+        make_gladiators_only_set_agreement,
+        make_no_stability_flag_set_agreement,
+    )
+    from repro.detectors import StableHistory
+
+    # 1. single-phase converge: C-Agreement.
+    system = System(3)
+
+    def naive_protocol(ctx, value):
+        instance = NaiveConvergeInstance("a", 1, system.n_processes)
+        result = yield from instance.converge(ctx, value)
+        yield Decide(result)
+
+    sim = Simulation(system, naive_protocol,
+                     inputs={p: f"v{p}" for p in system.pids})
+    sim.run_script([0, 0, 0, 1, 2, 1, 2, 1, 2])
+    picks = {p for (p, _) in sim.decisions().values()}
+    commits = any(c for (_, c) in sim.decisions().values())
+    observed = (f"{len(picks)} picks despite a commit (k = 1)"
+                if commits else "no commit")
+    print(f"| converge phase 2 | C-Agreement broken | {observed} |")
+
+    # 2. citizen-less Fig. 1: livelock.
+    pattern = FailurePattern.failure_free(system)
+    sim = Simulation(system, make_gladiators_only_set_agreement(),
+                     inputs={p: f"v{p}" for p in system.pids},
+                     pattern=pattern,
+                     history=ConstantHistory(frozenset({0})))
+    sim.run(max_steps=30_000, scheduler=RoundRobinScheduler(),
+            stop_when=Simulation.all_correct_decided)
+    print(f"| Fig. 1 citizen path | livelock on singleton U | "
+          f"{'undecided after 30k steps' if not sim.decisions() else 'decided?!'} |")
+
+    # 3. no Stable[r]: livelock under divergent views.
+    sim = Simulation(system, make_no_stability_flag_set_agreement(),
+                     inputs={p: f"v{p}" for p in system.pids},
+                     pattern=pattern,
+                     history=StableHistory(
+                         frozenset({0}), 10**9,
+                         noise=lambda pid, t: frozenset({pid})))
+    sim.run(max_steps=30_000, scheduler=RoundRobinScheduler(),
+            stop_when=Simulation.all_correct_decided)
+    print(f"| Fig. 1 line 16 (Stable[r]) | livelock on {{self}} views | "
+          f"{'undecided after 30k steps' if not sim.decisions() else 'decided?!'} |")
+    print()
+
+
+def impossibility_table():
+    print("### E12 — impossibility backdrop\n")
+    print("| history | schedule | budget | decisions |")
+    print("|---|---|---|---|")
+    system = System(3)
+    pattern = FailurePattern.failure_free(system)
+    for title, history in [
+        ("U = correct(F) (forbidden by Υ)", ConstantHistory(pattern.correct)),
+        ("U = {p0} (legal)", ConstantHistory(frozenset({0}))),
+    ]:
+        sim = Simulation(system, make_upsilon_set_agreement(),
+                         inputs={p: f"v{p}" for p in system.pids},
+                         pattern=pattern, history=history)
+        sim.run(max_steps=60_000, scheduler=RoundRobinScheduler(),
+                stop_when=Simulation.all_correct_decided)
+        outcome = (f"all decided at t={sim.time}" if sim.all_correct_decided()
+                   else "none (livelock)")
+        print(f"| {title} | lockstep round-robin | 60000 | {outcome} |")
+    print()
+
+
+def main():
+    f1_table()
+    f1_adversarial_table()
+    f2_table()
+    f3_table()
+    t1_table()
+    t5_table()
+    reductions_table()
+    converge_table()
+    snapshot_table()
+    latency_table()
+    impossibility_table()
+    messaging_table()
+    immediate_table()
+    timeout_table()
+    ablation_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Ablation benches — each design choice of DESIGN.md has a price tag.
+
+Every bench times a (full, correct) mechanism against its ablated variant
+on the schedule where the removed ingredient matters, asserting that the
+ablation fails exactly as MODEL.md's ablation table predicts.
+"""
+
+from repro.core import ConvergeInstance, make_upsilon_set_agreement
+from repro.core.ablations import (
+    NaiveConvergeInstance,
+    make_gladiators_only_set_agreement,
+)
+from repro.detectors import ConstantHistory
+from repro.failures import FailurePattern
+from repro.runtime import Decide, RoundRobinScheduler, Simulation, System
+
+
+def _converge_run(instance_cls):
+    system = System(3)
+
+    def protocol(ctx, value):
+        instance = instance_cls("a", 1, system.n_processes)
+        result = yield from instance.converge(ctx, value)
+        yield Decide(result)
+
+    sim = Simulation(system, protocol,
+                     inputs={p: f"v{p}" for p in system.pids})
+    sim.run_script([0] * (3 if instance_cls is NaiveConvergeInstance else 5))
+    rest = [1, 2] * 6
+    for pid in rest:
+        if sim.runtimes[pid].schedulable:
+            sim.step(pid)
+    return sim
+
+
+def test_phase2_price(benchmark):
+    """The unsound single-phase converge is cheaper — and broken; the
+    two-phase version costs 2 more steps per process and holds
+    C-Agreement on the killer schedule."""
+
+    def run():
+        naive = _converge_run(NaiveConvergeInstance)
+        sound = _converge_run(ConvergeInstance)
+        naive_picks = {p for (p, _) in naive.decisions().values()}
+        sound_picks = {p for (p, _) in sound.decisions().values()}
+        assert len(naive_picks) == 3        # C-Agreement broken
+        if any(c for (_, c) in sound.decisions().values()):
+            assert len(sound_picks) <= 1    # C-Agreement held
+        return naive, sound
+
+    benchmark(run)
+
+
+def test_citizen_path_price(benchmark):
+    """Without citizens Fig. 1 livelocks on a stable singleton U; the full
+    protocol decides within a few dozen steps on the same input."""
+    system = System(3)
+    pattern = FailurePattern.failure_free(system)
+    history = ConstantHistory(frozenset({0}))
+    inputs = {p: f"v{p}" for p in system.pids}
+
+    def run():
+        ablated = Simulation(system, make_gladiators_only_set_agreement(),
+                             inputs=inputs, pattern=pattern, history=history)
+        ablated.run(max_steps=5_000, scheduler=RoundRobinScheduler(),
+                    stop_when=Simulation.all_correct_decided)
+        assert not ablated.all_correct_decided()
+
+        control = Simulation(system, make_upsilon_set_agreement(),
+                             inputs=inputs, pattern=pattern, history=history)
+        control.run(max_steps=5_000, scheduler=RoundRobinScheduler(),
+                    stop_when=Simulation.all_correct_decided)
+        assert control.all_correct_decided()
+        return ablated.time, control.time
+
+    ablated_steps, control_steps = benchmark(run)
+    assert ablated_steps > 10 * control_steps

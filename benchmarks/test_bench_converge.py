@@ -1,0 +1,58 @@
+"""E8 — the k-converge substrate ([21]).
+
+Measures steps/time per converge instance across k and n, for both
+snapshot back-ends, asserting the four properties on every measured run.
+The register-based build costs O(n²) steps per snapshot operation, so the
+gap versus the primitive build is the Afek-et-al. construction's price.
+"""
+
+import pytest
+
+from repro.core import k_converge
+from repro.runtime import Decide, RandomScheduler, Simulation, System
+
+
+def _run_once(n_procs, k, seed, register_based):
+    system = System(n_procs)
+
+    def protocol(ctx, value):
+        picked, committed = yield from k_converge(
+            ctx, "bench", k, value, register_based=register_based
+        )
+        yield Decide((picked, committed))
+
+    inputs = {p: f"v{p}" for p in system.pids}
+    sim = Simulation(system, protocol, inputs=inputs)
+    sim.run_until(Simulation.all_correct_decided, 500_000,
+                  RandomScheduler(seed))
+    picks = {p for (p, _) in sim.decisions().values()}
+    commits = [c for (_, c) in sim.decisions().values()]
+    assert picks <= set(inputs.values())
+    if any(commits):
+        assert len(picks) <= k
+    return sim
+
+
+@pytest.mark.parametrize("n_procs,k", [(3, 1), (3, 2), (5, 1), (5, 4)])
+def test_converge_primitive(benchmark, n_procs, k):
+    counter = iter(range(10_000))
+
+    def run():
+        return _run_once(n_procs, k, next(counter), register_based=False)
+
+    sim = benchmark(run)
+    # Primitive snapshots: 2 updates + 2 scans + decide = 5 steps/process.
+    assert sim.time == 5 * n_procs
+
+
+@pytest.mark.parametrize("n_procs", [3, 5])
+def test_converge_register_based(benchmark, n_procs):
+    counter = iter(range(10_000))
+
+    def run():
+        return _run_once(n_procs, n_procs - 1, next(counter),
+                         register_based=True)
+
+    sim = benchmark(run)
+    # Register snapshots: strictly more steps than the primitive build.
+    assert sim.time > 5 * n_procs

@@ -1,0 +1,98 @@
+"""C3 / C4 — the corollaries of Theorems 1 + 2.
+
+Corollary 3: Ωn is not the weakest failure detector for n-set agreement —
+Υ solves it (F1) and Ωn cannot be extracted from Υ (T1); here we also show
+the easy direction, Ωn ⇒ Υ ⇒ set agreement, as a composed run.
+
+Corollary 4: solving set agreement with registers is strictly weaker than
+solving (n+1)-consensus with n-consensus objects.  Both sides run here:
+the boosted consensus (with Ωn, typed n-consensus objects enforced) and
+Fig. 1 set agreement (with the strictly weaker Υ).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import ComplementHistory
+from repro.core import (
+    boosted_consensus_memory,
+    make_boosted_consensus,
+    make_omega_consensus,
+    make_upsilon_set_agreement,
+)
+from repro.detectors import OmegaSpec, omega_n
+from repro.failures import FailurePattern
+from repro.runtime import RandomScheduler, Simulation, System
+from repro.tasks import ConsensusSpec, SetAgreementSpec
+
+
+def test_c3_set_agreement_via_omega_n_complement(benchmark):
+    """Ωn ⇒ Υ (complement) ⇒ Fig. 1: the easy direction of Corollary 3."""
+    system = System(4)
+    spec = omega_n(system)
+    counter = iter(range(10_000))
+
+    def run():
+        seed = next(counter)
+        rng = random.Random(f"c3:{seed}")
+        pattern = FailurePattern.random(system, rng, max_crash_time=40)
+        history = ComplementHistory(
+            system, spec.sample_history(pattern, rng, stabilization_time=60)
+        )
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = Simulation(system, make_upsilon_set_agreement(), inputs=inputs,
+                         pattern=pattern, history=history)
+        sim.run_until(Simulation.all_correct_decided, 500_000,
+                      RandomScheduler(seed))
+        SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()
+        return sim
+
+    benchmark(run)
+
+
+def test_c4_boosted_consensus(benchmark):
+    """(n+1)-consensus from n-consensus objects + Ωn ([21]; necessity by
+    [13]).  The memory enforces that only n-process objects are touched."""
+    system = System(4)
+    spec = omega_n(system)
+    counter = iter(range(10_000))
+
+    def run():
+        seed = next(counter)
+        rng = random.Random(f"c4:{seed}")
+        pattern = FailurePattern.random(system, rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = Simulation(system, make_boosted_consensus(), inputs=inputs,
+                         pattern=pattern, history=history,
+                         memory=boosted_consensus_memory(system))
+        sim.run_until(Simulation.all_correct_decided, 500_000,
+                      RandomScheduler(seed))
+        ConsensusSpec().check(sim, inputs).raise_if_failed()
+        return sim
+
+    benchmark(run)
+
+
+def test_c4_omega_consensus_baseline(benchmark):
+    """Consensus from Ω + registers — the classical baseline the boosted
+    algorithm generalizes."""
+    system = System(4)
+    spec = OmegaSpec(system)
+    counter = iter(range(10_000))
+
+    def run():
+        seed = next(counter)
+        rng = random.Random(f"c4b:{seed}")
+        pattern = FailurePattern.random(system, rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = Simulation(system, make_omega_consensus(), inputs=inputs,
+                         pattern=pattern, history=history)
+        sim.run_until(Simulation.all_correct_decided, 500_000,
+                      RandomScheduler(seed))
+        ConsensusSpec().check(sim, inputs).raise_if_failed()
+        return sim
+
+    benchmark(run)

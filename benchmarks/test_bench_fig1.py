@@ -1,0 +1,66 @@
+"""F1 — Fig. 1 / Theorem 2: Υ-based n-set agreement with registers.
+
+Paper claim: the protocol terminates with at most n distinct decisions for
+every failure pattern and every legal Υ history.  We time full runs across
+system sizes and detector-stabilization times; the assertions re-check the
+three set-agreement properties on every measured run.
+"""
+
+import pytest
+
+from repro.analysis import run_set_agreement_trial
+from repro.runtime import System
+
+
+@pytest.mark.parametrize("n_procs", [3, 4, 5])
+def test_fig1_failure_patterns(benchmark, n_procs):
+    system = System(n_procs)
+    counter = iter(range(10_000))
+
+    def run():
+        seed = next(counter)
+        result = run_set_agreement_trial(
+            system, system.n, seed=seed, stabilization_time=60
+        )
+        assert result.ok, result.violations
+        assert result.distinct_decisions <= system.n
+        return result
+
+    result = benchmark(run)
+    assert result.rounds >= 1
+
+
+@pytest.mark.parametrize("stabilization", [0, 50, 200])
+def test_fig1_stabilization_sweep(benchmark, stabilization):
+    """Decision latency grows with the Υ stabilization time — the shape
+    the Theorem 2 termination argument predicts."""
+    system = System(4)
+    counter = iter(range(10_000))
+
+    def run():
+        seed = 100 + next(counter)
+        result = run_set_agreement_trial(
+            system, system.n, seed=seed, stabilization_time=stabilization
+        )
+        assert result.ok, result.violations
+        return result
+
+    benchmark(run)
+
+
+def test_fig1_register_only(benchmark):
+    """The register-only build (Afek-et-al. snapshots) — same guarantees,
+    higher step count."""
+    system = System(3)
+    counter = iter(range(10_000))
+
+    def run():
+        seed = 500 + next(counter)
+        result = run_set_agreement_trial(
+            system, system.n, seed=seed, stabilization_time=30,
+            register_based=True,
+        )
+        assert result.ok, result.violations
+        return result
+
+    benchmark(run)

@@ -1,0 +1,44 @@
+"""F2 — Fig. 2 / Theorem 6: Υf-based f-resilient f-set agreement.
+
+Paper claim: for every 1 ≤ f ≤ n, at most f distinct values are decided in
+E_f.  The (n, f) grid shows the cost growing as f shrinks relative to n
+(larger gladiator sets, snapshot batching)."""
+
+import pytest
+
+from repro.analysis import run_set_agreement_trial
+from repro.runtime import System
+
+
+@pytest.mark.parametrize("n_procs,f", [(4, 1), (4, 2), (4, 3), (5, 2), (5, 3)])
+def test_fig2_grid(benchmark, n_procs, f):
+    system = System(n_procs)
+    counter = iter(range(10_000))
+
+    def run():
+        seed = next(counter) + 31 * f
+        result = run_set_agreement_trial(
+            system, f, seed=seed, stabilization_time=60, use_fig2=True
+        )
+        assert result.ok, result.violations
+        assert result.distinct_decisions <= f
+        return result
+
+    benchmark(run)
+
+
+def test_fig2_wait_free_instance(benchmark):
+    """Υ^n-based Fig. 2 matches the Fig. 1 guarantee (Υ^n is Υ)."""
+    system = System(4)
+    counter = iter(range(10_000))
+
+    def run():
+        seed = next(counter)
+        result = run_set_agreement_trial(
+            system, system.n, seed=seed, stabilization_time=40, use_fig2=True
+        )
+        assert result.ok, result.violations
+        assert result.distinct_decisions <= system.n
+        return result
+
+    benchmark(run)

@@ -1,0 +1,84 @@
+"""F3 — Fig. 3 / Theorem 10: extracting Υf from stable detectors.
+
+Paper claim: for every stable f-non-trivial D, the reduction's emulated
+output eventually stabilizes, at all correct processes, on the same set of
+≥ n+1−f processes that is not the correct set.  We time the extraction for
+each shipped detector family and for the w(σ) > 0 batch-observation path.
+"""
+
+import pytest
+
+from repro.analysis import run_extraction_trial
+from repro.detectors import (
+    EventuallyPerfectSpec,
+    OmegaKSpec,
+    OmegaSpec,
+    UpsilonSpec,
+    omega_n,
+)
+from repro.failures import Environment
+from repro.runtime import System
+
+
+def _spec(name, system):
+    return {
+        "omega": lambda: OmegaSpec(system),
+        "omega_n": lambda: omega_n(system),
+        "diamond_p": lambda: EventuallyPerfectSpec(system),
+        "upsilon": lambda: UpsilonSpec(system),
+    }[name]()
+
+
+@pytest.mark.parametrize("detector", ["omega", "omega_n", "diamond_p", "upsilon"])
+def test_extraction_wait_free(benchmark, detector):
+    system = System(4)
+    env = Environment.wait_free(system)
+    spec = _spec(detector, system)
+    counter = iter(range(10_000))
+
+    def run():
+        result = run_extraction_trial(
+            spec, env, seed=next(counter), stabilization_time=60,
+            max_steps=25_000,
+        )
+        assert result.stabilized and result.legal, result
+        return result
+
+    benchmark(run)
+
+
+def test_extraction_f_resilient(benchmark):
+    """Ωf → Υf in E_2 (n = 4): output size is exactly n+1−f = 3."""
+    system = System(5)
+    env = Environment(system, 2)
+    spec = OmegaKSpec(system, 2)
+    counter = iter(range(10_000))
+
+    def run():
+        result = run_extraction_trial(
+            spec, env, seed=next(counter), stabilization_time=50,
+            max_steps=30_000,
+        )
+        assert result.stabilized and result.legal
+        assert len(result.output) >= env.min_correct
+        return result
+
+    benchmark(run)
+
+
+def test_extraction_batch_path(benchmark):
+    """w(σ) = 2: the line-15 batch observation dominates the latency."""
+    system = System(3)
+    env = Environment.wait_free(system)
+    spec = OmegaSpec(system)
+    counter = iter(range(10_000))
+
+    def run():
+        result = run_extraction_trial(
+            spec, env, seed=next(counter), stabilization_time=40,
+            max_steps=60_000, shift=2,
+        )
+        assert result.stabilized and result.legal
+        return result
+
+    benchmark(run)

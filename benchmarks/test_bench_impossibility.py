@@ -1,0 +1,50 @@
+"""E12 — the impossibility backdrop ([2, 11, 14, 20]).
+
+Time the deterministic livelock: Fig. 1 under the one history Υ forbids
+(U = correct set forever) makes zero decisions across the whole budget,
+while the identical schedule with a legal history decides quickly.
+"""
+
+from repro.core import make_upsilon_set_agreement
+from repro.detectors import ConstantHistory
+from repro.failures import FailurePattern
+from repro.runtime import RoundRobinScheduler, Simulation, System
+
+
+def test_forbidden_history_livelock(benchmark):
+    system = System(3)
+    pattern = FailurePattern.failure_free(system)
+
+    def run():
+        sim = Simulation(
+            system, make_upsilon_set_agreement(),
+            inputs={p: f"v{p}" for p in system.pids},
+            pattern=pattern, history=ConstantHistory(pattern.correct),
+        )
+        sim.run(max_steps=20_000, scheduler=RoundRobinScheduler(),
+                stop_when=Simulation.all_correct_decided)
+        assert not sim.decisions()
+        assert sim.time == 20_000
+        return sim
+
+    benchmark(run)
+
+
+def test_legal_history_control(benchmark):
+    """Control: same lockstep schedule, legal Υ history — fast decision."""
+    system = System(3)
+    pattern = FailurePattern.failure_free(system)
+
+    def run():
+        sim = Simulation(
+            system, make_upsilon_set_agreement(),
+            inputs={p: f"v{p}" for p in system.pids},
+            pattern=pattern, history=ConstantHistory(frozenset({0})),
+        )
+        sim.run(max_steps=20_000, scheduler=RoundRobinScheduler(),
+                stop_when=Simulation.all_correct_decided)
+        assert sim.all_correct_decided()
+        assert sim.time < 2_000
+        return sim
+
+    benchmark(run)

@@ -1,0 +1,75 @@
+"""E11 — decision latency: Υ-direct vs Ωn-complemented set agreement.
+
+Same pattern and seeds on both sides.  Since the Ωn side reaches Fig. 1
+through the complement reduction, both latencies are dominated by the
+detector stabilization time — quantifying that the *strictly weaker* Υ
+buys set agreement at comparable cost (the paper's point that Ωn's extra
+strength is wasted on this problem).
+"""
+
+import pytest
+
+from repro.analysis import run_latency_comparison, summarize
+from repro.runtime import System
+
+
+@pytest.mark.parametrize("stabilization", [0, 100])
+def test_latency_comparison(benchmark, stabilization):
+    system = System(4)
+    counter = iter(range(10_000))
+
+    def run():
+        return run_latency_comparison(
+            system, seed=next(counter), stabilization_time=stabilization
+        )
+
+    result = benchmark(run)
+    assert result.upsilon_steps > 0 and result.omega_n_steps > 0
+
+
+def test_adversarial_latency_tracks_stabilization(benchmark):
+    """The paper-predicted worst-case shape: under lockstep schedules with
+    noise pinned to the correct set, no decision is possible before Υ
+    stabilizes, so latency = stabilization time + O(rounds)."""
+    from repro.analysis import run_set_agreement_trial
+
+    system = System(4)
+
+    def run():
+        points = []
+        for stab in (0, 400, 1600):
+            r = run_set_agreement_trial(
+                system, system.n, seed=1, stabilization_time=stab,
+                adversarial=True,
+            )
+            assert r.ok, r.violations
+            points.append((stab, r.last_decision_time))
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    overheads = [latency - stab for stab, latency in points]
+    # Latency is stabilization plus a near-constant protocol overhead.
+    assert all(0 < o < 500 for o in overheads), points
+    assert max(overheads) - min(overheads) < 300, points
+
+
+def test_latency_distribution_shape(benchmark):
+    """Aggregate over seeds: both sides' medians are the same order of
+    magnitude, and both grow with the stabilization time."""
+    system = System(4)
+
+    def run():
+        fast, slow = [], []
+        for seed in range(6):
+            fast.append(run_latency_comparison(
+                system, seed=seed, stabilization_time=0
+            ))
+            slow.append(run_latency_comparison(
+                system, seed=seed, stabilization_time=150
+            ))
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+    fast_u = summarize([r.upsilon_steps for r in fast])
+    slow_u = summarize([r.upsilon_steps for r in slow])
+    assert slow_u.median >= fast_u.median  # latency tracks stabilization

@@ -1,0 +1,100 @@
+"""E6 / E10 — the constructive reductions of Sect. 4 and 5.3.
+
+E6: with two processes, Υ and Ω are equivalent (both directions run and
+stabilize on legal outputs).  E10: Υ¹ → Ω in E₁ via heartbeat timestamps.
+The measured quantity is the wall time of a full reduction run; the
+assertions check emitted-output stabilization and target-spec legality.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    make_omega_k_to_upsilon_f,
+    make_omega_to_upsilon,
+    make_upsilon1_to_omega,
+    make_upsilon_to_omega_two_processes,
+    stable_emulated_output,
+)
+from repro.detectors import (
+    OmegaKSpec,
+    OmegaSpec,
+    UpsilonFSpec,
+    UpsilonSpec,
+    omega_n,
+)
+from repro.failures import Environment
+from repro.runtime import RandomScheduler, Simulation, System
+
+
+def _drive(protocol, env, source_spec, target_spec, seed, steps=25_000):
+    rng = random.Random(f"bench-red:{seed}")
+    pattern = env.random_pattern(rng, max_crash_time=40)
+    history = source_spec.sample_history(pattern, rng, stabilization_time=50)
+    sim = Simulation(env.system, protocol, inputs={}, pattern=pattern,
+                     history=history)
+    sim.run(max_steps=steps, scheduler=RandomScheduler(seed))
+    outputs = stable_emulated_output(sim, pattern)
+    assert outputs is not None
+    (value,) = set(outputs.values())
+    assert target_spec.is_legal_stable_value(pattern, value)
+    return sim
+
+
+def test_e6_upsilon_to_omega_two_processes(benchmark):
+    system = System(2)
+    env = Environment.wait_free(system)
+    counter = iter(range(10_000))
+
+    def run():
+        return _drive(
+            make_upsilon_to_omega_two_processes(), env,
+            UpsilonSpec(system), OmegaSpec(system), next(counter),
+        )
+
+    benchmark(run)
+
+
+def test_e6_omega_to_upsilon_two_processes(benchmark):
+    system = System(2)
+    env = Environment.wait_free(system)
+    counter = iter(range(10_000))
+
+    def run():
+        return _drive(
+            make_omega_to_upsilon(), env,
+            OmegaSpec(system), UpsilonSpec(system), next(counter),
+        )
+
+    benchmark(run)
+
+
+def test_e10_upsilon1_to_omega(benchmark):
+    system = System(4)
+    env = Environment(system, 1)
+    counter = iter(range(10_000))
+
+    def run():
+        return _drive(
+            make_upsilon1_to_omega(), env,
+            UpsilonFSpec(env), OmegaSpec(system), next(counter),
+            steps=40_000,
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("f", [1, 2, 3])
+def test_omega_f_to_upsilon_f(benchmark, f):
+    system = System(5)
+    env = Environment(system, f)
+    counter = iter(range(10_000))
+
+    def run():
+        return _drive(
+            make_omega_k_to_upsilon_f(), env,
+            OmegaKSpec(system, f), UpsilonFSpec(env), next(counter) + f,
+        )
+
+    benchmark(run)

@@ -1,0 +1,56 @@
+"""E9 — the atomic-snapshot substrate ([1]).
+
+Steps per scan: 1 for the primitive object, O(n²) worst case for the
+register-based Afek-et-al. construction.  The benchmark measures a full
+update+scan workload per process and asserts the step-count shape.
+"""
+
+import pytest
+
+from repro.memory import make_snapshot_api
+from repro.runtime import Decide, RandomScheduler, Simulation, System
+
+
+def _workload(register_based, rounds=3):
+    def protocol(ctx, _):
+        api = make_snapshot_api("obj", ctx.system.n_processes, register_based)
+        for i in range(rounds):
+            yield from api.update(ctx.pid, (ctx.pid, i))
+            yield from api.scan()
+        yield Decide("done")
+
+    return protocol
+
+
+@pytest.mark.parametrize("n_procs", [3, 5, 7])
+def test_snapshot_primitive(benchmark, n_procs):
+    system = System(n_procs)
+    counter = iter(range(10_000))
+
+    def run():
+        sim = Simulation(system, _workload(False),
+                         inputs={p: None for p in system.pids})
+        sim.run_until(Simulation.all_correct_decided, 10_000,
+                      RandomScheduler(next(counter)))
+        return sim
+
+    sim = benchmark(run)
+    # 3 rounds × (update + scan) + decide = 7 steps per process.
+    assert sim.time == 7 * n_procs
+
+
+@pytest.mark.parametrize("n_procs", [3, 5, 7])
+def test_snapshot_register_based(benchmark, n_procs):
+    system = System(n_procs)
+    counter = iter(range(10_000))
+
+    def run():
+        sim = Simulation(system, _workload(True),
+                         inputs={p: None for p in system.pids})
+        sim.run_until(Simulation.all_correct_decided, 2_000_000,
+                      RandomScheduler(next(counter)))
+        return sim
+
+    sim = benchmark(run)
+    # Each scan costs at least one double collect: ≥ 2(n+1) reads.
+    assert sim.time >= 7 * n_procs * 2

@@ -1,0 +1,94 @@
+"""E14/E15 — substrate benches: immediate snapshots, timeout-Υ, fuzzing.
+
+E14 times the Borowsky–Gafni immediate snapshot against the primitive
+object and re-checks the three IS properties per measured run.  E15 times
+the partial-synchrony story of Sect. 1: the heartbeat Υ implementation
+stabilizing after GST.  The campaign bench keeps the fuzzer honest — a
+whole randomized campaign over the real protocols must come back clean.
+"""
+
+import pytest
+
+from repro.analysis.stress import run_campaign
+from repro.core import (
+    EventuallySynchronousScheduler,
+    make_timeout_upsilon,
+    make_upsilon_f_set_agreement,
+    make_upsilon_set_agreement,
+    stable_emulated_output,
+)
+from repro.detectors import UpsilonFSpec, UpsilonSpec
+from repro.failures import FailurePattern
+from repro.memory import check_immediacy, make_immediate_api
+from repro.runtime import Decide, RandomScheduler, Simulation, System
+from repro.tasks import SetAgreementSpec
+
+
+@pytest.mark.parametrize("register_based", [False, True])
+def test_immediate_snapshot(benchmark, register_based):
+    system = System(4)
+    counter = iter(range(10_000))
+
+    def protocol(ctx, value):
+        api = make_immediate_api("obj", system.n_processes, register_based)
+        view = yield from api.write_and_scan(ctx.pid, value)
+        yield Decide(view)
+
+    def run():
+        sim = Simulation(system, protocol,
+                         inputs={p: f"v{p}" for p in system.pids})
+        sim.run_until(Simulation.all_correct_decided, 100_000,
+                      RandomScheduler(next(counter)))
+        assert check_immediacy(sim.decisions()) == []
+        return sim
+
+    sim = benchmark(run)
+    if not register_based:
+        assert sim.time == 2 * system.n_processes  # 1 IS step + decide
+
+
+def test_timeout_upsilon_stabilization(benchmark):
+    """E15: heartbeat Υ under GST — emitted output settles on a legal
+    value shortly after synchrony begins."""
+    system = System(3)
+    spec = UpsilonSpec(system)
+    pattern = FailurePattern.crash_at(system, {2: 100})
+    counter = iter(range(10_000))
+
+    def run():
+        seed = next(counter)
+        sim = Simulation(system, make_timeout_upsilon(), inputs={},
+                         pattern=pattern)
+        sim.run(max_steps=12_000,
+                scheduler=EventuallySynchronousScheduler(gst=400, seed=seed))
+        outputs = stable_emulated_output(sim, pattern)
+        assert outputs is not None
+        (value,) = {frozenset(v) for v in outputs.values()}
+        assert spec.is_legal_stable_value(pattern, value)
+        return sim
+
+    benchmark(run)
+
+
+def test_campaign_stays_clean(benchmark):
+    """A 12-trial randomized campaign over Fig. 1/Fig. 2 per measurement
+    round — the fuzzer must find nothing, ever."""
+    counter = iter(range(10_000))
+
+    def protocol(system, f):
+        if f == system.n:
+            return make_upsilon_set_agreement()
+        return make_upsilon_f_set_agreement(f)
+
+    def detector(system, env):
+        return UpsilonFSpec(env) if env.f < system.n else UpsilonSpec(system)
+
+    def run():
+        report = run_campaign(
+            protocol, lambda system, f: SetAgreementSpec(f), detector,
+            trials=12, seed=next(counter), system_sizes=(3, 4),
+        )
+        assert report.ok, "\n".join(str(f) for f in report.failures)
+        return report
+
+    benchmark(run)

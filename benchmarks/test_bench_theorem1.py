@@ -1,0 +1,67 @@
+"""T1 — Theorem 1: Υ is strictly weaker than Ωn (n ≥ 2).
+
+Paper claim: no algorithm extracts Ωn from Υ.  The adversary refutes each
+candidate extractor — forcing its output to flip once per phase (the
+non-stabilization refutation) or stalling it into a spec-violating run.
+The flip count scales linearly with the phase budget: the extracted output
+*never* stabilizes.
+"""
+
+import pytest
+
+from repro.core import (
+    candidate_complement_extractor,
+    candidate_heartbeat_extractor,
+    candidate_sticky_extractor,
+    run_theorem1_adversary,
+)
+from repro.runtime import System
+
+
+@pytest.mark.parametrize("candidate_name,factory", [
+    ("heartbeat", candidate_heartbeat_extractor),
+    ("sticky", candidate_sticky_extractor),
+])
+def test_adversary_forces_flips(benchmark, candidate_name, factory):
+    system = System(4)
+
+    def run():
+        result = run_theorem1_adversary(factory(), system, phases=8)
+        assert result.refuted
+        assert result.flips == 8  # one forced change per phase
+        return result
+
+    benchmark(run)
+
+
+def test_adversary_stalls_memoryless_candidate(benchmark):
+    """The FD-only candidate cannot adapt; the adversary completes its
+    partial run into a concrete Ωn-violating witness."""
+    system = System(4)
+
+    def run():
+        result = run_theorem1_adversary(
+            candidate_complement_extractor(), system, phases=4,
+            solo_budget=1_200,
+        )
+        assert result.refuted
+        assert result.stalled_at is not None and result.witness
+        return result
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("phases", [4, 8, 16])
+def test_flip_count_scales_linearly(benchmark, phases):
+    """Non-stabilization made quantitative: flips == phases, for any
+    budget — the extracted output changes without bound."""
+    system = System(3)
+
+    def run():
+        result = run_theorem1_adversary(
+            candidate_heartbeat_extractor(), system, phases=phases
+        )
+        assert result.flips == phases
+        return result
+
+    benchmark(run)

@@ -1,0 +1,44 @@
+"""T5 — Theorem 5: Υf is strictly weaker than Ωf (2 ≤ f ≤ n).
+
+The f-resilient generalization of the T1 adversary: phases solo-run the
+complement of the candidate's emitted set.  Every shipped candidate is
+refuted (flips or stall-with-witness)."""
+
+import pytest
+
+from repro.core import (
+    candidate_complement_extractor_f,
+    candidate_heartbeat_extractor_f,
+    run_theorem5_adversary,
+)
+from repro.runtime import System
+
+
+@pytest.mark.parametrize("f", [2, 3])
+def test_adversary_refutes_complement_candidate(benchmark, f):
+    system = System(5)
+
+    def run():
+        result = run_theorem5_adversary(
+            candidate_complement_extractor_f(f), system, f=f, phases=4,
+            solo_budget=3_000,
+        )
+        assert result.refuted
+        return result
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("f", [2, 3])
+def test_adversary_refutes_heartbeat_candidate(benchmark, f):
+    system = System(5)
+
+    def run():
+        result = run_theorem5_adversary(
+            candidate_heartbeat_extractor_f(f), system, f=f, phases=4,
+            solo_budget=3_000,
+        )
+        assert result.refuted
+        return result
+
+    benchmark(run)

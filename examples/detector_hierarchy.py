@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Walk the failure-detector hierarchy around Υ (Sect. 4 / 5.3).
+
+Demonstrates, with live reduction runs:
+
+  Ω  → Υ        (complement of the leader)
+  Ωn → Υ        (complement of the set; Theorem 1 rules out the converse)
+  Υ  ↔ Ω        (two processes: the detectors are equivalent)
+  Υ¹ → Ω in E₁  (heartbeat election)
+
+and closes with the end-to-end chain D → Υ → set agreement.
+
+Run:  python examples/detector_hierarchy.py [seed]
+"""
+
+import random
+import sys
+
+from repro import (
+    Environment,
+    FailurePattern,
+    OmegaSpec,
+    RandomScheduler,
+    SetAgreementSpec,
+    Simulation,
+    System,
+    UpsilonFSpec,
+    UpsilonSpec,
+    make_omega_k_to_upsilon_f,
+    make_omega_to_upsilon,
+    make_upsilon1_to_omega,
+    make_upsilon_set_agreement,
+    make_upsilon_to_omega_two_processes,
+    omega_n,
+    stable_emulated_output,
+)
+from repro.analysis import EmittedHistory
+
+
+def run_reduction(title, protocol, env, source_spec, target_spec, seed,
+                  steps=30_000):
+    rng = random.Random(seed)
+    pattern = env.random_pattern(rng, max_crash_time=40)
+    history = source_spec.sample_history(pattern, rng, stabilization_time=50)
+    sim = Simulation(env.system, protocol, inputs={}, pattern=pattern,
+                     history=history)
+    sim.run(max_steps=steps, scheduler=RandomScheduler(seed))
+    outputs = stable_emulated_output(sim, pattern)
+    (value,) = set(outputs.values())
+    ok = target_spec.is_legal_stable_value(pattern, value)
+
+    def show(v):
+        return sorted(v) if isinstance(v, frozenset) else f"p{v}"
+
+    print(f"{title:<18} {source_spec.name:>3} output {show(history.stable_value)!s:<12}"
+          f" ⇒ {target_spec.name} output {show(value)!s:<12} legal: "
+          f"{'✓' if ok else '✗'}")
+    return sim, pattern
+
+
+def main(seed: int = 5) -> None:
+    sys4 = System(4)
+    env4 = Environment.wait_free(sys4)
+    sys2 = System(2)
+    env2 = Environment.wait_free(sys2)
+    env1 = Environment(sys4, 1)
+
+    print("constructive reductions (Sect. 4 / 5.3):\n")
+    run_reduction("Ω → Υ", make_omega_to_upsilon(), env4,
+                  OmegaSpec(sys4), UpsilonSpec(sys4), seed)
+    run_reduction("Ωn → Υ", make_omega_k_to_upsilon_f(), env4,
+                  omega_n(sys4), UpsilonSpec(sys4), seed + 1)
+    run_reduction("Υ → Ω (2 procs)", make_upsilon_to_omega_two_processes(),
+                  env2, UpsilonSpec(sys2), OmegaSpec(sys2), seed + 2)
+    run_reduction("Υ¹ → Ω (E₁)", make_upsilon1_to_omega(), env1,
+                  UpsilonFSpec(env1), OmegaSpec(sys4), seed + 3,
+                  steps=50_000)
+
+    print("\nthe hierarchy as a graph (repro.DetectorHierarchy):")
+    from repro import DetectorHierarchy
+
+    hierarchy = DetectorHierarchy(env4)
+    for weaker, stronger in [("Υ", "Ωn"), ("Υ", "◇P"), ("Ωn", "Ω")]:
+        strict = hierarchy.strictly_weaker(weaker, stronger)
+        relation = "≺ (strict)" if strict else "≤"
+        steps = " ; ".join(e.justification.split(":")[0]
+                           for e in hierarchy.explain(weaker, stronger))
+        print(f"  {weaker} {relation} {stronger}   via: {steps}")
+
+    print("\nend-to-end: Ω-history → (Ω → Υ reduction) → Fig. 1 set "
+          "agreement")
+    sim, pattern = run_reduction(
+        "Ω → Υ (replayed)", make_omega_to_upsilon(), env4,
+        OmegaSpec(sys4), UpsilonSpec(sys4), seed + 4,
+    )
+    replayed = EmittedHistory(sim, default=sys4.pid_set)
+    inputs = {p: f"v{p}" for p in sys4.pids}
+    agreement = Simulation(sys4, make_upsilon_set_agreement(), inputs=inputs,
+                           pattern=pattern, history=replayed)
+    agreement.run_until(Simulation.all_correct_decided, 500_000,
+                        RandomScheduler(seed))
+    SetAgreementSpec(sys4.n).check(agreement, inputs).raise_if_failed()
+    print(f"  set agreement reached in {agreement.time} steps; decisions: "
+          f"{sorted(set(agreement.decisions().values()))}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

@@ -1,0 +1,161 @@
+"""repro — a reproduction of *On the weakest failure detector ever*.
+
+Guerraoui, Herlihy, Kuznetsov, Lynch, Newport (PODC 2007; Distributed
+Computing 21:353–366, 2009).
+
+The library is a faithful executable model of the paper's asynchronous
+shared-memory system:
+
+* :mod:`repro.runtime` — atomic-step simulation kernel (processes are
+  generators; one yield = one step), schedulers (including adversarial
+  ones), traces;
+* :mod:`repro.memory` — registers, atomic snapshots (primitive and the
+  Afek-et-al. register construction), typed consensus objects;
+* :mod:`repro.failures` — failure patterns and environments ``E_f``;
+* :mod:`repro.detectors` — the failure-detector framework and the
+  detectors Υ, Υf, Ω, Ωk, ◇P, anti-Ω, dummies;
+* :mod:`repro.core` — the paper's contribution: the Fig. 1/Fig. 2
+  set-agreement protocols, the Fig. 3 extraction of Υf from any stable
+  non-trivial detector, the constructive reductions of Sect. 4/5.3, the
+  Theorem 1/5 adversaries, and the Corollary 4 consensus algorithms;
+* :mod:`repro.tasks` — k-set-agreement/consensus specifications checked
+  on traces;
+* :mod:`repro.analysis` — experiment drivers behind the benchmarks.
+
+Quickstart::
+
+    from repro import (System, FailurePattern, UpsilonSpec,
+                       make_upsilon_set_agreement, run_protocol,
+                       SetAgreementSpec)
+    import random
+
+    system = System(4)                      # n + 1 = 4 processes, n = 3
+    pattern = FailurePattern.crash_at(system, {0: 25})
+    upsilon = UpsilonSpec(system)
+    history = upsilon.sample_history(pattern, random.Random(7),
+                                     stabilization_time=100)
+    inputs = {p: f"value-{p}" for p in system.pids}
+    sim = run_protocol(system, make_upsilon_set_agreement(), inputs,
+                       pattern=pattern, history=history)
+    SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()
+    print(sim.decisions())
+"""
+
+from .analysis import (
+    run_extraction_trial,
+    run_latency_comparison,
+    run_set_agreement_trial,
+    summarize,
+)
+from .core import (
+    ConvergeInstance,
+    DetectorHierarchy,
+    EventuallySynchronousScheduler,
+    GrowingDelayScheduler,
+    PhiMap,
+    ShiftedPhiMap,
+    TrivialDetectorError,
+    k_converge,
+    locally_stable_outputs,
+    make_boosted_consensus,
+    make_extraction_protocol,
+    make_local_extraction_protocol,
+    make_omega_consensus,
+    make_omega_k_to_upsilon_f,
+    make_omega_to_upsilon,
+    make_upsilon1_to_omega,
+    make_upsilon_f_set_agreement,
+    make_upsilon_set_agreement,
+    make_timeout_upsilon,
+    make_upsilon_to_omega_two_processes,
+    run_theorem1_adversary,
+    run_theorem5_adversary,
+    stable_emulated_output,
+    with_fd_transform,
+)
+from .messaging import AbdRegisters, Network, abd_snapshot_api
+from .detectors import (
+    AntiOmegaSpec,
+    ConstantHistory,
+    DummySpec,
+    EventuallyPerfectSpec,
+    OmegaKSpec,
+    OmegaSpec,
+    StableHistory,
+    UpsilonFSpec,
+    UpsilonSpec,
+    omega_n,
+)
+from .failures import Environment, FailurePattern
+from .memory import Memory, RegisterSnapshotAPI
+from .runtime import (
+    BOT,
+    NON_PARTICIPANT,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    Simulation,
+    System,
+    run_protocol,
+)
+from .tasks import ConsensusSpec, SetAgreementSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AntiOmegaSpec",
+    "BOT",
+    "ConsensusSpec",
+    "ConstantHistory",
+    "ConvergeInstance",
+    "DetectorHierarchy",
+    "AbdRegisters",
+    "EventuallySynchronousScheduler",
+    "GrowingDelayScheduler",
+    "DummySpec",
+    "Environment",
+    "EventuallyPerfectSpec",
+    "FailurePattern",
+    "Memory",
+    "Network",
+    "NON_PARTICIPANT",
+    "OmegaKSpec",
+    "OmegaSpec",
+    "PhiMap",
+    "RandomScheduler",
+    "RegisterSnapshotAPI",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+    "SetAgreementSpec",
+    "ShiftedPhiMap",
+    "Simulation",
+    "StableHistory",
+    "System",
+    "TrivialDetectorError",
+    "UpsilonFSpec",
+    "UpsilonSpec",
+    "k_converge",
+    "locally_stable_outputs",
+    "make_boosted_consensus",
+    "make_extraction_protocol",
+    "make_local_extraction_protocol",
+    "make_omega_consensus",
+    "make_omega_k_to_upsilon_f",
+    "make_omega_to_upsilon",
+    "make_upsilon1_to_omega",
+    "make_upsilon_f_set_agreement",
+    "make_upsilon_set_agreement",
+    "make_timeout_upsilon",
+    "make_upsilon_to_omega_two_processes",
+    "omega_n",
+    "run_extraction_trial",
+    "run_latency_comparison",
+    "run_protocol",
+    "run_set_agreement_trial",
+    "run_theorem1_adversary",
+    "run_theorem5_adversary",
+    "stable_emulated_output",
+    "summarize",
+    "abd_snapshot_api",
+    "with_fd_transform",
+]

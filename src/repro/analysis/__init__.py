@@ -1,0 +1,75 @@
+"""Experiment drivers, statistics, validators, rendering."""
+
+from .linearizability import (
+    OperationRecord,
+    RegisterSequentialSpec,
+    SnapshotRecorder,
+    SnapshotSequentialSpec,
+    is_linearizable,
+)
+from .render import describe_step, render_summary, render_timeline
+from .runner import (
+    ComplementHistory,
+    EmittedHistory,
+    ExtractionResult,
+    LatencyComparison,
+    SetAgreementResult,
+    max_round_reached,
+    run_extraction_trial,
+    run_latency_comparison,
+    run_set_agreement_trial,
+)
+from .stats import Summary, percentile, summarize
+from .stress import (
+    CampaignConfig,
+    CampaignFailure,
+    CampaignReport,
+    minimize_schedule,
+    run_campaign,
+)
+from .sweeps import sweep_extraction, sweep_set_agreement, to_csv
+from .trace_io import (
+    dump_jsonl,
+    load_jsonl,
+    trace_from_dict,
+    trace_to_dict,
+)
+from .validate import AxiomViolation, RunValidator, validate_simulation
+
+__all__ = [
+    "AxiomViolation",
+    "CampaignConfig",
+    "CampaignFailure",
+    "CampaignReport",
+    "ComplementHistory",
+    "EmittedHistory",
+    "ExtractionResult",
+    "LatencyComparison",
+    "OperationRecord",
+    "RegisterSequentialSpec",
+    "RunValidator",
+    "SetAgreementResult",
+    "SnapshotRecorder",
+    "SnapshotSequentialSpec",
+    "Summary",
+    "describe_step",
+    "dump_jsonl",
+    "is_linearizable",
+    "load_jsonl",
+    "max_round_reached",
+    "minimize_schedule",
+    "percentile",
+    "render_summary",
+    "render_timeline",
+    "run_campaign",
+    "run_extraction_trial",
+    "run_latency_comparison",
+    "run_set_agreement_trial",
+    "summarize",
+    "sweep_extraction",
+    "sweep_set_agreement",
+    "to_csv",
+    "trace_from_dict",
+    "trace_to_dict",
+    "validate_simulation",
+]

@@ -1,0 +1,158 @@
+"""Human-readable rendering of runs — debugging aid for protocol authors.
+
+``describe_step`` gives a compact one-liner per step; ``render_timeline``
+draws per-process ASCII lanes; ``render_summary`` tabulates operation
+counts.  All pure functions over recorded traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from ..runtime.ops import (
+    Broadcast,
+    ConsensusPropose,
+    Decide,
+    Emit,
+    ImmediateWriteScan,
+    Nop,
+    QueryFD,
+    Read,
+    Receive,
+    Send,
+    SnapshotScan,
+    SnapshotUpdate,
+    Write,
+)
+from ..runtime.trace import StepRecord, Trace
+
+#: One-character glyphs for the timeline lanes.
+_GLYPHS = (
+    (Read, "r"),
+    (Write, "w"),
+    (SnapshotUpdate, "u"),
+    (SnapshotScan, "s"),
+    (ConsensusPropose, "c"),
+    (ImmediateWriteScan, "i"),
+    (QueryFD, "?"),
+    (Decide, "D"),
+    (Emit, "E"),
+    (Send, ">"),
+    (Broadcast, "B"),
+    (Receive, "<"),
+    (Nop, "."),
+)
+
+
+def _glyph(op) -> str:
+    for op_type, glyph in _GLYPHS:
+        if isinstance(op, op_type):
+            return glyph
+    return "#"
+
+
+def _short(value, limit: int = 18) -> str:
+    if isinstance(value, frozenset):
+        text = "{" + ",".join(str(x) for x in sorted(value)) + "}"
+    else:
+        text = repr(value)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def describe_step(step: StepRecord) -> str:
+    """Compact one-line description: ``t=12 p0 W(('Dr', 1))='v0'``."""
+    op = step.op
+    prefix = f"t={step.time} p{step.pid} "
+    if isinstance(op, Read):
+        return prefix + f"R({op.key!r}) -> {_short(step.response)}"
+    if isinstance(op, Write):
+        return prefix + f"W({op.key!r}) = {_short(op.value)}"
+    if isinstance(op, SnapshotUpdate):
+        return prefix + f"U({op.key!r}[{op.index}]) = {_short(op.value)}"
+    if isinstance(op, SnapshotScan):
+        return prefix + f"S({op.key!r}) -> {_short(step.response)}"
+    if isinstance(op, ConsensusPropose):
+        return prefix + f"C({op.key!r}, {_short(op.value)}) -> {_short(step.response)}"
+    if isinstance(op, QueryFD):
+        return prefix + f"FD? -> {_short(step.response)}"
+    if isinstance(op, Decide):
+        return prefix + f"DECIDE {_short(op.value)}"
+    if isinstance(op, Emit):
+        return prefix + f"EMIT {_short(op.value)}"
+    if isinstance(op, ImmediateWriteScan):
+        return prefix + (
+            f"IS({op.key!r}[{op.index}]) = {_short(op.value)} -> "
+            f"{_short(step.response)}"
+        )
+    if isinstance(op, Send):
+        return prefix + f"SEND p{op.dest} {_short(op.payload)}"
+    if isinstance(op, Broadcast):
+        return prefix + f"BCAST {_short(op.payload)}"
+    if isinstance(op, Receive):
+        count = len(step.response) if step.response else 0
+        return prefix + f"RECV {count} message(s)"
+    if isinstance(op, Nop):
+        return prefix + "nop"
+    return prefix + repr(op)
+
+
+def render_timeline(trace: Trace, n_processes: int, width: int = 100) -> str:
+    """ASCII lanes: one row per process, one column per bucket of steps.
+
+    Long runs are compressed: each column shows the *last* glyph the
+    process produced inside that time bucket (space if it did not step).
+    Decisions always win over other glyphs in their bucket.
+    """
+    if not trace.steps:
+        return "(empty trace)"
+    horizon = trace.steps[-1].time + 1
+    bucket = max(1, -(-horizon // width))  # ceil division
+    columns = -(-horizon // bucket)
+    lanes: Dict[int, List[str]] = {
+        p: [" "] * columns for p in range(n_processes)
+    }
+    for step in trace.steps:
+        col = step.time // bucket
+        lane = lanes[step.pid]
+        glyph = _glyph(step.op)
+        if lane[col] != "D":  # a decision is never overwritten
+            lane[col] = glyph
+    header = (
+        f"1 column = {bucket} step(s); r/w registers, u/s snapshot, "
+        f"c consensus, ? detector query, E emit, D decide"
+    )
+    rows = [header]
+    for pid in range(n_processes):
+        rows.append(f"p{pid} |" + "".join(lanes[pid]) + "|")
+    return "\n".join(rows)
+
+
+def render_summary(trace: Trace, n_processes: int) -> str:
+    """Per-process operation counts, as an aligned text table."""
+    kinds = ["read", "write", "update", "scan", "propose", "query",
+             "decide", "emit", "msg", "nop"]
+    mapping = {
+        Read: "read", Write: "write", SnapshotUpdate: "update",
+        SnapshotScan: "scan", ImmediateWriteScan: "scan",
+        ConsensusPropose: "propose",
+        QueryFD: "query", Decide: "decide", Emit: "emit",
+        Send: "msg", Broadcast: "msg", Receive: "msg", Nop: "nop",
+    }
+    counts: Dict[int, Counter] = {p: Counter() for p in range(n_processes)}
+    for step in trace.steps:
+        for op_type, label in mapping.items():
+            if isinstance(step.op, op_type):
+                counts[step.pid][label] += 1
+                break
+    header = f"{'pid':>4} " + " ".join(f"{k:>8}" for k in kinds) + f" {'total':>8}"
+    rows = [header]
+    for pid in range(n_processes):
+        c = counts[pid]
+        total = sum(c.values())
+        rows.append(
+            f"{'p%d' % pid:>4} "
+            + " ".join(f"{c.get(k, 0):>8}" for k in kinds)
+            + f" {total:>8}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,56 @@
+"""Small statistics helpers for experiment reports."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, List, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def row(self, label: str) -> str:
+        return (
+            f"{label:<34} n={self.count:<5} mean={self.mean:>10.1f} "
+            f"median={self.median:>9.1f} p95={self.p95:>10.1f} "
+            f"max={self.maximum:>10.1f}"
+        )
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("empty sample")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = q * (len(sorted_values) - 1)
+    low = math.floor(pos)
+    high = math.ceil(pos)
+    if low == high:
+        return float(sorted_values[low])
+    frac = pos - low
+    return float(sorted_values[low]) * (1 - frac) + float(sorted_values[high]) * frac
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a sample of measurements."""
+    data: List[float] = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        median=percentile(data, 0.5),
+        p95=percentile(data, 0.95),
+        minimum=data[0],
+        maximum=data[-1],
+    )

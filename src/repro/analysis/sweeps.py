@@ -1,0 +1,125 @@
+"""Parameter sweeps and CSV export for the experiment harness.
+
+The benchmark suite times representative points; these helpers run the
+full grids behind EXPERIMENTS.md and dump flat CSVs for external
+analysis — see ``benchmarks/report.py`` for the Markdown rendering.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+from ..detectors.base import DetectorSpec
+from ..failures.environment import Environment
+from ..runtime.process import System
+from .runner import (
+    ExtractionResult,
+    SetAgreementResult,
+    run_extraction_trial,
+    run_set_agreement_trial,
+)
+
+
+def sweep_set_agreement(
+    system_sizes: Sequence[int],
+    seeds: Sequence[int],
+    stabilization_times: Sequence[int],
+    fs: Optional[Sequence[int]] = None,
+    adversarial: bool = False,
+) -> List[SetAgreementResult]:
+    """Grid of Fig. 1 / Fig. 2 runs.
+
+    ``fs = None`` means the wait-free case (f = n) for each system size.
+    """
+    results: List[SetAgreementResult] = []
+    for n_procs in system_sizes:
+        system = System(n_procs)
+        f_values = [system.n] if fs is None else [
+            f for f in fs if 1 <= f <= system.n
+        ]
+        for f in f_values:
+            for stab in stabilization_times:
+                for seed in seeds:
+                    results.append(run_set_agreement_trial(
+                        system, f, seed=seed, stabilization_time=stab,
+                        adversarial=adversarial,
+                    ))
+    return results
+
+
+def sweep_extraction(
+    spec_factories,
+    system_sizes: Sequence[int],
+    seeds: Sequence[int],
+    f: Optional[int] = None,
+    stabilization_time: int = 60,
+    max_steps: int = 40_000,
+) -> List[ExtractionResult]:
+    """Grid of Fig. 3 extractions.
+
+    ``spec_factories`` is an iterable of callables ``System -> DetectorSpec``.
+    ``f = None`` means wait-free.
+    """
+    results: List[ExtractionResult] = []
+    for n_procs in system_sizes:
+        system = System(n_procs)
+        env = (
+            Environment.wait_free(system)
+            if f is None
+            else Environment(system, f)
+        )
+        for factory in spec_factories:
+            spec: DetectorSpec = factory(system)
+            for seed in seeds:
+                results.append(run_extraction_trial(
+                    spec, env, seed=seed,
+                    stabilization_time=stabilization_time,
+                    max_steps=max_steps,
+                ))
+    return results
+
+
+def _stringify(value) -> str:
+    if isinstance(value, frozenset):
+        return "{" + ",".join(str(x) for x in sorted(value)) + "}"
+    if value is None:
+        return ""
+    return str(value)
+
+
+def to_csv(
+    results: Iterable[object], destination: Union[str, TextIO, None] = None
+) -> str:
+    """Write a list of result dataclasses as CSV.
+
+    ``destination`` may be a path, an open text file, or ``None`` (return
+    the CSV text only).  All rows must share a dataclass type.
+    """
+    rows = list(results)
+    if not rows:
+        raise ValueError("no results to export")
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        raise TypeError("results must be dataclass instances")
+    fieldnames = [f.name for f in dataclasses.fields(first)]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        if type(row) is not type(first):
+            raise TypeError("mixed result types in one export")
+        record = {
+            key: _stringify(value)
+            for key, value in dataclasses.asdict(row).items()
+        }
+        writer.writerow(record)
+    text = buffer.getvalue()
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    elif destination is not None:
+        destination.write(text)
+    return text

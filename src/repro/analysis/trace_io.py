@@ -1,0 +1,169 @@
+"""Trace serialization — JSON-friendly export/import of recorded runs.
+
+Runs are deterministic given ``(pattern, history, schedule)``, but sharing
+a failure report is easier with the run itself.  ``trace_to_dict`` /
+``trace_from_dict`` round-trip a :class:`~repro.runtime.trace.Trace`
+through plain JSON types; ``dump_jsonl`` writes one step per line for
+streaming inspection (``jq``-able).
+
+Hashable keys and response values are encoded structurally for the
+built-in value kinds the library uses (ints, strings, tuples, frozensets,
+``⊥``, ``None``, booleans); anything else falls back to a tagged ``repr``
+that imports back as an opaque string — fine for inspection, not for
+re-execution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Union
+
+from ..runtime.ops import (
+    BOT,
+    Broadcast,
+    ConsensusPropose,
+    Decide,
+    Emit,
+    ImmediateWriteScan,
+    Nop,
+    Operation,
+    QueryFD,
+    Read,
+    Receive,
+    Send,
+    SnapshotScan,
+    SnapshotUpdate,
+    Write,
+)
+from ..runtime.trace import StepRecord, Trace
+
+_OP_CODES = {
+    Read: "read", Write: "write",
+    SnapshotUpdate: "snap-update", SnapshotScan: "snap-scan",
+    ImmediateWriteScan: "immediate", ConsensusPropose: "propose",
+    QueryFD: "query", Decide: "decide", Emit: "emit",
+    Send: "send", Broadcast: "broadcast", Receive: "receive",
+    Nop: "nop",
+}
+_CODE_OPS = {code: op for op, code in _OP_CODES.items()}
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a value into JSON-safe structure (tagged for round-trip)."""
+    if value is BOT:
+        return {"⊥": True}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"t": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"l": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        return {"fs": sorted((encode_value(v) for v in value), key=repr)}
+    if isinstance(value, dict):
+        return {"d": [[encode_value(k), encode_value(v)]
+                      for k, v in value.items()]}
+    return {"repr": repr(value)}
+
+
+def decode_value(encoded: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(encoded, dict):
+        if "⊥" in encoded:
+            return BOT
+        if "t" in encoded:
+            return tuple(decode_value(v) for v in encoded["t"])
+        if "l" in encoded:
+            return [decode_value(v) for v in encoded["l"]]
+        if "fs" in encoded:
+            return frozenset(decode_value(v) for v in encoded["fs"])
+        if "d" in encoded:
+            return {decode_value(k): decode_value(v)
+                    for k, v in encoded["d"]}
+        if "repr" in encoded:
+            return encoded["repr"]  # opaque
+        raise ValueError(f"unknown encoding {encoded!r}")
+    return encoded
+
+
+def _encode_op(op: Operation) -> Dict[str, Any]:
+    body: Dict[str, Any] = {"op": _OP_CODES[type(op)]}
+    for field in ("key", "index", "value", "dest", "payload"):
+        if hasattr(op, field):
+            body[field] = encode_value(getattr(op, field))
+    return body
+
+
+def _decode_op(body: Dict[str, Any]) -> Operation:
+    op_type = _CODE_OPS[body["op"]]
+    kwargs = {
+        field: decode_value(body[field])
+        for field in ("key", "index", "value", "dest", "payload")
+        if field in body
+    }
+    return op_type(**kwargs)
+
+
+def step_to_dict(step: StepRecord) -> Dict[str, Any]:
+    return {
+        "t": step.time,
+        "pid": step.pid,
+        **_encode_op(step.op),
+        "response": encode_value(step.response),
+    }
+
+
+def step_from_dict(body: Dict[str, Any]) -> StepRecord:
+    op_fields = {
+        k: v for k, v in body.items()
+        if k in ("op", "key", "index", "value", "dest", "payload")
+    }
+    return StepRecord(
+        time=body["t"],
+        pid=body["pid"],
+        op=_decode_op(op_fields),
+        response=decode_value(body["response"]),
+    )
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """The whole trace as one JSON-safe dict."""
+    return {"steps": [step_to_dict(s) for s in trace.steps]}
+
+
+def trace_from_dict(body: Dict[str, Any]) -> Trace:
+    """Rebuild a trace (outputs are re-derived from the steps)."""
+    trace = Trace()
+    for raw in body["steps"]:
+        trace.record(step_from_dict(raw))
+    return trace
+
+
+def dump_jsonl(trace: Trace, destination: Union[str, IO[str]]) -> int:
+    """Write one JSON object per step; returns the number of lines."""
+    lines: List[str] = [
+        json.dumps(step_to_dict(s), ensure_ascii=False)
+        for s in trace.steps
+    ]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return len(lines)
+
+
+def load_jsonl(source: Union[str, IO[str]]) -> Trace:
+    """Read a JSONL step stream back into a trace."""
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    trace = Trace()
+    for line in lines:
+        line = line.strip()
+        if line:
+            trace.record(step_from_dict(json.loads(line)))
+    return trace

@@ -1,0 +1,256 @@
+"""Run-axiom validation — replaying a trace against the model of Sect. 3.3.
+
+A run ``⟨F, H, S, T⟩`` must satisfy five requirements (Sect. 3.3):
+
+  R1  no step by a crashed process: ``S[k] = (p, …) ⇒ p ∉ F(T[k])``;
+  R2  query steps return the history's value: ``x = H(p, T[k])``;
+  R3  steps are totally ordered (distinct times in our engine);
+  R4  shared objects behave per their sequential specifications;
+  R5  every correct process takes infinitely many steps (fairness).
+
+The simulation engine enforces R1–R4 *constructively*; this module checks
+them *independently* on a recorded trace, by replaying every shared-object
+operation against a fresh model of each object and comparing responses.
+That makes the engine itself testable: a bug in `Memory` or in crash
+handling would surface as a replay divergence here, not as a silently
+wrong experiment.  R5 is approximated on finite traces by a window check
+(every correct process steps at least once in every window of
+``fairness_window`` steps after it becomes idle-free).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Hashable, List, Optional
+
+from ..detectors.base import History
+from ..failures.pattern import FailurePattern
+from ..runtime.ops import (
+    BOT,
+    Broadcast,
+    ConsensusPropose,
+    Decide,
+    Emit,
+    ImmediateWriteScan,
+    Nop,
+    QueryFD,
+    Read,
+    Receive,
+    Send,
+    SnapshotScan,
+    SnapshotUpdate,
+    Write,
+)
+from ..runtime.trace import Trace
+
+
+@dataclasses.dataclass
+class AxiomViolation:
+    """One violated run requirement."""
+
+    axiom: str
+    time: int
+    pid: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.axiom} at t={self.time} (p{self.pid}): {self.detail}"
+
+
+class _ModelRegister:
+    def __init__(self) -> None:
+        self.value: Any = BOT
+
+
+class _ModelSnapshot:
+    def __init__(self) -> None:
+        self.cells: Dict[int, Any] = {}
+
+    def view(self, width: int) -> tuple:
+        return tuple(self.cells.get(i, BOT) for i in range(width))
+
+
+class _ModelConsensus:
+    def __init__(self) -> None:
+        self.decided = False
+        self.decision: Any = None
+
+
+class RunValidator:
+    """Replays a trace against the Sect. 3.3 axioms.
+
+    Parameters
+    ----------
+    pattern:
+        The run's failure pattern ``F`` (for R1).
+    history:
+        The run's failure-detector history ``H`` (for R2); ``None`` if the
+        run queried no detector.
+    n_processes:
+        Width of snapshot views (for R4 replay).
+    fairness_window:
+        R5 approximation: after its first step, every correct process must
+        step at least once in every window of this many steps — except the
+        trailing window (the run was cut off, not unfair) and processes
+        whose protocol returned.
+    """
+
+    def __init__(
+        self,
+        pattern: FailurePattern,
+        history: Optional[History],
+        n_processes: int,
+        fairness_window: int = 0,
+    ):
+        self.pattern = pattern
+        self.history = history
+        self.n_processes = n_processes
+        self.fairness_window = fairness_window
+
+    def validate(
+        self, trace: Trace, returned_pids: frozenset[int] = frozenset()
+    ) -> List[AxiomViolation]:
+        """Check R1–R5; returns all violations found (empty = valid run)."""
+        violations: List[AxiomViolation] = []
+        registers: Dict[Hashable, _ModelRegister] = {}
+        snapshots: Dict[Hashable, _ModelSnapshot] = {}
+        consensus: Dict[Hashable, _ModelConsensus] = {}
+        last_time = -1
+
+        for step in trace.steps:
+            t, pid, op, response = step.time, step.pid, step.op, step.response
+
+            # R3 — total order, strictly increasing times.
+            if t <= last_time:
+                violations.append(AxiomViolation(
+                    "R3-order", t, pid,
+                    f"step time {t} not after previous {last_time}"))
+            last_time = t
+
+            # R1 — no steps by crashed processes.
+            if not self.pattern.is_alive(pid, t):
+                violations.append(AxiomViolation(
+                    "R1-crash", t, pid,
+                    f"step taken at/after crash time "
+                    f"{self.pattern.crash_time(pid)}"))
+
+            # R2 — failure-detector query steps match the history.
+            if isinstance(op, QueryFD):
+                if self.history is None:
+                    violations.append(AxiomViolation(
+                        "R2-history", t, pid, "query step but no history"))
+                else:
+                    expected = self.history.value(pid, t)
+                    if response != expected:
+                        violations.append(AxiomViolation(
+                            "R2-history", t, pid,
+                            f"query returned {response!r}, history says "
+                            f"{expected!r}"))
+                continue
+
+            # R4 — replay shared objects.
+            if isinstance(op, Read):
+                model = registers.setdefault(op.key, _ModelRegister())
+                if response != model.value and not (
+                    response is BOT and model.value is BOT
+                ):
+                    violations.append(AxiomViolation(
+                        "R4-register", t, pid,
+                        f"read of {op.key!r} returned {response!r}, model "
+                        f"holds {model.value!r}"))
+            elif isinstance(op, Write):
+                registers.setdefault(op.key, _ModelRegister()).value = op.value
+            elif isinstance(op, SnapshotUpdate):
+                snapshots.setdefault(op.key, _ModelSnapshot()).cells[
+                    op.index
+                ] = op.value
+            elif isinstance(op, SnapshotScan):
+                model_snap = snapshots.setdefault(op.key, _ModelSnapshot())
+                expected_view = model_snap.view(self.n_processes)
+                if tuple(response) != expected_view:
+                    violations.append(AxiomViolation(
+                        "R4-snapshot", t, pid,
+                        f"scan of {op.key!r} returned {response!r}, model "
+                        f"says {expected_view!r}"))
+            elif isinstance(op, ConsensusPropose):
+                model_cons = consensus.setdefault(op.key, _ModelConsensus())
+                if not model_cons.decided:
+                    model_cons.decided = True
+                    model_cons.decision = op.value
+                if response != model_cons.decision:
+                    violations.append(AxiomViolation(
+                        "R4-consensus", t, pid,
+                        f"propose on {op.key!r} returned {response!r}, "
+                        f"object decided {model_cons.decision!r}"))
+            elif isinstance(op, ImmediateWriteScan):
+                model_snap = snapshots.setdefault(op.key, _ModelSnapshot())
+                model_snap.cells[op.index] = op.value
+                expected_view = model_snap.view(self.n_processes)
+                if tuple(response) != expected_view:
+                    violations.append(AxiomViolation(
+                        "R4-immediate", t, pid,
+                        f"write_and_scan of {op.key!r} returned "
+                        f"{response!r}, model says {expected_view!r}"))
+            elif isinstance(op, (Decide, Emit, Nop, Send, Broadcast,
+                                 Receive)):
+                # Messaging steps are replayed by the network model, not
+                # the register models; delivery correctness is covered by
+                # the network's own unit tests.
+                pass
+            else:
+                violations.append(AxiomViolation(
+                    "R4-unknown", t, pid, f"unknown operation {op!r}"))
+
+        if self.fairness_window:
+            violations.extend(
+                self._check_fairness(trace, returned_pids)
+            )
+        return violations
+
+    def _check_fairness(
+        self, trace: Trace, returned_pids: frozenset[int]
+    ) -> List[AxiomViolation]:
+        """R5 on a finite prefix: no correct, non-returned process starves
+        for a full window (excluding the trailing partial window)."""
+        violations: List[AxiomViolation] = []
+        if not trace.steps:
+            return violations
+        horizon = trace.steps[-1].time
+        watched = [
+            p for p in self.pattern.correct
+            if p not in returned_pids
+        ]
+        last_step: Dict[int, int] = {p: -1 for p in watched}
+        for step in trace.steps:
+            if step.pid in last_step:
+                gap_start = last_step[step.pid]
+                if step.time - gap_start > self.fairness_window and gap_start >= 0:
+                    violations.append(AxiomViolation(
+                        "R5-fairness", step.time, step.pid,
+                        f"starved for {step.time - gap_start} > "
+                        f"{self.fairness_window} steps"))
+                last_step[step.pid] = step.time
+        for pid, when in last_step.items():
+            if horizon - when > self.fairness_window and when >= 0:
+                violations.append(AxiomViolation(
+                    "R5-fairness", horizon, pid,
+                    f"no step in the last {horizon - when} steps"))
+        return violations
+
+
+def validate_simulation(sim, fairness_window: int = 0) -> List[AxiomViolation]:
+    """Convenience: validate a finished simulation's own trace.
+
+    Processes whose protocol returned are excused from the fairness check.
+    """
+    from ..runtime.process import ProcessStatus
+
+    returned = frozenset(
+        pid for pid, rt in sim.runtimes.items()
+        if rt.status is ProcessStatus.RETURNED
+    )
+    validator = RunValidator(
+        sim.pattern, sim.history, sim.system.n_processes,
+        fairness_window=fairness_window,
+    )
+    return validator.validate(sim.trace, returned_pids=returned)

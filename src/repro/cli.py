@@ -1,0 +1,261 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro fig1 --processes 4 --stabilization 80 --seed 3
+    python -m repro fig2 --processes 5 --resilience 2
+    python -m repro extract --detector omega --processes 4
+    python -m repro theorem1 --candidate heartbeat --phases 8
+    python -m repro run --show-trace   # quickstart run with a timeline
+
+Every subcommand prints a short report and exits non-zero if the
+corresponding paper property failed to hold (they never should).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional, Sequence
+
+from .analysis import run_extraction_trial, run_set_agreement_trial
+from .analysis.render import render_summary, render_timeline
+from .core import (
+    candidate_complement_extractor,
+    candidate_heartbeat_extractor,
+    candidate_sticky_extractor,
+    make_upsilon_set_agreement,
+    run_theorem1_adversary,
+)
+from .detectors import UpsilonSpec, detector_names, make_detector
+from .failures import Environment, FailurePattern
+from .runtime import RandomScheduler, Simulation, System
+from .tasks import SetAgreementSpec
+
+_CANDIDATES = {
+    "complement": candidate_complement_extractor,
+    "heartbeat": candidate_heartbeat_extractor,
+    "sticky": candidate_sticky_extractor,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Experiments from 'On the weakest failure detector ever'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser("fig1", help="Υ-based n-set agreement (Theorem 2)")
+    fig1.add_argument("--processes", type=int, default=4)
+    fig1.add_argument("--stabilization", type=int, default=80)
+    fig1.add_argument("--seed", type=int, default=0)
+    fig1.add_argument("--adversarial", action="store_true",
+                      help="lockstep schedule + worst-case noise")
+
+    fig2 = sub.add_parser("fig2", help="Υf-based f-set agreement (Theorem 6)")
+    fig2.add_argument("--processes", type=int, default=4)
+    fig2.add_argument("--resilience", type=int, default=2, metavar="F")
+    fig2.add_argument("--stabilization", type=int, default=80)
+    fig2.add_argument("--seed", type=int, default=0)
+
+    extract = sub.add_parser(
+        "extract", help="extract Υf from a stable detector (Theorem 10)"
+    )
+    extract.add_argument(
+        "--detector",
+        choices=[n for n in detector_names() if n != "dummy"],
+        default="omega",
+    )
+    extract.add_argument("--processes", type=int, default=4)
+    extract.add_argument("--resilience", type=int, default=None, metavar="F")
+    extract.add_argument("--stabilization", type=int, default=60)
+    extract.add_argument("--seed", type=int, default=0)
+
+    theorem1 = sub.add_parser(
+        "theorem1", help="refute a Υ → Ωn candidate extractor (Theorem 1)"
+    )
+    theorem1.add_argument("--candidate", choices=sorted(_CANDIDATES),
+                          default="heartbeat")
+    theorem1.add_argument("--processes", type=int, default=4)
+    theorem1.add_argument("--phases", type=int, default=8)
+
+    hierarchy = sub.add_parser(
+        "hierarchy", help="print the weaker-than graph around Υ"
+    )
+    hierarchy.add_argument("--processes", type=int, default=4)
+    hierarchy.add_argument("--resilience", type=int, default=None,
+                           metavar="F")
+
+    campaign = sub.add_parser(
+        "campaign", help="fuzz Fig. 1/Fig. 2 against the task spec"
+    )
+    campaign.add_argument("--trials", type=int, default=25)
+    campaign.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="one annotated Fig. 1 run")
+    run.add_argument("--processes", type=int, default=3)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--show-trace", action="store_true")
+
+    return parser
+
+
+def _cmd_fig1(args) -> int:
+    system = System(args.processes)
+    result = run_set_agreement_trial(
+        system, system.n, seed=args.seed,
+        stabilization_time=args.stabilization,
+        adversarial=args.adversarial,
+    )
+    print(f"n+1={args.processes}  f=n={system.n}  "
+          f"stabilization={args.stabilization}  "
+          f"faulty={result.faulty}")
+    print(f"steps={result.total_steps}  rounds={result.rounds}  "
+          f"distinct decisions={result.distinct_decisions} (bound {system.n})")
+    print("properties:", "OK" if result.ok else f"VIOLATED — {result.violations}")
+    return 0 if result.ok else 1
+
+
+def _cmd_fig2(args) -> int:
+    system = System(args.processes)
+    result = run_set_agreement_trial(
+        system, args.resilience, seed=args.seed,
+        stabilization_time=args.stabilization, use_fig2=True,
+    )
+    print(f"n+1={args.processes}  f={args.resilience}  "
+          f"faulty={result.faulty}")
+    print(f"steps={result.total_steps}  rounds={result.rounds}  "
+          f"distinct decisions={result.distinct_decisions} "
+          f"(bound {args.resilience})")
+    print("properties:", "OK" if result.ok else f"VIOLATED — {result.violations}")
+    return 0 if result.ok else 1
+
+
+def _cmd_extract(args) -> int:
+    system = System(args.processes)
+    env = (
+        Environment.wait_free(system)
+        if args.resilience is None
+        else Environment(system, args.resilience)
+    )
+    spec = make_detector(args.detector, env)
+    result = run_extraction_trial(
+        spec, env, seed=args.seed, stabilization_time=args.stabilization
+    )
+    output = sorted(result.output) if result.output is not None else None
+    print(f"source={spec.name}  environment=E_{env.f}  "
+          f"stabilization={args.stabilization}")
+    print(f"extracted Υ^{env.f} output: {output}  "
+          f"settle time: {result.output_settle_time}")
+    ok = result.stabilized and result.legal
+    print("extraction:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_theorem1(args) -> int:
+    system = System(args.processes)
+    result = run_theorem1_adversary(
+        _CANDIDATES[args.candidate](), system, phases=args.phases
+    )
+    print(f"candidate={args.candidate}  n+1={args.processes}  "
+          f"phases={args.phases}")
+    if result.stalled_at is None:
+        print(f"forced {result.flips} output changes in {result.steps} "
+              f"steps — the extracted Ωn output never stabilizes")
+    else:
+        print(f"candidate stalled in phase {result.stalled_at}; "
+              f"violating completion: {result.witness}")
+    print("refuted:", "YES" if result.refuted else "NO")
+    return 0 if result.refuted else 1
+
+
+def _cmd_run(args) -> int:
+    system = System(args.processes)
+    rng = random.Random(args.seed)
+    pattern = FailurePattern.random(system, rng, max_crash_time=50)
+    spec = UpsilonSpec(system)
+    history = spec.sample_history(pattern, rng, stabilization_time=100)
+    inputs = {p: f"v{p}" for p in system.pids}
+    sim = Simulation(system, make_upsilon_set_agreement(), inputs=inputs,
+                     pattern=pattern, history=history)
+    sim.run_until(Simulation.all_correct_decided, 500_000,
+                  RandomScheduler(args.seed))
+    print(f"pattern: {pattern.describe()}")
+    print(f"Υ stable value: {sorted(history.stable_value)}")
+    print(f"decisions: {sim.decisions()}")
+    verdict = SetAgreementSpec(system.n).check(sim, inputs)
+    print("properties:", "OK" if verdict.ok else "VIOLATED")
+    if args.show_trace:
+        print()
+        print(render_timeline(sim.trace, system.n_processes))
+        print()
+        print(render_summary(sim.trace, system.n_processes))
+    return 0 if verdict.ok else 1
+
+
+def _cmd_hierarchy(args) -> int:
+    from .core import DetectorHierarchy
+
+    system = System(args.processes)
+    env = (
+        Environment.wait_free(system)
+        if args.resilience is None
+        else Environment(system, args.resilience)
+    )
+    hierarchy = DetectorHierarchy(env)
+    print(f"detectors over n+1={args.processes}, E_{env.f}: "
+          f"{', '.join(hierarchy.detectors())}")
+    for weaker, edges in sorted(
+        (node, list(hierarchy.graph.out_edges(node)))
+        for node in hierarchy.graph.nodes
+    ):
+        for _, stronger in edges:
+            edge = hierarchy.graph.edges[weaker, stronger]["edge"]
+            marker = "≺" if edge.strict else "≤"
+            print(f"  {weaker} {marker} {stronger}: {edge.justification}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .analysis import run_campaign
+    from .core import make_upsilon_f_set_agreement, make_upsilon_set_agreement
+    from .detectors import UpsilonFSpec
+
+    def protocol(system, f):
+        if f == system.n:
+            return make_upsilon_set_agreement()
+        return make_upsilon_f_set_agreement(f)
+
+    def detector(system, env):
+        return UpsilonFSpec(env) if env.f < system.n else UpsilonSpec(system)
+
+    report = run_campaign(
+        protocol, lambda system, f: SetAgreementSpec(f), detector,
+        trials=args.trials, seed=args.seed,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(" ", failure)
+    return 0 if report.ok else 1
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "hierarchy": _cmd_hierarchy,
+    "campaign": _cmd_campaign,
+    "fig2": _cmd_fig2,
+    "extract": _cmd_extract,
+    "theorem1": _cmd_theorem1,
+    "run": _cmd_run,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Ablation studies — broken-on-purpose variants of the core mechanisms.
+
+Each public object here removes exactly one ingredient from a correct
+construction; the tests and benches then exhibit a concrete run where the
+removed ingredient was load-bearing.  DESIGN.md's design-choice table
+points at these.
+
+* :class:`NaiveConvergeInstance` — k-converge **without the second
+  phase**: commit directly when the phase-1 scan shows ≤ k values.
+  C-Agreement breaks: a solo early process sees only itself and commits,
+  later processes see everything, fail to commit and keep their own
+  values — more than k picks despite a commit.
+
+* :func:`make_gladiators_only_set_agreement` — Fig. 1 **without the
+  citizen path**: every process joins the ``(|U|−1)``-convergence even
+  when it is outside ``U``.  With a stable ``U`` of size 1 nobody can
+  ever commit (0-converge) and nobody publishes ``D[r]`` — livelock,
+  even though Υ behaved perfectly.
+
+* :func:`make_no_stability_flag_set_agreement` — Fig. 1 **without
+  line 16** (no Υ re-query, no ``Stable[r]`` flag): a process that enters
+  a round during the noisy prefix is stuck with its entry-time view
+  forever; if every process enters with ``U = {self}``, all run
+  0-converge forever and no citizen exists — livelock that the real
+  protocol escapes by reporting instability.
+
+* :class:`NoBorrowScanAPI` — the Afek-et-al. scan **without view
+  borrowing**: double-collect only.  A scanner running concurrently with
+  a perpetual updater never sees two equal collects and never returns —
+  wait-freedom breaks (the real construction borrows the mover's embedded
+  view after seeing it move twice).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..memory.snapshot import RegisterSnapshotAPI, nonbot_values
+from ..runtime.ops import BOT, Decide, QueryFD, Read, Write
+from ..runtime.process import ProcessContext, Protocol
+from .converge import ConvergeInstance
+from .set_agreement import DECISION, round_value_key
+
+
+class NaiveConvergeInstance(ConvergeInstance):
+    """k-converge with phase 2 removed (ablation: why commit needs the
+    second round of agreement on the *proposals*)."""
+
+    def converge(self, ctx: ProcessContext, value: Any):
+        if self.k == 0:
+            return value, False
+        yield from self._phase1.update(ctx.pid, value)
+        view1 = yield from self._phase1.scan()
+        seen = frozenset(nonbot_values(view1))
+        if len(seen) <= self.k:
+            return min(seen), True  # commit straight away — unsound
+        return value, False
+
+
+def make_gladiators_only_set_agreement() -> Protocol:
+    """Fig. 1 without citizens (ablation: why ``Π − U`` must publish)."""
+
+    def protocol(ctx: ProcessContext, value: Any):
+        n = ctx.system.n
+        n_procs = ctx.system.n_processes
+        est = value
+        r = 0
+        while True:
+            r += 1
+            top = ConvergeInstance(("nconv", r), n, n_procs)
+            est, committed = yield from top.converge(ctx, est)
+            if committed:
+                yield Write(DECISION, est)
+                yield Decide(est)
+                return est
+            u_set = frozenset((yield QueryFD()))
+            k = 0
+            while True:
+                k += 1
+                decision = yield Read(DECISION)
+                if decision is not BOT:
+                    yield Decide(decision)
+                    return decision
+                round_value = yield Read(round_value_key(r))
+                if round_value is not BOT:
+                    est = round_value
+                    break
+                # ABLATED: no citizen path — everyone converges on U.
+                sub = ConvergeInstance(
+                    ("gconv", r, k, u_set), len(u_set) - 1, n_procs
+                )
+                est, sub_committed = yield from sub.converge(ctx, est)
+                if sub_committed:
+                    yield Write(round_value_key(r), est)
+                    break
+
+    return protocol
+
+
+def make_no_stability_flag_set_agreement() -> Protocol:
+    """Fig. 1 without line 16 (ablation: why instability is reported)."""
+
+    def protocol(ctx: ProcessContext, value: Any):
+        n = ctx.system.n
+        n_procs = ctx.system.n_processes
+        est = value
+        r = 0
+        while True:
+            r += 1
+            top = ConvergeInstance(("nconv", r), n, n_procs)
+            est, committed = yield from top.converge(ctx, est)
+            if committed:
+                yield Write(DECISION, est)
+                yield Decide(est)
+                return est
+            u_set = frozenset((yield QueryFD()))  # queried once, kept forever
+            k = 0
+            while True:
+                k += 1
+                decision = yield Read(DECISION)
+                if decision is not BOT:
+                    yield Decide(decision)
+                    return decision
+                round_value = yield Read(round_value_key(r))
+                if round_value is not BOT:
+                    est = round_value
+                    break
+                if ctx.pid not in u_set:
+                    yield Write(round_value_key(r), est)
+                    break
+                sub = ConvergeInstance(
+                    ("gconv", r, k, u_set), len(u_set) - 1, n_procs
+                )
+                est, sub_committed = yield from sub.converge(ctx, est)
+                if sub_committed:
+                    yield Write(round_value_key(r), est)
+                    break
+                # ABLATED: no re-query, no Stable[r] write.
+
+    return protocol
+
+
+class NoBorrowScanAPI(RegisterSnapshotAPI):
+    """Afek-et-al. scan without the borrow rule (ablation: wait-freedom)."""
+
+    def scan(self):
+        previous = yield from self._collect()
+        while True:
+            current = yield from self._collect()
+            if all(
+                previous[i][0] == current[i][0] for i in range(self.n_cells)
+            ):
+                return self._values(current)
+            previous = current  # never borrows — may loop forever

@@ -1,0 +1,426 @@
+"""The adversarial constructions of Theorems 1 and 5.
+
+Theorem 1: Υ is strictly weaker than Ωn for ``n ≥ 2`` — no reduction
+algorithm can extract Ωn from Υ.  Theorem 5 generalizes: Υf is strictly
+weaker than Ωf for ``2 ≤ f ≤ n``.
+
+The proofs are adversary arguments.  Fix any candidate extractor ``A``
+(an algorithm using Υ that emits Ωn outputs).  The adversary builds a
+failure-free run in which Υ constantly outputs ``U = {p₁, …, p_n}`` (a
+legal history for *every* failure-free pattern, since ``U ≠ Π``) and
+drives the schedule:
+
+1. run ``p_{n+1}`` solo — indistinguishable from a run where everyone
+   else is faulty, so ``A`` must eventually output, at ``p_{n+1}``, a
+   process ``p_{i₁} ≠ p_{n+1}`` (its Ωn set must include the possibly-only
+   correct process ``p_{n+1}``);
+2. let every process take exactly one step, then run ``p_{i₁}`` solo —
+   again indistinguishable from "only ``p_{i₁}`` is correct" (and ``U``
+   stays legal because ``n ≥ 2``), forcing an output ``p_{i₂} ≠ p_{i₁}``;
+3. repeat forever.  The extracted output never stabilizes — yet the run
+   is failure-free and fair, so ``A`` is not a correct extractor.
+
+No finite program can quantify over *all* candidate extractors; this
+module implements the **adversary as a driver** that defeats any *given*
+candidate.  For each candidate the driver produces one of two refutations:
+
+* ``flips`` — the candidate's output was forced to change once per phase
+  (non-stabilization: flips grow linearly in the step budget), or
+* ``stalled + witness`` — some phase's solo process never produced the
+  required output; the driver then *completes* the partial run into a
+  concrete spec-violating run by crashing every other process (the
+  indistinguishable extension), yielding a checkable counterexample.
+
+Three natural candidate extractors are provided as the straw men the
+benchmarks defeat; users can plug in their own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional
+
+from ..detectors.base import StableHistory
+from ..failures.pattern import FailurePattern
+from ..runtime.ops import BOT, Emit, QueryFD, Read, Write
+from ..runtime.process import ProcessContext, Protocol, System
+from ..runtime.simulation import Simulation
+
+
+# ----------------------------------------------------------------------
+# Candidate Υ → Ωn extractors (straw men).
+# ----------------------------------------------------------------------
+
+
+def candidate_complement_extractor() -> Protocol:
+    """Emit ``Π − {min(U)}`` — a memoryless complement-style guess."""
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        while True:
+            upsilon = frozenset((yield QueryFD()))
+            excluded = min(upsilon)
+            yield Emit(ctx.system.pid_set - {excluded})
+
+    return protocol
+
+
+def candidate_heartbeat_extractor(fresh_window: int = 4) -> Protocol:
+    """Emit ``Π − {least recently active process}``.
+
+    Processes heartbeat counters; the emitted Ωn set excludes the process
+    whose counter has been frozen longest (own pid never excluded).  This
+    candidate adapts to schedules — and is exactly the kind the adversary
+    flips forever.
+    """
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        pids = list(ctx.system.pids)
+        beat = 0
+        last: dict[int, tuple] = {}
+        staleness: dict[int, int] = {j: 0 for j in pids}
+        while True:
+            beat += 1
+            yield Write(("HB", ctx.pid), beat)
+            for j in pids:
+                raw = yield Read(("HB", j))
+                if raw is BOT:
+                    staleness[j] += 1
+                elif last.get(j) == raw:
+                    staleness[j] += 1
+                else:
+                    last[j] = raw
+                    staleness[j] = 0
+            # Exclude the stalest process other than ourselves.
+            candidates = [j for j in pids if j != ctx.pid]
+            stalest = max(candidates, key=lambda j: (staleness[j], j))
+            if staleness[stalest] >= fresh_window:
+                yield Emit(ctx.system.pid_set - {stalest})
+            else:
+                yield Emit(ctx.system.pid_set - {min(ctx.system.complement([ctx.pid]))})
+
+    return protocol
+
+
+def candidate_sticky_extractor(patience: int = 8) -> Protocol:
+    """A hysteresis candidate: like the heartbeat one, but it changes its
+    output only after ``patience`` consecutive contradicting observations."""
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        pids = list(ctx.system.pids)
+        beat = 0
+        last: dict[int, Any] = {}
+        staleness: dict[int, int] = {j: 0 for j in pids}
+        current_excluded: Optional[int] = None
+        votes = 0
+        while True:
+            beat += 1
+            yield Write(("HB", ctx.pid), beat)
+            for j in pids:
+                raw = yield Read(("HB", j))
+                if raw is not BOT and last.get(j) != raw:
+                    last[j] = raw
+                    staleness[j] = 0
+                else:
+                    staleness[j] += 1
+            candidates = [j for j in pids if j != ctx.pid]
+            stalest = max(candidates, key=lambda j: (staleness[j], j))
+            if current_excluded is None:
+                current_excluded = stalest
+            elif stalest != current_excluded:
+                votes += 1
+                if votes >= patience:
+                    current_excluded = stalest
+                    votes = 0
+            else:
+                votes = 0
+            yield Emit(ctx.system.pid_set - {current_excluded})
+
+    return protocol
+
+
+# ----------------------------------------------------------------------
+# The adversary drivers.
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class AdversaryResult:
+    """Outcome of one adversarial drive against a candidate extractor."""
+
+    #: Number of phases in which the output was forced to change.
+    flips: int
+    #: The sequence of solo targets (p_{i₁}, p_{i₂}, …) / solo sets.
+    phase_targets: List[Any]
+    #: Phase index at which the candidate stalled, or None.
+    stalled_at: Optional[int]
+    #: If stalled: the emitted value the candidate was stuck on.
+    stuck_output: Optional[Any]
+    #: If stalled: description of the spec-violating completion.
+    witness: Optional[str]
+    #: Total steps driven.
+    steps: int
+
+    @property
+    def refuted(self) -> bool:
+        """The candidate was refuted (it always is, one way or the other,
+        when driven long enough)."""
+        return self.flips > 0 or self.stalled_at is not None
+
+
+def _upsilon_constant_history(system: System) -> StableHistory:
+    """Υ permanently outputting ``{p₁, …, p_n}`` (pids 0..n−1): legal for
+    every failure-free pattern since the set omits ``p_{n+1}``."""
+    return StableHistory(frozenset(range(system.n)), stabilization_time=0)
+
+
+def _emitted_leader_complement(system: System, emitted: Any) -> Optional[int]:
+    """Interpret an emitted Ωn value: return ``pc`` with ``{pc} = Π − L``."""
+    if emitted is None:
+        return None
+    try:
+        excluded = system.pid_set - frozenset(emitted)
+    except TypeError:
+        return None
+    if len(frozenset(emitted)) != system.n or len(excluded) != 1:
+        return None
+    (pc,) = excluded
+    return pc
+
+
+def run_theorem1_adversary(
+    candidate: Protocol,
+    system: System,
+    phases: int = 10,
+    solo_budget: int = 4_000,
+    stability_window: int = 50,
+) -> AdversaryResult:
+    """Drive the Theorem 1 adversary against a candidate Υ → Ωn extractor.
+
+    Returns an :class:`AdversaryResult`; see the module docstring for the
+    two refutation modes.
+    """
+    if system.n < 2:
+        raise ValueError("Theorem 1 requires n >= 2 (Υ ≡ Ω for n = 1)")
+    history = _upsilon_constant_history(system)
+    sim = Simulation(
+        system,
+        candidate,
+        inputs={},
+        pattern=FailurePattern.failure_free(system),
+        history=history,
+    )
+    current = system.n  # start with p_{n+1}
+    targets: List[int] = []
+    flips = 0
+    for phase in range(phases):
+        target = _drive_solo_until_output(
+            sim, current, solo_budget, stability_window, system
+        )
+        if target is None:
+            witness = (
+                f"crash Π − {{p{current}}} now: the run so far is "
+                f"indistinguishable from one where p{current} is the only "
+                f"correct process and Υ's output stays legal, yet the "
+                f"candidate's emitted Ωn set excludes no-one sensible / "
+                f"never settles on a set containing p{current}'s potential "
+                f"loneliness — Ωn's 'contains a correct process' fails"
+            )
+            return AdversaryResult(
+                flips=flips,
+                phase_targets=targets,
+                stalled_at=phase,
+                stuck_output=sim.runtimes[current].emitted,
+                witness=witness,
+                steps=sim.time,
+            )
+        targets.append(target)
+        flips += 1
+        # Every process takes exactly one step, then switch solo target.
+        for pid in system.pids:
+            sim.step(pid)
+        current = target
+    return AdversaryResult(
+        flips=flips,
+        phase_targets=targets,
+        stalled_at=None,
+        stuck_output=None,
+        witness=None,
+        steps=sim.time,
+    )
+
+
+def _drive_solo_until_output(
+    sim: Simulation,
+    pid: int,
+    budget: int,
+    window: int,
+    system: System,
+) -> Optional[int]:
+    """Solo-run ``pid`` until it stably emits an Ωn set excluding a process
+    other than itself; return that process, or None on stall."""
+    stable_for = 0
+    last_pc: Optional[int] = None
+    for _ in range(budget):
+        sim.step(pid)
+        pc = _emitted_leader_complement(system, sim.runtimes[pid].emitted)
+        if pc is not None and pc != pid:
+            if pc == last_pc:
+                stable_for += 1
+                if stable_for >= window:
+                    return pc
+            else:
+                last_pc = pc
+                stable_for = 1
+        else:
+            last_pc = None
+            stable_for = 0
+    return None
+
+
+# ----------------------------------------------------------------------
+# Theorem 5: the f-resilient generalization.
+# ----------------------------------------------------------------------
+
+
+def candidate_complement_extractor_f(f: int) -> Protocol:
+    """A memoryless Υf → Ωf straw man: emit the ``f`` largest pids of
+    ``Π − U`` padded from ``U``."""
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        pids = sorted(ctx.system.pids, reverse=True)
+        while True:
+            upsilon = frozenset((yield QueryFD()))
+            outside = [p for p in pids if p not in upsilon]
+            padded = (outside + [p for p in pids if p in upsilon])[:f]
+            yield Emit(frozenset(padded))
+
+    return protocol
+
+
+def candidate_heartbeat_extractor_f(f: int, fresh_window: int = 4) -> Protocol:
+    """Adaptive Υf → Ωf straw man: emit the ``f`` stalest processes
+    (never including own pid while fresher choices exist)."""
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        pids = list(ctx.system.pids)
+        beat = 0
+        last: dict[int, Any] = {}
+        staleness: dict[int, int] = {j: 0 for j in pids}
+        while True:
+            beat += 1
+            yield Write(("HB", ctx.pid), beat)
+            for j in pids:
+                raw = yield Read(("HB", j))
+                if raw is not BOT and last.get(j) != raw:
+                    last[j] = raw
+                    staleness[j] = 0
+                else:
+                    staleness[j] += 1
+            ranked = sorted(
+                (j for j in pids if j != ctx.pid),
+                key=lambda j: (-staleness[j], j),
+            )
+            yield Emit(frozenset(ranked[:f]))
+
+    return protocol
+
+
+def run_theorem5_adversary(
+    candidate: Protocol,
+    system: System,
+    f: int,
+    phases: int = 10,
+    solo_budget: int = 6_000,
+    stability_window: int = 50,
+) -> AdversaryResult:
+    """Drive the Theorem 5 adversary against a candidate Υf → Ωf extractor.
+
+    Each phase lets every process take one step, then runs only the
+    processes *outside* the currently emitted set ``L`` (round-robin) —
+    indistinguishable from all of ``L`` being faulty — until some stepping
+    process stably emits a set ``L' ≠ L``.
+    """
+    if not 2 <= f <= system.n:
+        raise ValueError("Theorem 5 requires 2 <= f <= n")
+    history = _upsilon_constant_history(system)  # |U| = n > n+1-f, legal
+    sim = Simulation(
+        system,
+        candidate,
+        inputs={},
+        pattern=FailurePattern.failure_free(system),
+        history=history,
+    )
+
+    def emitted_set(pid: int) -> Optional[frozenset]:
+        emitted = sim.runtimes[pid].emitted
+        if emitted is None:
+            return None
+        value = frozenset(emitted)
+        return value if len(value) == f else None
+
+    # Phase 0: free run (everyone steps) until some process emits a set L1.
+    current_l: Optional[frozenset] = None
+    for _ in range(solo_budget):
+        for pid in system.pids:
+            sim.step(pid)
+        sets = [s for pid in system.pids if (s := emitted_set(pid))]
+        if sets:
+            current_l = sets[0]
+            break
+    if current_l is None:
+        return AdversaryResult(0, [], 0, None, "no Ωf output ever emitted", sim.time)
+
+    targets: List[frozenset] = [current_l]
+    flips = 0
+    for phase in range(phases):
+        runners = sorted(system.pid_set - current_l)
+        new_l = None
+        stable_for = 0
+        last_seen: Optional[frozenset] = None
+        for pid in system.pids:  # everyone takes exactly one step
+            sim.step(pid)
+        for i in range(solo_budget):
+            sim.step(runners[i % len(runners)])
+            observed = [
+                s
+                for pid in runners
+                if (s := emitted_set(pid)) is not None and s != current_l
+            ]
+            if observed:
+                if observed[0] == last_seen:
+                    stable_for += 1
+                    if stable_for >= stability_window:
+                        new_l = observed[0]
+                        break
+                else:
+                    last_seen = observed[0]
+                    stable_for = 1
+            else:
+                last_seen = None
+                stable_for = 0
+        if new_l is None:
+            witness = (
+                f"crash L = {sorted(current_l)} now (|L| = {f} ≤ f): the "
+                f"run extends to one where correct(F) = Π − L, the Υf "
+                f"history stays legal, and the candidate's stable output "
+                f"L contains no correct process — Ωf violated"
+            )
+            return AdversaryResult(
+                flips=flips,
+                phase_targets=targets,
+                stalled_at=phase,
+                stuck_output=current_l,
+                witness=witness,
+                steps=sim.time,
+            )
+        flips += 1
+        targets.append(new_l)
+        current_l = new_l
+    return AdversaryResult(
+        flips=flips,
+        phase_targets=targets,
+        stalled_at=None,
+        stuck_output=None,
+        witness=None,
+        steps=sim.time,
+    )

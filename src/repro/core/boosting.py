@@ -1,0 +1,157 @@
+"""Consensus algorithms for the Corollary 4 context.
+
+Corollary 4 separates two classical ways of beating asynchrony:
+
+* solving **n-set agreement with registers** — doable with Υ (Fig. 1);
+* solving **(n+1)-process consensus using n-process consensus objects**
+  — doable with Ωn (Yang–Neiger–Gafni [21]) and *requiring* Ωn
+  (Guerraoui–Kuznetsov [13]).
+
+Since Υ is strictly weaker than Ωn (Theorem 1), every detector for the
+second problem solves the first, but not vice versa.  This module makes
+both sides runnable:
+
+* :func:`make_omega_consensus` — consensus from Ω + registers (the
+  ``n = 1`` base case, and a substrate in its own right): a round-based
+  leader algorithm using 1-converge (commit-adopt).
+* :func:`make_boosted_consensus` — (n+1)-process consensus from
+  ``n``-process consensus *objects* + registers + Ωn: in each round the
+  current Ωn set (at most ``n`` processes) agrees through a typed
+  ``n``-consensus object and publishes the result; everybody then runs
+  commit-adopt on it.  The ``m``-process access restriction is enforced
+  by :class:`repro.memory.base.ConsensusObject`, so a run of this
+  protocol is also a machine-checked witness that only ``n``-process
+  objects were used.
+
+Both protocols decide via the shared register ``D`` exactly like Fig. 1,
+so Agreement reduces to the C-Agreement of the first committing
+1-converge instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..memory.base import Memory
+from ..runtime.ops import BOT, Decide, QueryFD, Read, Write
+from ..runtime.process import ProcessContext, Protocol, System
+from .converge import ConvergeInstance
+from .set_agreement import DECISION
+
+
+def leader_value_key(r: int) -> tuple:
+    """``L[r]`` — the round-r leader proposal register."""
+    return ("L", r)
+
+
+def round_result_key(r: int) -> tuple:
+    """``V[r]`` — the round-r boosted-object result register."""
+    return ("V", r)
+
+
+def make_omega_consensus(register_based: bool = False) -> Protocol:
+    """Consensus from Ω and registers.
+
+    Round ``r``: the process that considers itself leader writes its
+    estimate to ``L[r]``; everyone waits for ``L[r]`` (or a leader change,
+    or a decision), then runs 1-converge on the awaited value.  A commit
+    is written to ``D`` and decided.  Once Ω stabilizes on a correct
+    leader, a round is eventually entered in which every participant
+    converges on the leader's single value, so 1-converge commits.
+    """
+
+    def protocol(ctx: ProcessContext, value: Any):
+        est = value
+        r = 0
+        while True:
+            r += 1
+            leader = yield QueryFD()
+            if leader == ctx.pid:
+                yield Write(leader_value_key(r), est)
+            proposal = None
+            while proposal is None:
+                decision = yield Read(DECISION)
+                if decision is not BOT:
+                    yield Decide(decision)
+                    return decision
+                published = yield Read(leader_value_key(r))
+                if published is not BOT:
+                    proposal = published
+                    break
+                leader_now = yield QueryFD()
+                if leader_now != leader:
+                    proposal = est  # give up on this round's leader
+            conv = ConvergeInstance(
+                ("omega-cons", r),
+                1,
+                ctx.system.n_processes,
+                register_based=register_based,
+            )
+            est, committed = yield from conv.converge(ctx, proposal)
+            if committed:
+                yield Write(DECISION, est)
+                yield Decide(est)
+                return est
+
+    return protocol
+
+
+def make_boosted_consensus(register_based: bool = False) -> Protocol:
+    """(n+1)-process consensus from n-consensus objects, registers and Ωn.
+
+    Round ``r``: let ``L`` be the Ωn output (``|L| = n``).  Processes in
+    ``L`` propose their estimates to the ``n``-process consensus object
+    keyed ``("boost", r, L)`` — at most the ``n`` members of ``L`` ever
+    touch one object, satisfying its type restriction — and publish the
+    object's decision in ``V[r]``.  Processes outside ``L`` wait for
+    ``V[r]`` (or an Ωn change, or a decision).  All participants then run
+    1-converge on the awaited value; commits decide through ``D``.
+
+    Once Ωn stabilizes on a set ``L*`` containing a correct process, that
+    process eventually publishes ``V[r]`` and every participant of round
+    ``r`` converges on the same single value.
+    """
+    from ..runtime.ops import ConsensusPropose
+
+    def protocol(ctx: ProcessContext, value: Any):
+        est = value
+        r = 0
+        while True:
+            r += 1
+            leaders = frozenset((yield QueryFD()))
+            if ctx.pid in leaders:
+                agreed = yield ConsensusPropose(("boost", r, leaders), est)
+                yield Write(round_result_key(r), agreed)
+            proposal = None
+            while proposal is None:
+                decision = yield Read(DECISION)
+                if decision is not BOT:
+                    yield Decide(decision)
+                    return decision
+                published = yield Read(round_result_key(r))
+                if published is not BOT:
+                    proposal = published
+                    break
+                leaders_now = frozenset((yield QueryFD()))
+                if leaders_now != leaders:
+                    proposal = est
+            conv = ConvergeInstance(
+                ("boost-cons", r),
+                1,
+                ctx.system.n_processes,
+                register_based=register_based,
+            )
+            est, committed = yield from conv.converge(ctx, proposal)
+            if committed:
+                yield Write(DECISION, est)
+                yield Decide(est)
+                return est
+
+    return protocol
+
+
+def boosted_consensus_memory(system: System) -> Memory:
+    """A memory whose lazily-created consensus objects are ``n``-process
+    typed — run :func:`make_boosted_consensus` with this memory so the
+    access restriction is enforced."""
+    return Memory(system, default_consensus_m=system.n)

@@ -1,0 +1,66 @@
+"""Online composition of protocols with failure-detector reductions.
+
+``weaker than`` (Sect. 3.5) means algorithms designed for detector ``D``
+can run in systems equipped with ``D′`` by interposing the reduction.  For
+the *pointwise* reductions of Sect. 4/5.3 (complement, padding, election —
+the edges of :class:`~repro.core.hierarchy.DetectorHierarchy`), the
+interposition is a pure function on query responses, and
+:func:`with_fd_transform` applies it **online**: every ``QueryFD`` step of
+the wrapped protocol receives the transformed value, all other steps pass
+through untouched.  The step count is exactly preserved — the combinator
+adds no steps, faithfully modelling "the same algorithm, reading the
+derived module".
+
+Examples this enables (both tested):
+
+* consensus from Υ for two processes — `make_omega_consensus()` wrapped
+  with the Υ → Ω map (the paper's n = 1 equivalence, Sect. 4);
+* n-set agreement from Ωn — Fig. 1 wrapped with the complement map
+  (Corollary 3's easy direction), against an *actual* Ωn history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..runtime.ops import QueryFD
+from ..runtime.process import ProcessContext, Protocol
+
+#: A per-process pointwise reduction: (ctx, queried value) -> derived value.
+ContextTransform = Callable[[ProcessContext, Any], Any]
+
+
+def with_fd_transform(protocol: Protocol, transform: ContextTransform) -> Protocol:
+    """Run ``protocol`` with every detector query mapped through
+    ``transform`` (which may depend on the querying process's context,
+    e.g. "emit own pid when the complement is empty")."""
+
+    def wrapped(ctx: ProcessContext, value: Any):
+        inner = protocol(ctx, value)
+        try:
+            op = next(inner)
+            while True:
+                response = yield op
+                if isinstance(op, QueryFD):
+                    response = transform(ctx, response)
+                op = inner.send(response)
+        except StopIteration as stop:
+            return stop.value
+
+    return wrapped
+
+
+def upsilon_to_omega_two_process_transform(ctx: ProcessContext, upsilon) -> int:
+    """The Sect. 4 two-process map: complement singleton, else own pid."""
+    rest = ctx.system.pid_set - frozenset(upsilon)
+    if len(rest) == 1:
+        (leader,) = rest
+        return leader
+    return ctx.pid
+
+
+def omega_k_complement_transform(ctx: ProcessContext, leaders) -> frozenset:
+    """Ωk → Υ^{n+1−k}: the complement map (accepts Ω's scalar too)."""
+    if isinstance(leaders, int):
+        leaders = (leaders,)
+    return ctx.system.complement(leaders)

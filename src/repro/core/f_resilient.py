@@ -1,0 +1,155 @@
+"""Fig. 2 — the Υf-based f-resilient f-set-agreement protocol (Sect. 5.3).
+
+Structure follows Fig. 1 (:mod:`repro.core.set_agreement`), with two
+changes mandated by the weaker resilience:
+
+* the top-of-round convergence is ``f``-converge (at most ``f`` values may
+  be decided);
+* the gladiators — now at least ``n + 1 − f`` of them, since
+  ``|U| ≥ n + 1 − f`` — must jointly commit on at most
+  ``|U| + f − n − 1`` values, so that together with the at most
+  ``n + 1 − |U|`` citizen values at most ``f`` distinct values survive a
+  round.  They achieve this with an **atomic snapshot** ``A[r][k]``
+  (lines 15–30): each gladiator updates its value, then repeatedly scans
+  until the view has at least ``n + 1 − f`` non-⊥ entries (line 19);
+  because all views of one snapshot object are related by containment and
+  (when at least one gladiator is faulty and no citizen writes) contain at
+  most ``|U| − 1`` entries, at most ``|U| + f − n − 1`` *distinct* views —
+  hence minima (line 25) — are possible, and
+  ``(|U| + f − n − 1)``-converge commits (line 26).
+
+The waiting loop of lines 17–19 is the one *blocking* element; a waiting
+gladiator periodically re-checks ``D``, ``D[r]`` and ``Stable[r]`` and
+re-queries Υf, exactly the escapes the Theorem 6 termination proof uses.
+
+``0``-converge (the ``|U| = n + 1 − f`` case) never commits, and indeed
+then some correct citizen must exist (``C ⊆ U`` with ``|U| = n + 1 − f``
+would force ``U = C``, which Υf forbids), so ``D[r]`` is eventually
+written.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..memory.snapshot import make_snapshot_api, nonbot_count, nonbot_values
+from ..runtime.ops import BOT, Decide, QueryFD, Read, Write
+from ..runtime.process import ProcessContext, Protocol
+from .converge import ConvergeInstance
+from .set_agreement import DECISION, round_value_key, stable_flag_key
+
+
+def make_upsilon_f_set_agreement(
+    f: int, register_based: bool = False
+) -> Protocol:
+    """Build the Fig. 2 protocol for resilience ``f``.
+
+    Parameters
+    ----------
+    f:
+        Maximum number of crashes (``1 ≤ f ≤ n``); the protocol solves
+        f-set agreement in ``E_f`` given a Υf history
+        (:class:`~repro.detectors.upsilon.UpsilonFSpec`).
+    register_based:
+        Use register-built snapshots for both the converge instances and
+        the ``A[r][k]`` objects.
+    """
+    if f < 1:
+        raise ValueError("f-resilient set agreement needs f >= 1")
+
+    def protocol(ctx: ProcessContext, value: Any):
+        n = ctx.system.n
+        n_procs = ctx.system.n_processes
+        min_correct = n_procs - f  # n + 1 − f
+        est = value
+        r = 0
+        while True:
+            r += 1
+            # Line 4 analogue: try to commit via f-convergence.
+            top = ConvergeInstance(
+                ("fconv", r), f, n_procs, register_based=register_based
+            )
+            est, committed = yield from top.converge(ctx, est)
+            if committed:
+                yield Write(DECISION, est)
+                yield Decide(est)
+                return est
+
+            upsilon = yield QueryFD()
+            u_set = frozenset(upsilon)
+
+            k = 0
+            while True:
+                k += 1
+                decision = yield Read(DECISION)
+                if decision is not BOT:
+                    yield Decide(decision)
+                    return decision
+                round_value = yield Read(round_value_key(r))
+                if round_value is not BOT:
+                    est = round_value
+                    break
+                stable_flag = yield Read(stable_flag_key(r))
+                if stable_flag is not BOT:
+                    break
+
+                if ctx.pid not in u_set:
+                    # Line 11: citizen publishes its value.
+                    yield Write(round_value_key(r), est)
+                    break
+
+                # Lines 15-16: gladiator publishes est in A[r][k].
+                board = make_snapshot_api(
+                    ("A", r, k, u_set), n_procs, register_based
+                )
+                yield from board.update(ctx.pid, est)
+
+                # Lines 17-19: wait for >= n+1-f entries, with escapes.
+                view = None
+                escape = None  # None | "decide" | "adopt" | "break"
+                while True:
+                    view = yield from board.scan()
+                    if nonbot_count(view) >= min_correct:
+                        break
+                    decision = yield Read(DECISION)
+                    if decision is not BOT:
+                        yield Decide(decision)
+                        return decision
+                    round_value = yield Read(round_value_key(r))
+                    if round_value is not BOT:
+                        est = round_value
+                        escape = "adopt"
+                        break
+                    stable_flag = yield Read(stable_flag_key(r))
+                    if stable_flag is not BOT:
+                        escape = "break"
+                        break
+                    upsilon_now = yield QueryFD()
+                    if frozenset(upsilon_now) != u_set:
+                        yield Write(stable_flag_key(r), True)
+                        escape = "break"
+                        break
+                if escape is not None:
+                    break  # to next round (est possibly adopted)
+
+                # Line 25: adopt the minimum of the latest snapshot.
+                est = min(nonbot_values(view))
+
+                # Line 26: (|U| + f − n − 1)-converge on the adopted value.
+                sub = ConvergeInstance(
+                    ("gfconv", r, k, u_set),
+                    len(u_set) + f - n - 1,
+                    n_procs,
+                    register_based=register_based,
+                )
+                est, sub_committed = yield from sub.converge(ctx, est)
+                if sub_committed:
+                    yield Write(round_value_key(r), est)
+                    break
+
+                upsilon_now = yield QueryFD()
+                if frozenset(upsilon_now) != u_set:
+                    yield Write(stable_flag_key(r), True)
+                    break
+
+    return protocol

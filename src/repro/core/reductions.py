@@ -1,0 +1,125 @@
+"""Constructive failure-detector reductions (Sect. 4 and 5.3).
+
+A reduction algorithm using ``D'`` *extracts* the output of ``D`` when it
+maintains a distributed variable ``D-output`` whose values form a legal
+history of ``D`` for the current failure pattern (Sect. 3.5); then ``D`` is
+*weaker than* ``D'``.  Our reduction protocols publish ``D-output`` with
+``Emit`` steps; tests check the emitted values stabilize on a value that
+the target detector's spec deems legal.
+
+Shipped reductions:
+
+* :func:`make_omega_k_to_upsilon_f` — Ωf → Υf (and Ωn → Υ): emit the
+  complement ``Π − L``.  Since the stable ``L`` contains a correct process,
+  ``Π − L`` misses one, so it cannot be the correct set; its size is
+  ``n + 1 − f``.
+* :func:`make_omega_to_upsilon` — Ω → Υ: emit ``Π − {leader}``; the stable
+  leader is correct, so the complement is not the correct set.
+* :func:`make_upsilon_to_omega_two_processes` — Υ → Ω for ``n = 1``
+  (Sect. 4: with two processes Υ and Ω are equivalent): emit the
+  complement of ``U`` when it is a singleton, else own id.
+* :func:`make_upsilon1_to_omega` — Υ¹ → Ω in ``E₁`` (Sect. 5.3): processes
+  heartbeat ever-growing timestamps; on ``U = Π`` (exactly one faulty
+  process) elect the smallest id among the ``n`` most recently active
+  processes, otherwise elect the one process outside ``U``.
+
+Theorem 1 (:mod:`repro.core.adversary`) shows the missing direction —
+Υ → Ωn — cannot exist for ``n ≥ 2``, which is the paper's separation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..runtime.ops import BOT, Emit, QueryFD, Read, Write
+from ..runtime.process import ProcessContext, Protocol
+
+
+def make_omega_k_to_upsilon_f() -> Protocol:
+    """Ωk → Υ^{n+1−k}: forever emit the complement of the Ωk output.
+
+    With ``k = f`` this is the paper's Ωf → Υf (Sect. 5.3); with
+    ``k = n`` it is Ωn → Υ (Sect. 4).
+    """
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        while True:
+            leaders = yield QueryFD()
+            yield Emit(ctx.system.complement(leaders))
+
+    return protocol
+
+
+def make_omega_to_upsilon() -> Protocol:
+    """Ω → Υ: forever emit ``Π − {leader}`` (any ``n ≥ 1``)."""
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        while True:
+            leader = yield QueryFD()
+            yield Emit(ctx.system.pid_set - {leader})
+
+    return protocol
+
+
+def make_upsilon_to_omega_two_processes() -> Protocol:
+    """Υ → Ω for ``n = 1`` (two processes).
+
+    Emit the complement of ``U`` when it is a singleton; with ``U = Π``
+    (legal only when the other process is faulty) emit own id.
+    """
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        if ctx.system.n_processes != 2:
+            raise ValueError("this equivalence is the two-process case")
+        while True:
+            upsilon = frozenset((yield QueryFD()))
+            rest = ctx.system.pid_set - upsilon
+            if len(rest) == 1:
+                (leader,) = rest
+                yield Emit(leader)
+            else:
+                yield Emit(ctx.pid)
+
+    return protocol
+
+
+def heartbeat_key(pid: int) -> tuple:
+    """The timestamp register of the Υ¹ → Ω reduction."""
+    return ("TS", pid)
+
+
+def make_upsilon1_to_omega() -> Protocol:
+    """Υ¹ → Ω in ``E₁`` (Sect. 5.3).
+
+    Every process writes ever-growing timestamps.  If Υ¹ outputs a proper
+    subset ``U ⊊ Π`` (of size ``n``), elect the process ``Π − U``; if it
+    outputs ``Π`` (exactly one process is faulty), elect the smallest id
+    among the ``n`` processes with the highest timestamps — eventually the
+    crashed process's timestamp freezes below all others, so the election
+    stabilizes on a correct process.
+    """
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        pids = list(ctx.system.pids)
+        counter = 0
+        while True:
+            counter += 1
+            yield Write(heartbeat_key(ctx.pid), counter)
+            upsilon = frozenset((yield QueryFD()))
+            rest = ctx.system.pid_set - upsilon
+            if len(rest) == 1:
+                (leader,) = rest
+                yield Emit(leader)
+                continue
+            # U = Π: rank processes by observed activity.
+            stamps = []
+            for j in pids:
+                raw = yield Read(heartbeat_key(j))
+                stamps.append((0 if raw is BOT else raw, -j))
+            # Drop the least active process (ties broken toward dropping
+            # the higher id), elect the smallest id among the rest.
+            ranked = sorted(zip(stamps, pids))  # ascending activity
+            survivors = [pid for (_, pid) in ranked[1:]]
+            yield Emit(min(survivors))
+
+    return protocol

@@ -1,0 +1,155 @@
+"""f-resilient samples and the maps ϕD (Sect. 6.3, Lemma 8 / Corollary 9).
+
+A sequence ``σ ∈ (Π × R)^∞`` is an *f-resilient sample* of detector ``D``
+if the values of ``σ`` could have been observed, in order, by the
+processes of ``σ`` in some run over a pattern of ``E_f`` — and
+``correct(σ)`` (the processes appearing infinitely often) has at least
+``n + 1 − f`` members.
+
+Corollary 9 says every f-non-trivial ``D`` admits a map ϕD carrying each
+range value ``d`` to ``(correct(σ), w(σ))`` for some σ ∈ (Π × {d})^∞ that
+is **not** a sample; the paper's proof of existence is non-constructive.
+For the stable detectors shipped in this library we can make ϕD explicit:
+
+*For a stable detector, the constantly-``d`` sequence over a candidate
+correct set ``C`` is a sample iff ``d`` is a legal stable value for a
+pattern with ``correct(F) = C``.*  (⇐ immediate; ⇒ because a stable
+history eventually sticks to one value, and a value observed at correct
+processes infinitely often must be the stable one.)
+
+All our detector specifications are closed under indistinguishability —
+their legal stable values depend on ``F`` only through ``correct(F)`` — so
+"some pattern with correct set C" reduces to one canonical pattern (the
+initially-dead one).  The generic map :class:`PhiMap` therefore scans the
+candidate correct sets of the environment in a fixed order and returns the
+first ``C`` for which ``d`` is illegal, with ``w = 0`` (σ contains only
+steps of ``C``, so its shortest all-finite-steps prefix is empty).
+
+If *no* such ``C`` exists for some ``d``, the constantly-``d`` history is
+a legal stabilization for every pattern — then ``D`` is implementable from
+the dummy detector ``I_d`` and hence f-trivial (the argument of Lemma 8),
+and :class:`PhiMap` raises :class:`TrivialDetectorError`.
+
+``w(σ) > 0`` maps are also valid (prepending finitely many steps of
+processes outside ``C`` cannot turn a non-sample into a sample, by the
+contrapositive of Lemma 7); :class:`ShiftedPhiMap` produces them to
+exercise the batch-observation path of the Fig. 3 reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple
+
+from ..detectors.base import DetectorSpec
+from ..failures.environment import Environment
+from ..failures.pattern import FailurePattern
+from ..runtime.errors import ReproError
+
+
+class TrivialDetectorError(ReproError):
+    """Raised when no incompatible correct set exists for a value — the
+    detector admits a dummy implementation and Theorem 10 does not apply."""
+
+
+#: A ϕD entry: (the set correct(σ), the prefix length w(σ)).
+PhiEntry = Tuple[frozenset, int]
+
+
+def canonical_pattern(env: Environment, correct: frozenset) -> FailurePattern:
+    """The initially-dead pattern with the given correct set."""
+    return env.initially_dead(env.system.pid_set - correct)
+
+
+def is_forever_sample(
+    spec: DetectorSpec, env: Environment, value: Any, correct: frozenset
+) -> bool:
+    """Is the constantly-``value`` sequence over ``correct`` an f-resilient
+    sample of ``spec``?
+
+    By the stable-detector characterization above this holds iff ``value``
+    is a legal stable value for the canonical pattern with that correct
+    set (our specs being indistinguishability-closed).
+    """
+    if len(correct) < env.min_correct:
+        return False
+    pattern = canonical_pattern(env, correct)
+    return spec.is_legal_stable_value(pattern, value)
+
+
+class PhiMap:
+    """The constructive ϕD for a stable detector in an environment.
+
+    Deterministic: candidate correct sets are scanned in a fixed order
+    (increasing size, then lexicographic), so every process computes the
+    same entry for the same value — the property Fig. 3 relies on.
+    """
+
+    def __init__(self, spec: DetectorSpec, env: Environment):
+        self.spec = spec
+        self.env = env
+        self._cache: Dict[Hashable, PhiEntry] = {}
+        self._candidates = sorted(
+            env.correct_set_candidates(), key=lambda s: (len(s), sorted(s))
+        )
+
+    def __call__(self, value: Any) -> PhiEntry:
+        key = self._freeze(value)
+        if key not in self._cache:
+            self._cache[key] = self._compute(value)
+        return self._cache[key]
+
+    @staticmethod
+    def _freeze(value: Any) -> Hashable:
+        if isinstance(value, (set, frozenset)):
+            return frozenset(value)
+        if isinstance(value, list):
+            return tuple(value)
+        return value
+
+    def _compute(self, value: Any) -> PhiEntry:
+        for candidate in self._candidates:
+            if not is_forever_sample(self.spec, self.env, value, candidate):
+                return candidate, 0
+        raise TrivialDetectorError(
+            f"{self.spec.name}: value {value!r} is a legal stable output "
+            f"for every correct set in E_{self.env.f} — the detector is "
+            "f-trivial and Υf cannot be extracted from it"
+        )
+
+
+class ShiftedPhiMap:
+    """Wrap a ϕ map, forcing ``w(σ) = shift > 0`` on every entry.
+
+    Valid by Lemma 7's contrapositive: extending a non-sample σ with a
+    finite prefix of steps by the other processes leaves it a non-sample.
+    Exists purely to exercise the batch-observation wait (line 15 of
+    Fig. 3) in tests and benchmarks.
+    """
+
+    def __init__(self, inner, shift: int):
+        if shift < 1:
+            raise ValueError("shift must be positive; use the inner map")
+        self._inner = inner
+        self.shift = shift
+
+    def __call__(self, value: Any) -> PhiEntry:
+        correct, _ = self._inner(value)
+        return correct, self.shift
+
+
+def assert_valid_phi_entry(
+    spec: DetectorSpec, env: Environment, value: Any, entry: PhiEntry
+) -> None:
+    """Check a ϕ entry: the set must be large enough and genuinely
+    incompatible with the value (used by the property-based tests)."""
+    correct, w = entry
+    if w < 0:
+        raise AssertionError("w(σ) must be non-negative")
+    if len(correct) < env.min_correct:
+        raise AssertionError(
+            f"|correct(σ)| = {len(correct)} < n+1−f = {env.min_correct}"
+        )
+    if is_forever_sample(spec, env, value, correct):
+        raise AssertionError(
+            f"ϕ({value!r}) = {sorted(correct)} is a sample — entry invalid"
+        )

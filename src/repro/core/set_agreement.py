@@ -1,0 +1,144 @@
+"""Fig. 1 — the Υ-based n-set-agreement protocol (Sect. 5.2, Theorem 2).
+
+The protocol proceeds in rounds.  In round ``r``:
+
+* **line 4** — processes first try to agree via ``n``-converge[r]; a
+  process that commits writes its value to the decision register ``D`` and
+  decides (lines 5–6).
+* A process that fails to commit queries Υ; let ``U`` be the output.  It
+  then cyclically executes the sub-round procedure (lines 12–17):
+
+  - a **citizen** (``p ∉ U``) writes its value to ``D[r]`` and proceeds to
+    round ``r + 1``;
+  - a **gladiator** (``p ∈ U``) joins ``(|U|−1)``-converge[r][k] for
+    sub-rounds ``k = 1, 2, …``, trying to eliminate one of the gladiators'
+    values; a committed value is written to ``D[r]``;
+  - the sub-round loop ends when (line 17): some participant reported that
+    Υ has not stabilized (register ``Stable[r]``), or the gladiator
+    convergence committed, or a non-⊥ value appears in ``D[r]`` or ``D``.
+    A process whose own Υ output changes mid-round sets ``Stable[r]``
+    (line 16) before moving on.
+
+* On exit: ``D ≠ ⊥`` means decide ``D`` (lines 20–21); ``D[r] ≠ ⊥`` means
+  adopt that value into round ``r + 1``.
+
+Υ's guarantee — the eventual stable set ``U`` is not the correct set —
+yields termination: either a correct citizen exists (its ``D[r]`` write
+frees everybody) or some gladiator is faulty (a fresh sub-round after its
+crash has at most ``|U| − 1`` participants, so ``(|U|−1)``-convergence
+commits).  Either way at most ``n`` distinct values survive into round
+``r + 1`` and ``n``-converge[r+1] commits.
+
+Implementation notes
+--------------------
+
+* Gladiator convergence instances are keyed by ``(r, k, U)``: during the
+  unstable prefix different processes may hold different ``U`` views, and
+  joining a ``(|U|−1)``-converge with inconsistent ``k`` parameters would
+  be meaningless.  After stabilization all correct gladiators share ``U``
+  and hence the instance, which is all the proof uses.
+* Each paper "check" of a shared register is one atomic read step, so the
+  line-17 conditions are evaluated one register per step, matching the
+  model's one-operation-per-step discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..runtime.ops import BOT, Decide, QueryFD, Read, Write
+from ..runtime.process import ProcessContext, Protocol
+from .converge import ConvergeInstance
+
+#: Register keys (module-level so tests/analysis can peek at them).
+DECISION = "D"
+
+
+def round_value_key(r: int) -> tuple:
+    """``D[r]`` — the per-round adopted-value register."""
+    return ("Dr", r)
+
+
+def stable_flag_key(r: int) -> tuple:
+    """``Stable[r]`` — set when some participant saw Υ change in round r."""
+    return ("Stable", r)
+
+
+def make_upsilon_set_agreement(register_based: bool = False) -> Protocol:
+    """Build the Fig. 1 protocol.
+
+    Parameters
+    ----------
+    register_based:
+        Run every converge instance on register-built snapshots, making the
+        whole protocol register-only (the paper's weakest memory model).
+
+    Returns
+    -------
+    A protocol ``(ctx, value) -> generator`` deciding per n-set agreement,
+    given a Υ history (:class:`~repro.detectors.upsilon.UpsilonSpec`).
+    """
+
+    def protocol(ctx: ProcessContext, value: Any):
+        n = ctx.system.n
+        n_procs = ctx.system.n_processes
+        est = value
+        r = 0
+        while True:
+            r += 1
+            # Line 4: try to commit via n-convergence.
+            top = ConvergeInstance(
+                ("nconv", r), n, n_procs, register_based=register_based
+            )
+            est, committed = yield from top.converge(ctx, est)
+            if committed:
+                # Lines 5-6: publish and decide.
+                yield Write(DECISION, est)
+                yield Decide(est)
+                return est
+
+            # Query Υ; U partitions Π into gladiators (U) and citizens.
+            upsilon = yield QueryFD()
+            u_set = frozenset(upsilon)
+
+            k = 0
+            next_round = False
+            while not next_round:
+                k += 1
+                # Line 17 conditions, one register per step.
+                decision = yield Read(DECISION)
+                if decision is not BOT:
+                    yield Decide(decision)
+                    return decision
+                round_value = yield Read(round_value_key(r))
+                if round_value is not BOT:
+                    est = round_value  # adopt and proceed to round r+1
+                    break
+                stable_flag = yield Read(stable_flag_key(r))
+                if stable_flag is not BOT:
+                    break  # someone saw Υ change: give up on this round
+
+                if ctx.pid not in u_set:
+                    # Citizen: publish own value, proceed to next round.
+                    yield Write(round_value_key(r), est)
+                    break
+
+                # Gladiator: try to eliminate one of the |U| values.
+                sub = ConvergeInstance(
+                    ("gconv", r, k, u_set),
+                    len(u_set) - 1,
+                    n_procs,
+                    register_based=register_based,
+                )
+                est, sub_committed = yield from sub.converge(ctx, est)
+                if sub_committed:
+                    yield Write(round_value_key(r), est)
+                    break
+
+                # Line 16: report Υ instability if our output changed.
+                upsilon_now = yield QueryFD()
+                if frozenset(upsilon_now) != u_set:
+                    yield Write(stable_flag_key(r), True)
+                    break
+
+    return protocol

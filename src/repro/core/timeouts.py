@@ -1,0 +1,130 @@
+"""Timeout-based Υ under partial synchrony — the paper's motivation, live.
+
+Sect. 1: "timing assumptions circumvent asynchronous impossibilities by
+providing processes with information about failures, typically through
+time-out mechanisms".  This module makes that sentence executable:
+
+* :func:`make_timeout_upsilon` — a *protocol* (no oracle!) in which every
+  process heartbeats a counter, watches everybody's counters, suspects
+  processes whose counters stall past an adaptive timeout, and emits a
+  Υ-output derived from the suspicion set: the complement of one
+  unsuspected process (a set that eventually differs from the correct set
+  whenever suspicions converge to the faulty set).  Timeouts double on
+  every false suspicion, the classic partial-synchrony trick.
+
+* :class:`EventuallySynchronousScheduler` — arbitrary (seeded-adversarial)
+  scheduling before a global stabilization time, bounded round-robin
+  after it: the ``GST`` model of Dwork–Lynch–Stockmeyer [10].
+
+Under an eventually-synchronous schedule the emitted outputs stabilize on
+a legal Υ value — failure information really does emerge from timing.
+Under unrestricted asynchrony no such implementation can exist (that is
+what "Υ is not implementable / non-trivial" means — Theorem 10's premise),
+and the tests exhibit ever-growing-delay schedules that keep the emitted
+output flapping for as long as the run is extended.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator
+
+from ..runtime.ops import BOT, Emit, Read, Write
+from ..runtime.process import ProcessContext, Protocol
+from ..runtime.scheduler import RandomScheduler, Scheduler
+
+
+def heartbeat_key(pid: int) -> tuple:
+    return ("TOHB", pid)
+
+
+def make_timeout_upsilon(initial_timeout: int = 4) -> Protocol:
+    """The heartbeat/timeout Υ implementation (correct only under GST).
+
+    Emits, after every watch pass, the set ``Π − {max unsuspected}``
+    (everyone is its own last-resort unsuspected process).  When the
+    suspicion set converges to ``faulty(F)`` — which bounded step delays
+    after GST guarantee — the emitted set converges to
+    ``Π − {max correct} ≠ correct(F)``.  (Using the *max* matters: the
+    output must actually depend on the suspicion set at every process,
+    which is what the asynchronous adversary exploits to force flips.)
+    """
+
+    def protocol(ctx: ProcessContext, _input: Any):
+        pids = list(ctx.system.pids)
+        beat = 0
+        last_seen: Dict[int, Any] = {}
+        staleness: Dict[int, int] = {j: 0 for j in pids}
+        timeout: Dict[int, int] = {j: initial_timeout for j in pids}
+        suspected: set[int] = set()
+        while True:
+            beat += 1
+            yield Write(heartbeat_key(ctx.pid), beat)
+            for j in pids:
+                raw = yield Read(heartbeat_key(j))
+                if raw is not BOT and last_seen.get(j) != raw:
+                    last_seen[j] = raw
+                    staleness[j] = 0
+                    if j in suspected:
+                        # False suspicion: back off, classic doubling.
+                        suspected.discard(j)
+                        timeout[j] *= 2
+                else:
+                    staleness[j] += 1
+                    if staleness[j] > timeout[j]:
+                        suspected.add(j)
+            unsuspected = [j for j in pids if j not in suspected] or [ctx.pid]
+            yield Emit(ctx.system.pid_set - {max(unsuspected)})
+
+    return protocol
+
+
+class EventuallySynchronousScheduler(Scheduler):
+    """Arbitrary before GST, bounded round-robin after (the [10] model).
+
+    Before ``gst`` (a global step count) choices follow a seeded random
+    adversary; from ``gst`` on, processes are scheduled round-robin, so
+    every alive process takes a step in every window of ``|eligible|``
+    steps — the bounded relative speeds the timeout protocol needs.
+    """
+
+    def __init__(self, gst: int, seed: int = 0):
+        self.gst = gst
+        self._before = RandomScheduler(seed)
+        self._cycle = 0
+
+    def choose(self, t: int, eligible) -> int:
+        if t < self.gst:
+            return self._before.choose(t, eligible)
+        self._cycle += 1
+        return eligible[self._cycle % len(eligible)]
+
+
+class GrowingDelayScheduler(Scheduler):
+    """A fair-in-the-limit but never-synchronous adversary.
+
+    Process 0's solo bursts double in length forever: every process takes
+    infinitely many steps (fairness holds), yet no bound on relative
+    speeds ever holds — the schedule family against which timeout-based
+    detectors cannot stabilize.
+    """
+
+    def __init__(self):
+        self._script: Iterator[int] = self._generate()
+
+    @staticmethod
+    def _generate() -> Iterator[int]:
+        burst = 4
+        while True:
+            yield from itertools.repeat(0, burst)
+            yield 1  # the starved process blips once
+            yield from range(2, 100)  # other pids if present (skipped when
+            # ineligible by the consumer below)
+            burst *= 2
+
+    def choose(self, t: int, eligible) -> int:
+        eligible_set = set(eligible)
+        for pid in self._script:
+            if pid in eligible_set:
+                return pid
+        raise AssertionError("unreachable: the script is infinite")

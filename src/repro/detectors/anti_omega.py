@@ -1,0 +1,53 @@
+"""Zieliński's anti-Ω (related work, Sect. 2 and [22, 23]).
+
+anti-Ω outputs a single process id at each query; its guarantee is that
+there is a *correct* process whose id is output only finitely often (at
+correct processes).  It is *unstable* — no requirement that the output ever
+stops changing — and strictly weaker than Υ; Zieliński showed it is the
+weakest failure detector for set agreement with no restriction to stable
+detectors.
+
+We ship anti-Ω for the related-work experiments: a stabilized anti-Ω
+history is legal iff the stable value leaves some correct process never
+output, and the complement construction below shows how a Υ history yields
+an anti-Ω history whenever Υ's stable set has a correct process outside it
+(the general Υ → anti-Ω reduction of [23] needs machinery beyond the paper
+and is out of scope; see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..failures.pattern import FailurePattern
+from ..runtime.process import System
+from .base import DetectorSpec
+
+
+class AntiOmegaSpec(DetectorSpec):
+    """anti-Ω, restricted to its stabilized histories.
+
+    A history that stabilizes on pid ``x`` satisfies anti-Ω iff some
+    correct process is eventually never output, i.e. iff
+    ``correct(F) − {x} ≠ ∅``.
+    """
+
+    name = "anti-Ω"
+
+    def __init__(self, system: System):
+        self.system = system
+
+    def range_values(self) -> Iterable[int]:
+        return self.system.pids
+
+    def legal_stable_values(self, pattern: FailurePattern) -> Iterable[int]:
+        correct = pattern.correct
+        for pid in self.system.pids:
+            if correct - {pid}:
+                yield pid
+
+    def noise_pool(self, pattern: FailurePattern) -> Sequence[int]:
+        return list(self.system.pids)
+
+    def is_legal_stable_value(self, pattern: FailurePattern, value) -> bool:
+        return value in self.system.pids and bool(pattern.correct - {value})

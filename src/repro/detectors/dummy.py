@@ -1,0 +1,36 @@
+"""Dummy failure detectors (Sect. 6.3).
+
+A dummy detector always outputs the same value ``d`` (singleton range).
+Dummies are trivially implementable in an asynchronous system; a problem
+solvable with a dummy detector in ``E_f`` is *f-resilient solvable*, and a
+detector that solves an f-resilient *impossible* problem is *f-non-trivial*
+— the class to which Theorem 10 applies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..failures.pattern import FailurePattern
+from .base import ConstantHistory, DetectorSpec
+
+
+class DummySpec(DetectorSpec):
+    """The detector with range ``{d}``; every history is constantly ``d``."""
+
+    def __init__(self, value: Any = None):
+        self.value = value
+        self.name = f"I_{value!r}"
+
+    def legal_stable_values(self, pattern: FailurePattern) -> Iterable[Any]:
+        yield self.value
+
+    def noise_pool(self, pattern: FailurePattern) -> Sequence[Any]:
+        return [self.value]
+
+    def history(self) -> ConstantHistory:
+        """The detector's unique history (for any pattern)."""
+        return ConstantHistory(self.value)
+
+    def is_legal_stable_value(self, pattern: FailurePattern, value: Any) -> bool:
+        return value == self.value

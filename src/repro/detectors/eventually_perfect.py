@@ -1,0 +1,44 @@
+"""The eventually-perfect detector ◇P of Chandra and Toueg [4].
+
+◇P outputs a set of *suspected* processes; eventually it permanently
+outputs exactly ``faulty(F)`` at every correct process.  ◇P is stable and
+non-trivial, so Theorem 10 applies to it: :mod:`repro.core.samples` gives
+its explicit ϕ map and :mod:`repro.core.extraction` extracts Υf from it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..failures.pattern import FailurePattern
+from ..runtime.process import System
+from .base import DetectorSpec, powerset_nonempty
+
+
+class EventuallyPerfectSpec(DetectorSpec):
+    """◇P: the unique legal stable value for ``F`` is ``faulty(F)``."""
+
+    name = "◇P"
+
+    def __init__(self, system: System):
+        self.system = system
+
+    def range_values(self) -> Iterable[frozenset[int]]:
+        """``2^Π`` — any set (including ∅) may be suspected."""
+        yield frozenset()
+        yield from powerset_nonempty(list(self.system.pids))
+
+    def legal_stable_values(
+        self, pattern: FailurePattern
+    ) -> Iterable[frozenset[int]]:
+        yield pattern.faulty
+
+    def noise_pool(self, pattern: FailurePattern) -> Sequence[frozenset[int]]:
+        # Before stabilization ◇P may suspect anyone (including correct
+        # processes) and miss anyone.
+        return list(self.range_values())
+
+    def is_legal_stable_value(self, pattern: FailurePattern, value) -> bool:
+        if not isinstance(value, frozenset):
+            value = frozenset(value)
+        return value == pattern.faulty

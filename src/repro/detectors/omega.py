@@ -1,0 +1,37 @@
+"""The leader oracle Ω of Chandra, Hadzilacos and Toueg [3].
+
+Ω outputs a single process id; eventually the same *correct* leader is
+permanently output at all correct processes.  Ω is the weakest failure
+detector for consensus; Sect. 4 of the paper shows Ω ≡ Υ for two processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..failures.pattern import FailurePattern
+from ..runtime.process import System
+from .base import DetectorSpec
+
+
+class OmegaSpec(DetectorSpec):
+    """Ω over a system: stable values are exactly the correct pids."""
+
+    name = "Ω"
+
+    def __init__(self, system: System):
+        self.system = system
+
+    def range_values(self) -> Iterable[int]:
+        return self.system.pids
+
+    def legal_stable_values(self, pattern: FailurePattern) -> Iterable[int]:
+        return sorted(pattern.correct)
+
+    def noise_pool(self, pattern: FailurePattern) -> Sequence[int]:
+        # Any process — including faulty ones — may be output before
+        # stabilization.
+        return list(self.system.pids)
+
+    def is_legal_stable_value(self, pattern: FailurePattern, value) -> bool:
+        return value in pattern.correct

@@ -1,0 +1,58 @@
+"""The family Ωk of Neiger [18] (Sect. 2 and 4 of the paper).
+
+Ωk outputs a set of exactly ``k`` processes; eventually the same set —
+containing at least one correct process — is permanently output at all
+correct processes.  Ω1 is Ω.  The paper is chiefly concerned with Ωn
+(k = n), conjectured in [19] to be the weakest detector for set agreement
+and disproved by Theorems 1 + 2, and with Ωf for the f-resilient case
+(Theorem 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..failures.pattern import FailurePattern
+from ..runtime.process import System
+from .base import DetectorSpec
+
+
+class OmegaKSpec(DetectorSpec):
+    """Ωk: stable values are the k-subsets of Π meeting ``correct(F)``."""
+
+    def __init__(self, system: System, k: int):
+        if not 1 <= k <= system.n_processes:
+            raise ValueError(f"k={k} outside 1..{system.n_processes}")
+        self.system = system
+        self.k = k
+        self.name = f"Ω_{k}"
+
+    def range_values(self) -> Iterable[frozenset[int]]:
+        for combo in itertools.combinations(self.system.pids, self.k):
+            yield frozenset(combo)
+
+    def legal_stable_values(
+        self, pattern: FailurePattern
+    ) -> Iterable[frozenset[int]]:
+        correct = pattern.correct
+        for s in self.range_values():
+            if s & correct:
+                yield s
+
+    def noise_pool(self, pattern: FailurePattern) -> Sequence[frozenset[int]]:
+        return list(self.range_values())
+
+    def is_legal_stable_value(self, pattern: FailurePattern, value) -> bool:
+        if not isinstance(value, frozenset):
+            value = frozenset(value)
+        return (
+            len(value) == self.k
+            and value <= self.system.pid_set
+            and bool(value & pattern.correct)
+        )
+
+
+def omega_n(system: System) -> OmegaKSpec:
+    """Ωn — the wait-free instance the paper separates from Υ."""
+    return OmegaKSpec(system, system.n)

@@ -1,0 +1,53 @@
+"""Detector registry: build any shipped detector by name.
+
+One place mapping human-friendly names to spec constructors, shared by the
+CLI, the hierarchy module, and the benchmarks.  ``f``-parameterized
+detectors (Υf, Ωf) take an environment; the rest only a system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..failures.environment import Environment
+from ..runtime.process import System
+from .anti_omega import AntiOmegaSpec
+from .base import DetectorSpec
+from .dummy import DummySpec
+from .eventually_perfect import EventuallyPerfectSpec
+from .omega import OmegaSpec
+from .omega_k import OmegaKSpec, omega_n
+from .upsilon import UpsilonFSpec, UpsilonSpec
+
+_SYSTEM_DETECTORS: Dict[str, Callable[[System], DetectorSpec]] = {
+    "omega": OmegaSpec,
+    "omega_n": omega_n,
+    "diamond_p": EventuallyPerfectSpec,
+    "upsilon": UpsilonSpec,
+    "anti_omega": AntiOmegaSpec,
+    "dummy": lambda system: DummySpec("d"),
+}
+
+_ENV_DETECTORS: Dict[str, Callable[[Environment], DetectorSpec]] = {
+    "upsilon_f": UpsilonFSpec,
+    "omega_f": lambda env: OmegaKSpec(env.system, env.f),
+}
+
+
+def detector_names() -> List[str]:
+    """All registered names, sorted."""
+    return sorted([*_SYSTEM_DETECTORS, *_ENV_DETECTORS])
+
+
+def make_detector(name: str, env: Environment) -> DetectorSpec:
+    """Build the named detector for the given environment.
+
+    System-level detectors ignore ``env.f``; f-parameterized ones use it.
+    """
+    if name in _SYSTEM_DETECTORS:
+        return _SYSTEM_DETECTORS[name](env.system)
+    if name in _ENV_DETECTORS:
+        return _ENV_DETECTORS[name](env)
+    raise KeyError(
+        f"unknown detector {name!r}; choose from {detector_names()}"
+    )

@@ -1,0 +1,6 @@
+"""Failure patterns and environments."""
+
+from .environment import Environment
+from .pattern import FailurePattern
+
+__all__ = ["Environment", "FailurePattern"]

@@ -1,0 +1,98 @@
+"""Environments — sets of admissible failure patterns (Sect. 3.2, 5.3).
+
+The paper's default environment contains all failure patterns with at least
+one correct process (the wait-free environment ``E_n``).  Sect. 5.3
+generalizes to ``E_f``: all patterns with at most ``f`` faulty processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from typing import Iterator, Optional
+
+from ..runtime.errors import PatternError
+from ..runtime.process import System
+from .pattern import FailurePattern
+
+
+@dataclasses.dataclass(frozen=True)
+class Environment:
+    """The environment ``E_f`` over a given system.
+
+    ``E_f`` = all failure patterns ``F`` with ``|faulty(F)| <= f``.  The
+    wait-free case is ``f = n``.
+    """
+
+    system: System
+    f: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.f <= self.system.n:
+            raise PatternError(
+                f"resilience f={self.f} outside 0..{self.system.n}"
+            )
+
+    @classmethod
+    def wait_free(cls, system: System) -> "Environment":
+        """``E_n``: up to ``n`` of the ``n + 1`` processes may crash."""
+        return cls(system, system.n)
+
+    @property
+    def is_wait_free(self) -> bool:
+        return self.f == self.system.n
+
+    @property
+    def min_correct(self) -> int:
+        """``n + 1 − f``: a lower bound on ``|correct(F)|`` in this
+        environment, and on the Υf output-set size."""
+        return self.system.n_processes - self.f
+
+    def admits(self, pattern: FailurePattern) -> bool:
+        """Whether ``pattern ∈ E_f``."""
+        return (
+            pattern.system == self.system
+            and len(pattern.faulty) <= self.f
+        )
+
+    def require(self, pattern: FailurePattern) -> FailurePattern:
+        """Validate membership, returning the pattern for chaining."""
+        if not self.admits(pattern):
+            raise PatternError(
+                f"pattern with faulty={sorted(pattern.faulty)} not in E_{self.f}"
+            )
+        return pattern
+
+    def random_pattern(
+        self,
+        rng: random.Random,
+        max_crash_time: int = 200,
+        max_faulty: Optional[int] = None,
+    ) -> FailurePattern:
+        """Draw a random pattern from this environment."""
+        limit = self.f if max_faulty is None else min(max_faulty, self.f)
+        return FailurePattern.random(
+            self.system, rng, max_faulty=limit, max_crash_time=max_crash_time
+        )
+
+    def correct_set_candidates(self) -> Iterator[frozenset[int]]:
+        """All sets that can be ``correct(F)`` for some ``F ∈ E_f``.
+
+        These are exactly the subsets of ``Π`` of size ``>= n + 1 − f``.
+        Used by the sample machinery of Sect. 6.3 and by detector
+        specifications.
+        """
+        pids = list(self.system.pids)
+        for size in range(self.min_correct, len(pids) + 1):
+            for combo in itertools.combinations(pids, size):
+                yield frozenset(combo)
+
+    def initially_dead(self, dead: frozenset[int]) -> FailurePattern:
+        """The pattern where ``dead`` crash at time 0 — the canonical
+        witness used in indistinguishability arguments."""
+        if len(dead) > self.f:
+            raise PatternError(f"{len(dead)} crashes exceed f={self.f}")
+        return FailurePattern.only_correct(
+            self.system, self.system.pid_set - dead, crash_time=0
+        )

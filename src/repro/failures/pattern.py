@@ -1,0 +1,135 @@
+"""Failure patterns (Sect. 3.2 of the paper).
+
+A failure pattern ``F`` is a function from the time range
+``T = {0} ∪ N`` to ``2^Π`` where ``F(t)`` is the set of processes that have
+crashed by time ``t``, with ``F(t) ⊆ F(t+1)`` (crashes are permanent).
+
+Since each process crashes at most once, we represent ``F`` compactly as a
+map ``pid -> crash time`` (absent = correct).  Time is the simulation's
+global step index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..runtime.errors import PatternError
+from ..runtime.process import System
+
+
+@dataclasses.dataclass(frozen=True)
+class FailurePattern:
+    """An immutable crash schedule over a :class:`System`.
+
+    Parameters
+    ----------
+    system:
+        The process universe ``Π``.
+    crash_times:
+        Map from pid to the time (global step index) at which the process
+        is crashed.  A process ``p`` with ``crash_times[p] = t`` is in
+        ``F(t')`` for every ``t' >= t`` and takes no step at or after ``t``.
+    """
+
+    system: System
+    crash_times: Mapping[int, int]
+
+    def __post_init__(self) -> None:
+        crash_times = dict(self.crash_times)
+        object.__setattr__(self, "crash_times", crash_times)
+        for pid, when in crash_times.items():
+            self.system.validate_pid(pid)
+            if when < 0:
+                raise PatternError(f"crash time for {pid} is negative: {when}")
+        if len(crash_times) >= self.system.n_processes:
+            raise PatternError("at least one process must be correct")
+
+    # ------------------------------------------------------------------
+    # The paper's F(t), faulty(F), correct(F).
+    # ------------------------------------------------------------------
+
+    def crashed_by(self, t: int) -> frozenset[int]:
+        """``F(t)``: the set of processes crashed by time ``t``."""
+        return frozenset(p for p, when in self.crash_times.items() if when <= t)
+
+    @property
+    def faulty(self) -> frozenset[int]:
+        """``faulty(F) = ∪_t F(t)``."""
+        return frozenset(self.crash_times)
+
+    @property
+    def correct(self) -> frozenset[int]:
+        """``correct(F) = Π − faulty(F)``."""
+        return self.system.pid_set - self.faulty
+
+    def is_alive(self, pid: int, t: int) -> bool:
+        """Whether ``pid`` may take a step at time ``t`` (``pid ∉ F(t)``)."""
+        when = self.crash_times.get(pid)
+        return when is None or t < when
+
+    def crash_time(self, pid: int) -> Optional[int]:
+        """The time at which ``pid`` crashes, or ``None`` if correct."""
+        return self.crash_times.get(pid)
+
+    @property
+    def last_crash_time(self) -> int:
+        """The time by which every faulty process has crashed (0 if none)."""
+        return max(self.crash_times.values(), default=0)
+
+    # ------------------------------------------------------------------
+    # Constructors.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def failure_free(cls, system: System) -> "FailurePattern":
+        """The pattern in which every process is correct."""
+        return cls(system, {})
+
+    @classmethod
+    def crash_at(cls, system: System, crashes: Mapping[int, int]) -> "FailurePattern":
+        """Explicit crash schedule."""
+        return cls(system, dict(crashes))
+
+    @classmethod
+    def only_correct(
+        cls, system: System, correct: Iterable[int], crash_time: int = 0
+    ) -> "FailurePattern":
+        """Pattern where exactly ``correct`` survive; the rest crash at
+        ``crash_time`` (initially-dead by default)."""
+        correct_set = frozenset(correct)
+        crashes = {p: crash_time for p in system.pids if p not in correct_set}
+        return cls(system, crashes)
+
+    @classmethod
+    def random(
+        cls,
+        system: System,
+        rng: random.Random,
+        max_faulty: Optional[int] = None,
+        max_crash_time: int = 200,
+    ) -> "FailurePattern":
+        """Draw a pattern with 0..max_faulty crashes at random times.
+
+        ``max_faulty`` defaults to ``n`` (the wait-free environment).
+        """
+        if max_faulty is None:
+            max_faulty = system.n
+        if not 0 <= max_faulty <= system.n:
+            raise PatternError(f"max_faulty {max_faulty} outside 0..{system.n}")
+        n_faulty = rng.randint(0, max_faulty)
+        victims = rng.sample(list(system.pids), n_faulty)
+        crashes: Dict[int, int] = {
+            p: rng.randint(0, max_crash_time) for p in victims
+        }
+        return cls(system, crashes)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and experiment reports."""
+        if not self.crash_times:
+            return "failure-free"
+        parts = ", ".join(
+            f"p{p}@{t}" for p, t in sorted(self.crash_times.items())
+        )
+        return f"crashes: {parts}"

@@ -1,0 +1,60 @@
+"""Shared-memory substrate: registers, snapshots, consensus objects."""
+
+from .base import (
+    AtomicRegister,
+    SWMRRegister,
+    ConsensusObject,
+    Memory,
+    PrimitiveSnapshot,
+    SharedObject,
+)
+from .collect import cell, collect, read_cell, store
+from .immediate import (
+    ImmediateSnapshotObject,
+    LevelImmediateAPI,
+    PrimitiveImmediateAPI,
+    check_immediacy,
+    make_immediate_api,
+)
+from .iis import (
+    fubini,
+    iis_protocol,
+    ordered_partitions,
+    views_to_ordered_partition,
+)
+from .snapshot import (
+    PrimitiveSnapshotAPI,
+    RegisterSnapshotAPI,
+    SnapshotAPI,
+    make_snapshot_api,
+    nonbot_count,
+    nonbot_values,
+)
+
+__all__ = [
+    "AtomicRegister",
+    "ConsensusObject",
+    "ImmediateSnapshotObject",
+    "LevelImmediateAPI",
+    "Memory",
+    "PrimitiveImmediateAPI",
+    "PrimitiveSnapshot",
+    "PrimitiveSnapshotAPI",
+    "SWMRRegister",
+    "RegisterSnapshotAPI",
+    "SharedObject",
+    "SnapshotAPI",
+    "cell",
+    "check_immediacy",
+    "collect",
+    "fubini",
+    "iis_protocol",
+    "make_immediate_api",
+    "make_snapshot_api",
+    "nonbot_count",
+    "ordered_partitions",
+    "nonbot_values",
+    "read_cell",
+    "store",
+    "views_to_ordered_partition",
+]

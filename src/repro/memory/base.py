@@ -1,0 +1,250 @@
+"""Shared-object framework.
+
+The paper's processes communicate by applying atomic operations to shared
+objects (Sect. 3.1).  :class:`Memory` is the collection of shared objects of
+one run: it owns the initial memory state, creates objects lazily on first
+use (protocols with unbounded round structure address fresh registers every
+round), and dispatches the operations of :mod:`repro.runtime.ops` to them.
+
+Atomicity is by construction: the simulation executes exactly one operation
+per global time step, so every operation is trivially linearizable at its
+step's time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable
+
+from ..runtime.errors import MemoryError_
+from ..runtime.ops import (
+    BOT,
+    ConsensusPropose,
+    ImmediateWriteScan,
+    Operation,
+    Read,
+    SnapshotScan,
+    SnapshotUpdate,
+    Write,
+)
+from ..runtime.process import System
+
+
+class SharedObject:
+    """Base class for atomic shared objects."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class AtomicRegister(SharedObject):
+    """A multi-writer multi-reader atomic read/write register."""
+
+    __slots__ = ("value", "write_count")
+
+    def __init__(self, initial: Any = BOT):
+        self.value = initial
+        self.write_count = 0
+
+    def read(self) -> Any:
+        return self.value
+
+    def write(self, value: Any) -> None:
+        self.value = value
+        self.write_count += 1
+
+    def check_writer(self, pid: int) -> None:  # MWMR: anyone may write
+        pass
+
+
+class SWMRRegister(AtomicRegister):
+    """A single-writer multi-reader register.
+
+    The base-register constructions of the literature (Afek et al.'s
+    snapshots, the immediate-snapshot levels) only need SWMR registers;
+    declaring a register single-writer makes the discipline machine-checked
+    rather than by-convention.
+    """
+
+    __slots__ = ("writer",)
+
+    def __init__(self, writer: int, initial: Any = BOT):
+        super().__init__(initial)
+        self.writer = writer
+
+    def check_writer(self, pid: int) -> None:
+        if pid != self.writer:
+            raise MemoryError_(
+                f"process {pid} wrote a single-writer register owned by "
+                f"{self.writer}"
+            )
+
+
+class PrimitiveSnapshot(SharedObject):
+    """An atomic-snapshot object as a primitive (one step per operation).
+
+    The object has one position per process (Sect. 5.3): ``update(i, v)``
+    writes ``v`` to position ``i`` and ``snapshot()`` atomically returns all
+    positions.  Because the simulation serializes steps, the containment
+    property of [1] (any two snapshots are ``⊆``-comparable) holds trivially.
+
+    The register-based wait-free construction (used when a run must be
+    register-only) lives in :mod:`repro.memory.snapshot`.
+    """
+
+    __slots__ = ("cells", "update_count")
+
+    def __init__(self, n_cells: int):
+        self.cells = [BOT] * n_cells
+        self.update_count = 0
+
+    def update(self, index: int, value: Any) -> None:
+        if not 0 <= index < len(self.cells):
+            raise MemoryError_(f"snapshot index {index} out of range")
+        self.cells[index] = value
+        self.update_count += 1
+
+    def scan(self) -> tuple:
+        return tuple(self.cells)
+
+
+class ConsensusObject(SharedObject):
+    """An ``m``-process consensus object (Sect. 1, Corollary 4).
+
+    ``propose(v)`` returns the first value ever proposed.  The object may be
+    accessed by at most ``m`` *distinct* processes over its lifetime;
+    an access by an ``m+1``-st process raises, which is how the type
+    discipline of "solving n+1-process consensus using n-process consensus
+    objects" is enforced in :mod:`repro.core.boosting`.
+    """
+
+    __slots__ = ("m", "decision", "decided", "accessors")
+
+    def __init__(self, m: int):
+        if m < 1:
+            raise MemoryError_("consensus object needs m >= 1")
+        self.m = m
+        self.decision: Any = None
+        self.decided = False
+        self.accessors: set[int] = set()
+
+    def propose(self, pid: int, value: Any) -> Any:
+        self.accessors.add(pid)
+        if len(self.accessors) > self.m:
+            raise MemoryError_(
+                f"{len(self.accessors)} distinct processes accessed an "
+                f"{self.m}-process consensus object"
+            )
+        if not self.decided:
+            self.decided = True
+            self.decision = value
+        return self.decision
+
+
+class Memory:
+    """All shared objects of one run, with lazy creation and dispatch."""
+
+    def __init__(self, system: System, default_consensus_m: int | None = None):
+        self.system = system
+        self._objects: Dict[Hashable, SharedObject] = {}
+        self._default_consensus_m = (
+            system.n_processes if default_consensus_m is None else default_consensus_m
+        )
+        self.op_count = 0
+
+    # -- explicit creation -------------------------------------------------
+
+    def create_register(self, key: Hashable, initial: Any = BOT) -> AtomicRegister:
+        return self._create(key, AtomicRegister(initial))
+
+    def create_swmr(self, key: Hashable, writer: int, initial: Any = BOT) -> "SWMRRegister":
+        """Create a single-writer register owned by ``writer``."""
+        return self._create(key, SWMRRegister(writer, initial))
+
+    def create_snapshot(self, key: Hashable, n_cells: int | None = None) -> PrimitiveSnapshot:
+        cells = self.system.n_processes if n_cells is None else n_cells
+        return self._create(key, PrimitiveSnapshot(cells))
+
+    def create_consensus(self, key: Hashable, m: int) -> ConsensusObject:
+        return self._create(key, ConsensusObject(m))
+
+    def _create(self, key: Hashable, obj: SharedObject) -> Any:
+        if key in self._objects:
+            raise MemoryError_(f"object {key!r} already exists")
+        self._objects[key] = obj
+        return obj
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: Hashable) -> SharedObject | None:
+        """Peek at an object without creating it (testing/analysis only)."""
+        return self._objects.get(key)
+
+    def peek_register(self, key: Hashable) -> Any:
+        """Read a register's value outside the run (analysis only)."""
+        obj = self._objects.get(key)
+        if obj is None:
+            return BOT
+        if not isinstance(obj, AtomicRegister):
+            raise MemoryError_(f"{key!r} is a {obj.describe()}, not a register")
+        return obj.value
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def _lookup(self, key: Hashable, expected: type, factory) -> SharedObject:
+        obj = self._objects.get(key)
+        if obj is None:
+            obj = factory()
+            self._objects[key] = obj
+        elif not isinstance(obj, expected):
+            raise MemoryError_(
+                f"operation expects {expected.__name__} at {key!r}, "
+                f"found {obj.describe()}"
+            )
+        return obj
+
+    # -- dispatch ----------------------------------------------------------
+
+    def execute(self, op: Operation, pid: int) -> Any:
+        """Apply one shared-object operation; returns its response."""
+        self.op_count += 1
+        if isinstance(op, Read):
+            reg = self._lookup(op.key, AtomicRegister, AtomicRegister)
+            return reg.read()
+        if isinstance(op, Write):
+            reg = self._lookup(op.key, AtomicRegister, AtomicRegister)
+            reg.check_writer(pid)
+            reg.write(op.value)
+            return None
+        if isinstance(op, SnapshotUpdate):
+            snap = self._lookup(
+                op.key,
+                PrimitiveSnapshot,
+                lambda: PrimitiveSnapshot(self.system.n_processes),
+            )
+            snap.update(op.index, op.value)
+            return None
+        if isinstance(op, SnapshotScan):
+            snap = self._lookup(
+                op.key,
+                PrimitiveSnapshot,
+                lambda: PrimitiveSnapshot(self.system.n_processes),
+            )
+            return snap.scan()
+        if isinstance(op, ImmediateWriteScan):
+            from .immediate import ImmediateSnapshotObject
+
+            obj = self._lookup(
+                op.key,
+                ImmediateSnapshotObject,
+                lambda: ImmediateSnapshotObject(self.system.n_processes),
+            )
+            return obj.write_and_scan(op.index, op.value)
+        if isinstance(op, ConsensusPropose):
+            cons = self._lookup(
+                op.key,
+                ConsensusObject,
+                lambda: ConsensusObject(self._default_consensus_m),
+            )
+            return cons.propose(pid, op.value)
+        raise MemoryError_(f"not a shared-object operation: {op!r}")

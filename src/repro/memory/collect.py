@@ -1,0 +1,44 @@
+"""Register-array helpers: store/collect sub-protocols.
+
+A *register array* ``A`` over keys ``(name, i)`` for ``i ∈ Π`` gives each
+process a single-writer cell read by all.  ``collect`` reads all cells one
+step at a time — it is *not* atomic (that is what snapshots are for), but it
+is all that many protocols need (e.g. Task 2 of Fig. 3).
+
+These helpers are generator subroutines: call them with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List
+
+from ..runtime.ops import Read, Write
+
+
+def cell(name: Hashable, index: int) -> tuple:
+    """The register key of position ``index`` of array ``name``."""
+    return (name, index)
+
+
+def store(name: Hashable, index: int, value: Any):
+    """Write ``value`` into position ``index`` of array ``name`` (1 step)."""
+    yield Write(cell(name, index), value)
+
+
+def collect(name: Hashable, n_cells: int) -> Any:
+    """Read the whole array, one register per step; returns a list.
+
+    The reads happen at increasing times; the result is a *collect*, not a
+    snapshot.
+    """
+    values: List[Any] = []
+    for i in range(n_cells):
+        value = yield Read(cell(name, i))
+        values.append(value)
+    return values
+
+
+def read_cell(name: Hashable, index: int) -> Any:
+    """Read one position of an array (1 step)."""
+    value = yield Read(cell(name, index))
+    return value

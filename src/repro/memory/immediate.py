@@ -1,0 +1,158 @@
+"""One-shot immediate snapshots (Borowsky–Gafni [2]).
+
+The topology-based impossibility proofs the paper builds on ([2, 14, 20])
+work in the *iterated immediate snapshot* model.  A one-shot immediate
+snapshot object supports a single ``write_and_scan(i, v)`` per process and
+guarantees, writing ``V_p`` for the view returned to ``p``:
+
+* **Self-inclusion** — ``p``'s own value is in ``V_p``;
+* **Containment**    — all views are ``⊆``-comparable;
+* **Immediacy**      — if ``p``'s value appears in ``V_q``, then
+  ``V_p ⊆ V_q``.
+
+Immediacy is what an atomic-snapshot ``update`` followed by a ``scan``
+does **not** give (``p`` can land in ``q``'s view and then scan much
+later, seeing strictly more; `tests/test_immediate.py` constructs the
+counterexample schedule), and it is why the object needs either a
+combined atomic step or the level-descent algorithm below.
+
+Two implementations behind one generator API:
+
+* :class:`PrimitiveImmediateAPI` — drives the one-step
+  :class:`ImmediateSnapshotObject` primitive (every step is its own
+  linearization block).
+* :class:`LevelImmediateAPI` — the Borowsky–Gafni wait-free construction
+  from single-writer registers: descend levels ``n+1, n, …``, at each
+  level write ``(value, level)`` and collect; return once the set ``S`` of
+  processes at your level or below has ``|S| ≥ level``.  Costs ``O(n²)``
+  steps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List
+
+from ..runtime.errors import MemoryError_
+from ..runtime.ops import BOT, ImmediateWriteScan, Read, Write
+from .base import SharedObject
+
+
+class ImmediateSnapshotObject(SharedObject):
+    """Primitive one-shot immediate snapshot: one atomic step per call."""
+
+    __slots__ = ("cells", "called")
+
+    def __init__(self, n_cells: int):
+        self.cells: List[Any] = [BOT] * n_cells
+        self.called: set[int] = set()
+
+    def write_and_scan(self, index: int, value: Any) -> tuple:
+        if not 0 <= index < len(self.cells):
+            raise MemoryError_(f"immediate-snapshot index {index} out of range")
+        if index in self.called:
+            raise MemoryError_(
+                f"one-shot immediate snapshot called twice by {index}"
+            )
+        self.called.add(index)
+        self.cells[index] = value
+        return tuple(self.cells)
+
+
+class ImmediateAPI:
+    """Interface shared by both immediate-snapshot implementations."""
+
+    def write_and_scan(self, index: int, value: Any):
+        raise NotImplementedError
+
+
+class PrimitiveImmediateAPI(ImmediateAPI):
+    """Immediate snapshot via the primitive object (1 step per call)."""
+
+    def __init__(self, key: Hashable, n_cells: int):
+        self.key = key
+        self.n_cells = n_cells
+
+    def write_and_scan(self, index: int, value: Any):
+        view = yield ImmediateWriteScan(self.key, index, value)
+        return view
+
+
+class LevelImmediateAPI(ImmediateAPI):
+    """The Borowsky–Gafni level-descent construction from SWMR registers.
+
+    Each process owns the register ``(name, "is", pid)`` holding
+    ``(value, level)``; levels descend from ``n + 1``.  A process returns
+    at the first level ``L`` where at least ``L`` processes sit at levels
+    ``≤ L`` — those processes' values form its view.
+    """
+
+    def __init__(self, name: Hashable, n_cells: int):
+        self.name = name
+        self.n_cells = n_cells
+
+    def _key(self, index: int) -> tuple:
+        return (self.name, "is", index)
+
+    def write_and_scan(self, index: int, value: Any):
+        level = self.n_cells + 1
+        while True:
+            level -= 1
+            yield Write(self._key(index), (value, level))
+            cells: List[Any] = []
+            for j in range(self.n_cells):
+                raw = yield Read(self._key(j))
+                cells.append(raw)
+            at_or_below = [
+                j
+                for j, raw in enumerate(cells)
+                if raw is not BOT and raw[1] <= level
+            ]
+            if len(at_or_below) >= level:
+                view = [BOT] * self.n_cells
+                for j in at_or_below:
+                    view[j] = cells[j][0]
+                return tuple(view)
+
+
+def make_immediate_api(
+    name: Hashable, n_cells: int, register_based: bool
+) -> ImmediateAPI:
+    """Factory mirroring :func:`repro.memory.snapshot.make_snapshot_api`."""
+    if register_based:
+        return LevelImmediateAPI(name, n_cells)
+    return PrimitiveImmediateAPI(name, n_cells)
+
+
+def check_immediacy(views: dict[int, tuple]) -> List[str]:
+    """Verify the three immediate-snapshot properties on returned views.
+
+    ``views`` maps pid to its returned view.  Returns human-readable
+    violation strings (empty = all properties hold).
+    """
+    problems: List[str] = []
+    members = {
+        pid: frozenset(
+            j for j, v in enumerate(view) if v is not BOT
+        )
+        for pid, view in views.items()
+    }
+    for pid, seen in members.items():
+        if pid not in seen:
+            problems.append(f"self-inclusion: p{pid} missing from own view")
+    pids = sorted(views)
+    for a in pids:
+        for b in pids:
+            if a >= b:
+                continue
+            if not (members[a] <= members[b] or members[b] <= members[a]):
+                problems.append(
+                    f"containment: views of p{a} and p{b} incomparable"
+                )
+    for p in pids:
+        for q in pids:
+            if p in members[q] and not members[p] <= members[q]:
+                problems.append(
+                    f"immediacy: p{p} ∈ view of p{q} but "
+                    f"view(p{p}) ⊄ view(p{q})"
+                )
+    return problems

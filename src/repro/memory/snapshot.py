@@ -1,0 +1,178 @@
+"""Atomic snapshots (Afek et al. [1]) — primitive and register-based.
+
+The protocols of Sect. 5 use atomic snapshot objects; the paper notes that
+"atomic snapshots can be implemented in an asynchronous system using
+registers [1]".  We provide both:
+
+* :class:`PrimitiveSnapshotAPI` — drives the one-step-per-operation
+  :class:`~repro.memory.base.PrimitiveSnapshot` object.  Linearizable by
+  construction; cheap; the default for experiments.
+
+* :class:`RegisterSnapshotAPI` — the wait-free construction of Afek,
+  Attiya, Dolev, Gafni, Merritt and Shavit from single-writer registers
+  (the unbounded-sequence-number variant).  Using it makes every run
+  register-only, matching the paper's "weakest shared memory model".
+
+Both expose the same generator-subroutine interface::
+
+    yield from api.update(my_pid, value)
+    view = yield from api.scan()
+
+``view`` is a tuple of length ``n + 1`` with ``BOT`` in never-updated
+positions.  Any two views returned by ``scan`` are related by containment
+(position-wise, one is at least as recent as the other) — the property the
+Fig. 2 termination argument relies on.
+
+Register-based construction
+---------------------------
+
+Each position ``i`` is a single-writer register ``(name, i)`` holding
+``(seq, value, embedded_view)``:
+
+* ``update(i, v)``: perform a ``scan`` (the *embedded* scan), then write
+  ``(seq + 1, v, that_scan)``.
+* ``scan()``: repeatedly double-collect all positions.  If two successive
+  collects are identical (same sequence numbers everywhere), the second
+  collect is a linearizable view (it was simultaneously valid).  Otherwise
+  some position moved; a scanner that observes the *same* position move
+  twice borrows that position's embedded view — that view was taken
+  entirely inside the scanner's interval, hence is linearizable for it too.
+
+Wait-freedom: after ``n + 2`` failed double collects some single position
+has moved twice (pigeonhole), so a scan costs ``O(n^2)`` steps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional, Tuple
+
+from ..runtime.ops import BOT, Read, SnapshotScan, SnapshotUpdate, Write
+
+
+class SnapshotAPI:
+    """Interface shared by both snapshot implementations."""
+
+    def update(self, index: int, value: Any):
+        raise NotImplementedError
+
+    def scan(self):
+        raise NotImplementedError
+
+
+class PrimitiveSnapshotAPI(SnapshotAPI):
+    """Snapshot via the primitive atomic object (1 step per operation)."""
+
+    def __init__(self, key: Hashable, n_cells: int):
+        self.key = key
+        self.n_cells = n_cells
+
+    def update(self, index: int, value: Any):
+        yield SnapshotUpdate(self.key, index, value)
+
+    def scan(self):
+        view = yield SnapshotScan(self.key)
+        return view
+
+
+#: A register-based snapshot cell: (sequence number, value, embedded view).
+_Cell = Tuple[int, Any, Optional[tuple]]
+
+_EMPTY_CELL: _Cell = (0, BOT, None)
+
+
+class RegisterSnapshotAPI(SnapshotAPI):
+    """Afek-et-al. wait-free snapshot from single-writer registers.
+
+    One instance is *per process per object*: it caches the process's own
+    sequence number.  Different processes share the object through the
+    common ``name``.
+
+    The construction is generic in its base registers: ``read_cell`` /
+    ``write_cell`` are generator subroutines defaulting to primitive
+    ``Read``/``Write`` steps.  Passing ABD quorum reads/writes
+    (:mod:`repro.messaging.abd`) instead yields an atomic snapshot — and
+    hence k-converge and everything above it — over message passing.
+    """
+
+    def __init__(
+        self,
+        name: Hashable,
+        n_cells: int,
+        read_cell=None,
+        write_cell=None,
+    ):
+        self.name = name
+        self.n_cells = n_cells
+        self._my_seq = 0
+        self._read_cell = read_cell or self._primitive_read
+        self._write_cell = write_cell or self._primitive_write
+
+    @staticmethod
+    def _primitive_read(key):
+        value = yield Read(key)
+        return value
+
+    @staticmethod
+    def _primitive_write(key, value):
+        yield Write(key, value)
+
+    def _key(self, index: int) -> tuple:
+        return (self.name, "snapcell", index)
+
+    def _collect(self):
+        cells: List[_Cell] = []
+        for i in range(self.n_cells):
+            raw = yield from self._read_cell(self._key(i))
+            cells.append(_EMPTY_CELL if raw is BOT else raw)
+        return cells
+
+    @staticmethod
+    def _values(cells: List[_Cell]) -> tuple:
+        return tuple(c[1] for c in cells)
+
+    def scan(self):
+        moved: set[int] = set()
+        previous = yield from self._collect()
+        while True:
+            current = yield from self._collect()
+            if all(previous[i][0] == current[i][0] for i in range(self.n_cells)):
+                return self._values(current)
+            for i in range(self.n_cells):
+                if previous[i][0] != current[i][0]:
+                    if i in moved:
+                        # Position i moved twice during this scan: its
+                        # latest embedded view was taken entirely within
+                        # our interval — borrow it.
+                        embedded = current[i][2]
+                        assert embedded is not None, (
+                            "a moved cell always carries an embedded view"
+                        )
+                        return embedded
+                    moved.add(i)
+            previous = current
+
+    def update(self, index: int, value: Any):
+        embedded = yield from self.scan()
+        self._my_seq += 1
+        yield from self._write_cell(
+            self._key(index), (self._my_seq, value, embedded)
+        )
+
+
+def make_snapshot_api(
+    name: Hashable, n_cells: int, register_based: bool
+) -> SnapshotAPI:
+    """Factory selecting the snapshot implementation for a protocol run."""
+    if register_based:
+        return RegisterSnapshotAPI(name, n_cells)
+    return PrimitiveSnapshotAPI(name, n_cells)
+
+
+def nonbot_count(view: tuple) -> int:
+    """Number of non-``⊥`` positions in a view (Fig. 2, line 19)."""
+    return sum(1 for v in view if v is not BOT)
+
+
+def nonbot_values(view: tuple) -> list:
+    """The non-``⊥`` values of a view, in position order."""
+    return [v for v in view if v is not BOT]

@@ -1,0 +1,6 @@
+"""Message-passing substrate: asynchronous network + ABD register emulation."""
+
+from .abd import AbdRegisters, abd_snapshot_api
+from .network import Network
+
+__all__ = ["AbdRegisters", "Network", "abd_snapshot_api"]

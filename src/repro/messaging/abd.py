@@ -1,0 +1,172 @@
+"""ABD — atomic registers over asynchronous messages (Attiya–Bar-Noy–Dolev).
+
+Discharges the paper's shared-memory assumption for the f-resilient case:
+with ``f < (n+1)/2`` crashes, multi-writer multi-reader atomic registers
+are implementable over an asynchronous reliable network, so Υf-based
+f-set agreement (Fig. 2) — and anything else built from registers — runs
+in message-passing systems too.  With ``f ≥ (n+1)/2`` the emulation
+*cannot* be live (quorums may die); the tests exhibit that as well.
+
+Protocol (multi-writer variant; quorum = majority):
+
+* every process maintains, per register key, a local replica
+  ``(tag, value)`` with ``tag = (timestamp, writer-pid)``, and *serves*
+  incoming requests (replies to reads, adopts fresher writes);
+* ``read(key)``: broadcast a read request, await replies from a quorum,
+  pick the replica with the largest tag, then **write back** that tag to a
+  quorum (the write-back is what makes concurrent reads linearizable);
+* ``write(key, v)``: query a quorum for the largest tag, broadcast
+  ``(tag + 1, own pid, v)``, await a quorum of acks.
+
+Every ``Broadcast``/``Receive`` is one atomic step of the simulation; the
+await loops serve foreign requests while waiting, so a process blocked in
+its own operation never blocks anybody else's quorum.  A process that has
+finished its protocol work must keep serving (:meth:`AbdRegisters.serve`)
+— quorum liveness counts *serving* processes, and the model's correct
+processes take steps forever.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..runtime.ops import BOT, Broadcast, Receive, Send
+from ..runtime.process import ProcessContext
+
+#: A replica tag: (timestamp, writer pid) — totally ordered.
+Tag = Tuple[int, int]
+
+_ZERO_TAG: Tag = (0, -1)
+
+
+class AbdRegisters:
+    """Per-process ABD endpoint: replica store + client operations.
+
+    One instance per process; instances of different processes interact
+    only through the network.  ``quorum`` defaults to a majority of the
+    system.
+    """
+
+    def __init__(self, ctx: ProcessContext, quorum: Optional[int] = None):
+        self.ctx = ctx
+        n_procs = ctx.system.n_processes
+        self.quorum = quorum if quorum is not None else n_procs // 2 + 1
+        if not 1 <= self.quorum <= n_procs:
+            raise ValueError(f"quorum {self.quorum} outside 1..{n_procs}")
+        self._replica: Dict[Hashable, Tuple[Tag, Any]] = {}
+        self._next_rid = 0
+        self.ops_completed = 0
+
+    # -- the server half ------------------------------------------------------
+
+    def _local(self, key: Hashable) -> Tuple[Tag, Any]:
+        return self._replica.get(key, (_ZERO_TAG, BOT))
+
+    def _adopt(self, key: Hashable, tag: Tag, value: Any) -> None:
+        if tag > self._local(key)[0]:
+            self._replica[key] = (tag, value)
+
+    def handle(self, sender: int, payload: Any):
+        """Serve one incoming request; yields the reply ``Send`` if any.
+
+        Recognized requests (others are ignored — they are some other
+        component's traffic):
+
+        * ``("abd-read", rid, key)`` → reply ``("abd-read-ack", rid, key,
+          tag, value)``;
+        * ``("abd-write", rid, key, tag, value)`` → adopt if fresher,
+          reply ``("abd-write-ack", rid, key)``.
+        """
+        if not isinstance(payload, tuple) or not payload:
+            return
+        kind = payload[0]
+        if kind == "abd-read":
+            _, rid, key = payload
+            tag, value = self._local(key)
+            yield Send(sender, ("abd-read-ack", rid, key, tag, value))
+        elif kind == "abd-write":
+            _, rid, key, tag, value = payload
+            self._adopt(key, tag, value)
+            yield Send(sender, ("abd-write-ack", rid, key))
+
+    def serve_batch(self, messages):
+        """Serve a whole ``Receive`` result; returns the acks addressed to
+        *this* process's own pending operation (for the await loops)."""
+        own_acks = []
+        for sender, payload in messages:
+            if isinstance(payload, tuple) and payload and payload[0] in (
+                "abd-read-ack", "abd-write-ack"
+            ):
+                own_acks.append(payload)
+                continue
+            yield from self.handle(sender, payload)
+        return own_acks
+
+    def serve(self):
+        """Serve forever — run this after the protocol's real work ends."""
+        while True:
+            messages = yield Receive()
+            yield from self.serve_batch(messages)
+
+    # -- the client half -------------------------------------------------------
+
+    def _rid(self) -> tuple:
+        self._next_rid += 1
+        return (self.ctx.pid, self._next_rid)
+
+    def _await_acks(self, kind: str, rid, needed: int):
+        """Drain mailboxes (serving as we go) until ``needed`` matching
+        acks for request ``rid`` arrived."""
+        acks = []
+        while len(acks) < needed:
+            messages = yield Receive()
+            own = yield from self.serve_batch(messages)
+            for payload in own:
+                if payload[0] == kind and payload[1] == rid:
+                    acks.append(payload)
+        return acks
+
+    def _query_phase(self, key: Hashable):
+        """Phase 1 of both operations: learn a quorum's largest replica."""
+        rid = self._rid()
+        yield Broadcast(("abd-read", rid, key))
+        acks = yield from self._await_acks("abd-read-ack", rid, self.quorum)
+        best_tag, best_value = _ZERO_TAG, BOT
+        for (_, _, _, tag, value) in acks:
+            if tuple(tag) > tuple(best_tag):
+                best_tag, best_value = tag, value
+        return best_tag, best_value
+
+    def _store_phase(self, key: Hashable, tag: Tag, value: Any):
+        """Phase 2: install (tag, value) at a quorum."""
+        self._adopt(key, tag, value)
+        rid = self._rid()
+        yield Broadcast(("abd-write", rid, key, tag, value))
+        yield from self._await_acks("abd-write-ack", rid, self.quorum)
+
+    def read(self, key: Hashable):
+        """Linearizable read: query phase + write-back phase."""
+        tag, value = yield from self._query_phase(key)
+        yield from self._store_phase(key, tag, value)
+        self.ops_completed += 1
+        return value
+
+    def write(self, key: Hashable, value: Any):
+        """Linearizable write: query phase + higher-tag store phase."""
+        (timestamp, _), _ = yield from self._query_phase(key)
+        yield from self._store_phase(key, (timestamp + 1, self.ctx.pid), value)
+        self.ops_completed += 1
+
+
+def abd_snapshot_api(abd: AbdRegisters, name: Hashable, n_cells: int):
+    """An atomic snapshot over ABD registers.
+
+    Plugs the quorum read/write into the Afek-et-al. construction: the
+    result is an atomic snapshot — hence k-converge, hence everything the
+    paper builds — running over pure message passing.
+    """
+    from ..memory.snapshot import RegisterSnapshotAPI
+
+    return RegisterSnapshotAPI(
+        name, n_cells, read_cell=abd.read, write_cell=abd.write
+    )

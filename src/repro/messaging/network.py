@@ -1,0 +1,92 @@
+"""Asynchronous message-passing network model.
+
+The paper's model is shared memory; this substrate exists to *discharge
+its assumption*: atomic registers are implementable over asynchronous
+messages when fewer than a majority of processes crash (Attiya–Bar-Noy–
+Dolev, :mod:`repro.messaging.abd`), so every ``E_f`` result with
+``f < (n+1)/2`` transfers to message passing.
+
+The network is asynchronous but reliable: every sent message is delivered
+after a finite, adversary/seed-chosen delay (messages are never lost, not
+even those sent by processes that later crash — the standard model).
+Delays are drawn deterministically from the seed; per-channel FIFO order
+is preserved by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import random
+from typing import Any, List, Tuple
+
+from ..runtime.process import System
+
+
+@dataclasses.dataclass(order=True)
+class _InFlight:
+    deliver_at: int
+    sequence: int              # tie-break: preserves send order
+    sender: int = dataclasses.field(compare=False)
+    payload: Any = dataclasses.field(compare=False)
+
+
+class Network:
+    """Mailboxes with seeded, bounded, per-channel-monotone delays.
+
+    Parameters
+    ----------
+    system:
+        The process universe.
+    seed:
+        Drives the delay draws; same seed = same delivery schedule.
+    max_delay:
+        Extra delay beyond the minimum of 1 step, drawn uniformly from
+        ``0..max_delay`` per message.  0 = prompt delivery.
+    """
+
+    def __init__(self, system: System, seed: int = 0, max_delay: int = 0):
+        self.system = system
+        self.max_delay = max_delay
+        self._rng = random.Random(seed)
+        self._mailboxes: List[List[_InFlight]] = [
+            [] for _ in system.pids
+        ]
+        self._sequence = itertools.count()
+        # per-channel monotone delivery (FIFO links):
+        self._last_delivery: dict[Tuple[int, int], int] = {}
+        self.sent_count = 0
+        self.delivered_count = 0
+
+    def send(self, sender: int, dest: int, payload: Any, now: int) -> None:
+        """Enqueue a message; it becomes receivable at its delivery time."""
+        self.system.validate_pid(dest)
+        deliver_at = now + 1 + self._rng.randint(0, self.max_delay)
+        floor = self._last_delivery.get((sender, dest), 0)
+        deliver_at = max(deliver_at, floor)  # FIFO per channel
+        self._last_delivery[(sender, dest)] = deliver_at
+        heapq.heappush(
+            self._mailboxes[dest],
+            _InFlight(deliver_at, next(self._sequence), sender, payload),
+        )
+        self.sent_count += 1
+
+    def broadcast(self, sender: int, payload: Any, now: int) -> None:
+        """Send to every process, the sender included."""
+        for dest in self.system.pids:
+            self.send(sender, dest, payload, now)
+
+    def deliver(self, dest: int, now: int) -> tuple:
+        """Drain all messages for ``dest`` whose delivery time has come."""
+        mailbox = self._mailboxes[dest]
+        out = []
+        while mailbox and mailbox[0].deliver_at <= now:
+            message = heapq.heappop(mailbox)
+            out.append((message.sender, message.payload))
+        self.delivered_count += len(out)
+        return tuple(out)
+
+    def pending(self, dest: int) -> int:
+        """Messages queued for ``dest`` (delivered or not) — analysis."""
+        return len(self._mailboxes[dest])

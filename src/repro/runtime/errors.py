@@ -1,0 +1,44 @@
+"""Exception hierarchy for the simulation runtime."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ProtocolError(ReproError):
+    """A process automaton violated the step protocol.
+
+    Raised e.g. when a generator yields something that is not an
+    :class:`~repro.runtime.ops.Operation`, or decides twice.
+    """
+
+
+class SchedulerError(ReproError):
+    """A scheduler chose an ineligible process or ran out of choices."""
+
+
+class MemoryError_(ReproError):
+    """A shared-object operation was applied to an object of the wrong type,
+    or violated the object's access restrictions (e.g. an ``m``-process
+    consensus object touched by more than ``m`` distinct processes)."""
+
+
+class HistoryError(ReproError):
+    """A failure-detector history violates its detector's specification."""
+
+
+class PatternError(ReproError):
+    """A failure pattern is malformed (non-monotonic crashes, empty correct
+    set, or outside the requested environment)."""
+
+
+class SimulationLimitError(ReproError):
+    """The simulation hit its step budget before reaching its stop
+    condition.
+
+    This is how "the run would be infinite" surfaces in a finite test: the
+    impossibility-side experiments *expect* this error, the algorithm-side
+    experiments treat it as failure.
+    """

@@ -1,0 +1,210 @@
+"""Atomic-step operation algebra.
+
+The model of Sect. 3.3 of the paper defines a *step* of an algorithm as:
+
+    (i)  an invocation of an operation on a shared object (receiving its
+         response), or a query of the local failure-detector module,
+    (ii) a local state transition, and
+    (iii) optionally accepting an input or producing an output.
+
+Protocols in this library are Python generators: each ``yield`` of an
+:class:`Operation` is exactly one atomic step, and the value of the ``yield``
+expression is the response of that step.  Local computation between two
+yields is the "apply the automaton" part (ii) and consumes no steps.
+
+Operations on shared objects (`Read`, `Write`, `SnapshotUpdate`,
+`SnapshotScan`, `ConsensusPropose`) address the object by an arbitrary
+hashable *key*; the :class:`~repro.memory.base.Memory` creates objects
+lazily on first use so that protocols with an unbounded round structure
+(e.g. Fig. 1 of the paper) need no up-front allocation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Hashable
+
+
+class Bottom:
+    """The distinguished ``⊥`` value of the paper (register initial value).
+
+    A singleton: compare with ``is BOT`` or ``== BOT``.  ``⊥`` is falsy and
+    never equal to any application value.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (Bottom, ())
+
+
+#: Module-level singleton for the paper's ``⊥``.
+BOT = Bottom()
+
+
+@dataclasses.dataclass(frozen=True)
+class Operation:
+    """Base class for atomic-step requests yielded by process generators."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Read(Operation):
+    """Atomically read a register; the step's response is its value."""
+
+    key: Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class Write(Operation):
+    """Atomically write ``value`` to a register; response is ``None``."""
+
+    key: Hashable
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotUpdate(Operation):
+    """``update(index, value)`` on a primitive atomic-snapshot object."""
+
+    key: Hashable
+    index: int
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotScan(Operation):
+    """``snapshot()`` on a primitive atomic-snapshot object.
+
+    The response is a tuple of the object's cells (``BOT`` for cells never
+    updated).
+    """
+
+    key: Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class ImmediateWriteScan(Operation):
+    """``write_and_scan(index, value)`` on a primitive one-shot immediate
+    snapshot object (Borowsky–Gafni [2]).
+
+    Atomically writes ``value`` to position ``index`` and returns the
+    current view — write and scan in one indivisible step, which is what
+    distinguishes *immediate* snapshots from an update followed by a scan
+    (see :mod:`repro.memory.immediate` for why the two differ).
+    """
+
+    key: Hashable
+    index: int
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class ConsensusPropose(Operation):
+    """``propose(value)`` on an ``m``-process consensus object.
+
+    The response is the object's decision (the first proposed value).
+    """
+
+    key: Hashable
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Send(Operation):
+    """Send ``payload`` to process ``dest`` (message-passing substrate).
+
+    Delivery is asynchronous: the network model assigns a delivery time
+    and the message shows up in a later ``Receive`` of ``dest``.  The
+    response is ``None``.
+    """
+
+    dest: int
+    payload: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Broadcast(Operation):
+    """Send ``payload`` to every process, self included (one step).
+
+    Convenience for quorum protocols; equivalent to n+1 ``Send``s but
+    costed as a single step, the usual accounting in asynchronous
+    message-passing models.  The response is ``None``.
+    """
+
+    payload: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Receive(Operation):
+    """Drain the process's mailbox.
+
+    The response is a tuple of ``(sender, payload)`` pairs — every message
+    whose delivery time has been reached, in delivery order (empty tuple
+    if none).
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryFD(Operation):
+    """Query the local failure-detector module.
+
+    The response is ``H(p, t)`` where ``H`` is the run's failure-detector
+    history and ``t`` the global time of this step.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class Emit(Operation):
+    """Publish the process's current *emulated output* (part (iii)).
+
+    Used by reduction algorithms to implement the distributed variable
+    ``D-output`` of Sect. 3.5: the emitted value is the process's emulated
+    failure-detector output from this step's time onward (until re-emitted).
+    The response is ``None``.
+    """
+
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Decide(Operation):
+    """Irrevocably produce a decision output (part (iii)).
+
+    Decision tasks (consensus, k-set agreement) terminate a process's
+    protocol with a ``Decide``.  A process may decide at most once; the
+    simulation raises :class:`~repro.runtime.errors.ProtocolError` on a
+    second decision.  The response is ``None``.
+    """
+
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Nop(Operation):
+    """A step with no shared-memory effect.
+
+    The adversarial constructions of Theorems 1 and 5 need "every process
+    takes exactly one step" blocks; ``Nop`` lets a protocol expose such a
+    schedulable step.  The response is ``None``.
+    """
+
+
+SHARED_OBJECT_OPS = (
+    Read,
+    Write,
+    SnapshotUpdate,
+    SnapshotScan,
+    ImmediateWriteScan,
+    ConsensusPropose,
+)

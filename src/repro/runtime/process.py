@@ -1,0 +1,170 @@
+"""Process automata and their runtime state.
+
+The paper's system is a set ``Π = {p1, …, p_{n+1}}`` of ``n + 1`` processes.
+We index processes ``0 … n`` (so the paper's ``p_i`` is pid ``i - 1``) and
+write ``system.n`` for the paper's ``n`` (= max crashes in the wait-free
+case).
+
+A *protocol* is a generator function
+
+    def protocol(ctx: ProcessContext, value):
+        ...
+        response = yield SomeOperation(...)
+        ...
+
+Each ``yield`` is one atomic step (see :mod:`repro.runtime.ops`).  A
+protocol that ``return``s stops taking protocol steps; the process is still
+*correct* if it never crashes (the model's infinitely-many-steps requirement
+is satisfied by implicit no-op idling, which the simulation does not need to
+materialize).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import ProtocolError
+from .ops import Operation
+
+#: Type of a protocol generator: yields Operations, receives responses.
+ProtocolGen = Generator[Operation, Any, Any]
+#: Type of a protocol factory: ``(ctx, input_value) -> generator``.
+Protocol = Callable[["ProcessContext", Any], ProtocolGen]
+
+
+@dataclasses.dataclass(frozen=True)
+class System:
+    """The static process universe ``Π``.
+
+    Parameters
+    ----------
+    n_processes:
+        ``|Π| = n + 1`` in the paper's notation.  Must be at least 2.
+    """
+
+    n_processes: int
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 2:
+            raise ValueError("a distributed system needs at least 2 processes")
+
+    @property
+    def n(self) -> int:
+        """The paper's ``n`` (``|Π| - 1``; max crashes in the wait-free case)."""
+        return self.n_processes - 1
+
+    @property
+    def pids(self) -> range:
+        """All process identifiers ``0 … n``."""
+        return range(self.n_processes)
+
+    @property
+    def pid_set(self) -> frozenset[int]:
+        """``Π`` as a frozenset, for complement computations."""
+        return frozenset(self.pids)
+
+    def complement(self, pids: Iterable[int]) -> frozenset[int]:
+        """``Π − pids`` — used by the complement reductions of Sect. 4."""
+        return self.pid_set - frozenset(pids)
+
+    def validate_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.n_processes:
+            raise ValueError(f"pid {pid} outside Π = 0..{self.n}")
+
+
+@dataclasses.dataclass
+class ProcessContext:
+    """Per-process, read-only view handed to a protocol generator."""
+
+    pid: int
+    system: System
+
+    @property
+    def others(self) -> frozenset[int]:
+        """All pids except this process's own."""
+        return self.system.pid_set - {self.pid}
+
+
+class ProcessStatus(enum.Enum):
+    """Lifecycle of a process inside one simulation run."""
+
+    RUNNING = "running"
+    RETURNED = "returned"
+    CRASHED = "crashed"
+
+
+class ProcessRuntime:
+    """Mutable simulation-side state of one process.
+
+    Tracks the protocol generator, the operation it is blocked on, its
+    decision (if any) and its currently emitted emulated output.
+    """
+
+    def __init__(self, ctx: ProcessContext, protocol: Protocol, input_value: Any):
+        self.ctx = ctx
+        self.pid = ctx.pid
+        self.input_value = input_value
+        self.status = ProcessStatus.RUNNING
+        self.decision: Any = None
+        self.has_decided = False
+        self.emitted: Any = None
+        self.has_emitted = False
+        self.steps_taken = 0
+        self.return_value: Any = None
+        self._generator: ProtocolGen = protocol(ctx, input_value)
+        self.pending_op: Optional[Operation] = None
+        self._prime()
+
+    def _prime(self) -> None:
+        """Advance the generator to its first yield (no step consumed)."""
+        try:
+            op = next(self._generator)
+        except StopIteration as stop:
+            self.status = ProcessStatus.RETURNED
+            self.return_value = stop.value
+            return
+        self.pending_op = self._check_op(op)
+
+    def _check_op(self, op: Any) -> Operation:
+        if not isinstance(op, Operation):
+            raise ProtocolError(
+                f"process {self.pid} yielded {op!r}, not an Operation"
+            )
+        return op
+
+    def resume(self, response: Any) -> None:
+        """Deliver ``response`` for the pending op and fetch the next op."""
+        if self.status is not ProcessStatus.RUNNING:
+            raise ProtocolError(f"process {self.pid} resumed while {self.status}")
+        self.steps_taken += 1
+        try:
+            op = self._generator.send(response)
+        except StopIteration as stop:
+            self.status = ProcessStatus.RETURNED
+            self.return_value = stop.value
+            self.pending_op = None
+            return
+        self.pending_op = self._check_op(op)
+
+    def crash(self) -> None:
+        """Mark the process crashed; it takes no further steps."""
+        self.status = ProcessStatus.CRASHED
+        self.pending_op = None
+        self._generator.close()
+
+    def record_decision(self, value: Any) -> None:
+        if self.has_decided:
+            raise ProtocolError(f"process {self.pid} decided twice")
+        self.has_decided = True
+        self.decision = value
+
+    def record_emit(self, value: Any) -> None:
+        self.has_emitted = True
+        self.emitted = value
+
+    @property
+    def schedulable(self) -> bool:
+        """Whether the scheduler may give this process its next step."""
+        return self.status is ProcessStatus.RUNNING

@@ -1,0 +1,293 @@
+"""The simulation engine — executes runs ``⟨F, H, S, T⟩``.
+
+The engine owns the clock (the global step index ``t``), the shared
+:class:`~repro.memory.base.Memory`, the processes'
+:class:`~repro.runtime.process.ProcessRuntime` states, and the recorded
+:class:`~repro.runtime.trace.Trace`.  It enforces the run requirements of
+Sect. 3.3:
+
+1. a crashed process takes no step (``p ∉ F(T[k])``),
+2. a ``QueryFD`` step returns ``H(p, t)`` for the step's time,
+3. steps are totally ordered (one step per time unit),
+4. shared objects behave per their specifications (dispatched to
+   :class:`~repro.memory.base.Memory`),
+5. fairness is the scheduler's job — :meth:`Simulation.run` with a fair
+   scheduler approximates "every correct process takes infinitely many
+   steps" up to the step budget.
+
+Drivers may bypass the scheduler and call :meth:`Simulation.step` directly;
+the adversarial constructions of Theorems 1 and 5 do exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+
+from ..detectors.base import History
+from ..failures.pattern import FailurePattern
+from ..memory.base import Memory
+from .errors import ProtocolError, SimulationLimitError
+from .ops import (
+    SHARED_OBJECT_OPS,
+    Broadcast,
+    Decide,
+    Emit,
+    Nop,
+    Operation,
+    QueryFD,
+    Receive,
+    Send,
+)
+from .process import (
+    ProcessContext,
+    ProcessRuntime,
+    ProcessStatus,
+    Protocol,
+    System,
+)
+from .scheduler import RandomScheduler, Scheduler
+from .trace import StepRecord, Trace
+
+
+class Simulation:
+    """One run in progress.
+
+    Parameters
+    ----------
+    system:
+        The process universe.
+    protocols:
+        Either a single protocol run by every process, or a map
+        ``pid -> protocol``.
+    inputs:
+        Map ``pid -> proposal`` (or any per-process input); processes
+        absent from the map receive ``None``.  A pid mapped to the
+        :data:`NON_PARTICIPANT` sentinel is never started — this models
+        the non-participating processes of the Remark after Theorem 2.
+    pattern:
+        The failure pattern ``F``.
+    history:
+        The failure-detector history ``H`` (may be ``None`` if no process
+        ever queries).
+    memory:
+        Optionally a pre-populated memory (for typed objects such as
+        ``m``-process consensus objects).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        protocols: Protocol | Mapping[int, Protocol],
+        inputs: Optional[Mapping[int, Any]] = None,
+        pattern: Optional[FailurePattern] = None,
+        history: Optional[History] = None,
+        memory: Optional[Memory] = None,
+        network=None,
+    ):
+        self.system = system
+        self.pattern = pattern or FailurePattern.failure_free(system)
+        self.history = history
+        self.memory = memory if memory is not None else Memory(system)
+        self.network = network
+        self.trace = Trace()
+        self.time = 0
+        inputs = dict(inputs or {})
+        self.runtimes: Dict[int, ProcessRuntime] = {}
+        for pid in system.pids:
+            value = inputs.get(pid)
+            if value is NON_PARTICIPANT:
+                continue
+            if isinstance(protocols, Mapping):
+                if pid not in protocols:
+                    continue  # not participating in this run
+                protocol = protocols[pid]
+            else:
+                protocol = protocols
+            ctx = ProcessContext(pid=pid, system=system)
+            self.runtimes[pid] = ProcessRuntime(ctx, protocol, value)
+
+    # -- step execution ------------------------------------------------------
+
+    def eligible(self) -> list[int]:
+        """Processes that may take the next step (alive and not returned)."""
+        out = []
+        for pid, runtime in self.runtimes.items():
+            if runtime.status is ProcessStatus.RUNNING and not self.pattern.is_alive(
+                pid, self.time
+            ):
+                runtime.crash()
+            if runtime.schedulable:
+                out.append(pid)
+        return sorted(out)
+
+    def step(self, pid: int) -> StepRecord:
+        """Execute one atomic step of ``pid`` at the current time."""
+        runtime = self.runtimes.get(pid)
+        if runtime is None:
+            raise ProtocolError(f"pid {pid} is not participating in this run")
+        if not self.pattern.is_alive(pid, self.time):
+            runtime.crash()
+            raise ProtocolError(f"pid {pid} is crashed at t={self.time}")
+        if not runtime.schedulable:
+            raise ProtocolError(f"pid {pid} has returned; no steps left")
+        op = runtime.pending_op
+        assert op is not None
+        response = self._execute(op, pid)
+        record = StepRecord(self.time, pid, op, response)
+        self.trace.record(record)
+        self.time += 1
+        runtime.resume(response)
+        return record
+
+    def _execute(self, op: Operation, pid: int) -> Any:
+        if isinstance(op, SHARED_OBJECT_OPS):
+            return self.memory.execute(op, pid)
+        if isinstance(op, QueryFD):
+            if self.history is None:
+                raise ProtocolError(
+                    f"pid {pid} queried a failure detector but the run has "
+                    "no history"
+                )
+            return self.history.value(pid, self.time)
+        if isinstance(op, Decide):
+            self.runtimes[pid].record_decision(op.value)
+            return None
+        if isinstance(op, Emit):
+            self.runtimes[pid].record_emit(op.value)
+            return None
+        if isinstance(op, Nop):
+            return None
+        if isinstance(op, (Send, Broadcast, Receive)):
+            if self.network is None:
+                raise ProtocolError(
+                    f"pid {pid} used a messaging operation but the run has "
+                    "no network"
+                )
+            if isinstance(op, Send):
+                self.network.send(pid, op.dest, op.payload, self.time)
+                return None
+            if isinstance(op, Broadcast):
+                self.network.broadcast(pid, op.payload, self.time)
+                return None
+            return self.network.deliver(pid, self.time)
+        raise ProtocolError(f"unknown operation {op!r}")
+
+    # -- run loops -----------------------------------------------------------
+
+    def run(
+        self,
+        max_steps: int,
+        scheduler: Optional[Scheduler] = None,
+        stop_when: Optional[Callable[["Simulation"], bool]] = None,
+    ) -> Trace:
+        """Run under a scheduler until ``stop_when``, quiescence, or budget.
+
+        Returns the trace.  Does *not* raise on budget exhaustion — use
+        :meth:`run_until` for runs that must reach their stop condition.
+        """
+        scheduler = scheduler or RandomScheduler()
+        for _ in range(max_steps):
+            if stop_when is not None and stop_when(self):
+                break
+            eligible = self.eligible()
+            if not eligible:
+                break
+            self.step(scheduler.choose(self.time, eligible))
+        return self.trace
+
+    def run_until(
+        self,
+        condition: Callable[["Simulation"], bool],
+        max_steps: int,
+        scheduler: Optional[Scheduler] = None,
+    ) -> Trace:
+        """Run until ``condition``; raise if the budget is exhausted first."""
+        self.run(max_steps=max_steps, scheduler=scheduler, stop_when=condition)
+        if not condition(self):
+            raise SimulationLimitError(
+                f"condition not reached within {max_steps} steps "
+                f"(t={self.time})"
+            )
+        return self.trace
+
+    def run_script(self, script: Sequence[int]) -> None:
+        """Execute an explicit pid sequence (adversary driver API)."""
+        for pid in script:
+            self.step(pid)
+
+    # -- predicates ----------------------------------------------------------
+
+    def correct_runtimes(self) -> list[ProcessRuntime]:
+        return [
+            self.runtimes[pid]
+            for pid in sorted(self.runtimes)
+            if pid in self.pattern.correct
+        ]
+
+    def all_correct_decided(self) -> bool:
+        """Termination predicate for decision tasks."""
+        return all(r.has_decided for r in self.correct_runtimes())
+
+    def all_correct_returned(self) -> bool:
+        return all(
+            r.status is ProcessStatus.RETURNED for r in self.correct_runtimes()
+        )
+
+    def decisions(self) -> Dict[int, Any]:
+        return {
+            pid: r.decision
+            for pid, r in self.runtimes.items()
+            if r.has_decided
+        }
+
+    def emulated_outputs(self) -> Dict[int, Any]:
+        """Current emitted value per process (the D-output variable)."""
+        return {
+            pid: r.emitted
+            for pid, r in self.runtimes.items()
+            if r.has_emitted
+        }
+
+
+class _NonParticipant:
+    """Sentinel: a process that never starts its protocol."""
+
+    def __repr__(self) -> str:
+        return "NON_PARTICIPANT"
+
+
+NON_PARTICIPANT = _NonParticipant()
+
+
+def run_protocol(
+    system: System,
+    protocol: Protocol | Mapping[int, Protocol],
+    inputs: Mapping[int, Any],
+    pattern: Optional[FailurePattern] = None,
+    history: Optional[History] = None,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 100_000,
+    memory: Optional[Memory] = None,
+    require_termination: bool = True,
+) -> Simulation:
+    """Convenience wrapper: build a simulation and run it to decision.
+
+    With ``require_termination`` (the default) the run must end with every
+    correct participating process decided, else
+    :class:`~repro.runtime.errors.SimulationLimitError` is raised.
+    """
+    sim = Simulation(
+        system,
+        protocol,
+        inputs=inputs,
+        pattern=pattern,
+        history=history,
+        memory=memory,
+    )
+    if require_termination:
+        sim.run_until(
+            Simulation.all_correct_decided, max_steps=max_steps, scheduler=scheduler
+        )
+    else:
+        sim.run(max_steps=max_steps, scheduler=scheduler)
+    return sim

@@ -1,0 +1,143 @@
+"""Runs and traces (Sect. 3.3–3.4).
+
+A run of an algorithm is ``⟨F, H, S, T⟩``: failure pattern, detector
+history, infinite step sequence and the times of the steps.  A simulation
+produces a finite *partial run*; :class:`Trace` records it, together with
+the inputs/outputs sub-sequence that the paper calls the run's *trace*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from .ops import Decide, Emit, Operation, QueryFD
+
+
+@dataclasses.dataclass(frozen=True)
+class StepRecord:
+    """One atomic step: who, when, what, and the step's response."""
+
+    time: int
+    pid: int
+    op: Operation
+    response: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class OutputRecord:
+    """An output event (part (iii) of a step): a decision or an emit."""
+
+    time: int
+    pid: int
+    value: Any
+    kind: str  # "decide" | "emit"
+
+
+class Trace:
+    """The recorded partial run of one simulation."""
+
+    def __init__(self) -> None:
+        self.steps: List[StepRecord] = []
+        self.outputs: List[OutputRecord] = []
+
+    def record(self, step: StepRecord) -> None:
+        self.steps.append(step)
+        if isinstance(step.op, Decide):
+            self.outputs.append(
+                OutputRecord(step.time, step.pid, step.op.value, "decide")
+            )
+        elif isinstance(step.op, Emit):
+            self.outputs.append(
+                OutputRecord(step.time, step.pid, step.op.value, "emit")
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def decisions(self) -> Dict[int, Any]:
+        """Final decision per process (first — and only — decide)."""
+        out: Dict[int, Any] = {}
+        for record in self.outputs:
+            if record.kind == "decide" and record.pid not in out:
+                out[record.pid] = record.value
+        return out
+
+    def decided_values(self) -> set:
+        """The set of decided values — Agreement bounds its size."""
+        return set(self.decisions().values())
+
+    def decision_times(self) -> Dict[int, int]:
+        """Time of each process's decision."""
+        return {
+            r.pid: r.time
+            for r in self.outputs
+            if r.kind == "decide"
+        }
+
+    def emits(self, pid: int) -> List[OutputRecord]:
+        """The emit timeline of one process (emulated detector output)."""
+        return [r for r in self.outputs if r.kind == "emit" and r.pid == pid]
+
+    def final_emit(self, pid: int) -> Optional[Any]:
+        """The last emitted value of ``pid`` (``None`` if never emitted)."""
+        records = self.emits(pid)
+        return records[-1].value if records else None
+
+    def emit_stabilization_time(self, pid: int) -> Optional[int]:
+        """Time of the last *change* of ``pid``'s emitted value.
+
+        ``None`` if the process never emitted.  Used to measure how fast a
+        reduction's output settles.
+        """
+        records = self.emits(pid)
+        if not records:
+            return None
+        stable_since = records[0].time
+        last = records[0].value
+        for record in records[1:]:
+            if record.value != last:
+                last = record.value
+                stable_since = record.time
+        return stable_since
+
+    def emit_change_count(self, pid: int) -> int:
+        """Number of times ``pid``'s emitted value changed.
+
+        Theorem 1's adversary makes this grow without bound for any
+        candidate Ωn extractor.
+        """
+        records = self.emits(pid)
+        changes = 0
+        for prev, cur in zip(records, records[1:]):
+            if prev.value != cur.value:
+                changes += 1
+        return changes
+
+    def steps_of(self, pid: int) -> List[StepRecord]:
+        return [s for s in self.steps if s.pid == pid]
+
+    def step_counts(self) -> Counter:
+        return Counter(s.pid for s in self.steps)
+
+    def fd_queries(self, pid: Optional[int] = None) -> List[StepRecord]:
+        """All failure-detector query steps (optionally of one process)."""
+        return [
+            s
+            for s in self.steps
+            if isinstance(s.op, QueryFD) and (pid is None or s.pid == pid)
+        ]
+
+    def participants(self) -> frozenset[int]:
+        return frozenset(s.pid for s in self.steps)
+
+    def io_sequence(self) -> List[OutputRecord]:
+        """The paper's trace σ: the inputs/outputs with their times.
+
+        Inputs are the initial proposals (delivered at time 0 in our
+        simulation); outputs are the records collected here.
+        """
+        return list(self.outputs)

@@ -1,0 +1,12 @@
+"""Decision tasks: k-set agreement, consensus, and trace checkers."""
+
+from .base import TaskSpec, Verdict, Violation
+from .set_agreement import ConsensusSpec, SetAgreementSpec
+
+__all__ = [
+    "ConsensusSpec",
+    "SetAgreementSpec",
+    "TaskSpec",
+    "Verdict",
+    "Violation",
+]

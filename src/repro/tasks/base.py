@@ -1,0 +1,113 @@
+"""Problems as sets of traces (Sect. 3.4).
+
+A problem specifies the permitted input/output sequences given the failure
+pattern.  We realize decision problems as :class:`TaskSpec` objects that
+*check* a finished simulation: each property (Validity, Agreement,
+Termination) is verified on the recorded trace, never inside protocol code,
+so a buggy protocol cannot self-certify.
+
+All problems in this library are closed under indistinguishability (the
+checks depend on the failure pattern only through ``correct(F)``), matching
+the paper's standing assumption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Mapping
+
+from ..runtime.simulation import Simulation
+
+
+@dataclasses.dataclass
+class Violation:
+    """One property violation found while checking a run."""
+
+    prop: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.prop}: {self.detail}"
+
+
+@dataclasses.dataclass
+class Verdict:
+    """The outcome of checking one run against a task spec."""
+
+    task: str
+    violations: List[Violation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> "Verdict":
+        if not self.ok:
+            lines = "; ".join(str(v) for v in self.violations)
+            raise AssertionError(f"{self.task} violated — {lines}")
+        return self
+
+
+class TaskSpec:
+    """Base class for decision-task specifications."""
+
+    name: str = "task"
+
+    def check(
+        self,
+        sim: Simulation,
+        inputs: Mapping[int, Any],
+        require_termination: bool = True,
+    ) -> Verdict:
+        """Check a finished simulation; returns a :class:`Verdict`."""
+        raise NotImplementedError
+
+    # -- shared property checkers -----------------------------------------
+
+    @staticmethod
+    def _check_termination(
+        sim: Simulation, violations: List[Violation]
+    ) -> None:
+        """Termination: every correct participating process decided."""
+        for runtime in sim.correct_runtimes():
+            if not runtime.has_decided:
+                violations.append(
+                    Violation(
+                        "Termination",
+                        f"correct process {runtime.pid} never decided "
+                        f"(t={sim.time})",
+                    )
+                )
+
+    @staticmethod
+    def _check_validity(
+        sim: Simulation,
+        inputs: Mapping[int, Any],
+        violations: List[Violation],
+    ) -> None:
+        """Validity: any decided value is a proposed value."""
+        proposed = set(inputs.values())
+        for pid, value in sim.decisions().items():
+            if value not in proposed:
+                violations.append(
+                    Violation(
+                        "Validity",
+                        f"process {pid} decided {value!r}, not among "
+                        f"proposals {sorted(map(repr, proposed))}",
+                    )
+                )
+
+    @staticmethod
+    def _check_agreement(
+        sim: Simulation, k: int, violations: List[Violation]
+    ) -> None:
+        """Agreement: at most ``k`` distinct values decided."""
+        decided = sim.trace.decided_values()
+        if len(decided) > k:
+            violations.append(
+                Violation(
+                    "Agreement",
+                    f"{len(decided)} > {k} distinct decisions: "
+                    f"{sorted(map(repr, decided))}",
+                )
+            )

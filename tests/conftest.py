@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runtime import System
+
+
+@pytest.fixture
+def system3() -> System:
+    """Three processes (n = 2) — the paper's running example size."""
+    return System(3)
+
+
+@pytest.fixture
+def system4() -> System:
+    return System(4)
+
+
+@pytest.fixture
+def system5() -> System:
+    return System(5)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

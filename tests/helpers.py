@@ -1,0 +1,37 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.failures import Environment, FailurePattern
+from repro.runtime import RandomScheduler, Simulation
+
+
+def run_to_decision(
+    system,
+    protocol,
+    inputs,
+    pattern=None,
+    history=None,
+    seed=0,
+    max_steps=500_000,
+    memory=None,
+):
+    """Run a decision protocol under a fair random scheduler to completion."""
+    sim = Simulation(
+        system, protocol, inputs=inputs, pattern=pattern, history=history,
+        memory=memory,
+    )
+    sim.run_until(
+        Simulation.all_correct_decided,
+        max_steps=max_steps,
+        scheduler=RandomScheduler(seed),
+    )
+    return sim
+
+
+def wait_free_env(system) -> Environment:
+    return Environment.wait_free(system)
+
+
+def pattern_with_correct(system, correct) -> FailurePattern:
+    return FailurePattern.only_correct(system, correct)

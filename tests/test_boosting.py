@@ -1,0 +1,141 @@
+"""Tests for the Corollary 4 consensus algorithms (Ω-based and boosted)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    boosted_consensus_memory,
+    make_boosted_consensus,
+    make_omega_consensus,
+)
+from repro.detectors import OmegaSpec, StableHistory, omega_n
+from repro.failures import FailurePattern
+from repro.memory import ConsensusObject
+from repro.runtime import MemoryError_, System
+from repro.tasks import ConsensusSpec
+
+from tests.helpers import run_to_decision
+
+
+def check_consensus(sim, inputs):
+    ConsensusSpec().check(sim, inputs).raise_if_failed()
+    assert len(sim.trace.decided_values()) == 1
+
+
+class TestOmegaConsensus:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_runs(self, system4, seed):
+        spec = OmegaSpec(system4)
+        rng = random.Random(seed)
+        pattern = FailurePattern.random(system4, rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=70)
+        inputs = {p: f"v{p}" for p in system4.pids}
+        sim = run_to_decision(
+            system4, make_omega_consensus(), inputs,
+            pattern=pattern, history=history, seed=seed,
+        )
+        check_consensus(sim, inputs)
+
+    def test_two_processes(self):
+        system = System(2)
+        pattern = FailurePattern.crash_at(system, {0: 15})
+        history = StableHistory(1, stabilization_time=30)
+        inputs = {0: "a", 1: "b"}
+        sim = run_to_decision(
+            system, make_omega_consensus(), inputs,
+            pattern=pattern, history=history, seed=2,
+        )
+        check_consensus(sim, inputs)
+
+    def test_leader_crash_before_stabilization(self, system3):
+        """Noise may elect a process that crashes; leader changes free the
+        waiting processes."""
+        pattern = FailurePattern.crash_at(system3, {0: 10})
+        noise = lambda p, t: 0  # everyone trusts the doomed leader first
+        history = StableHistory(2, stabilization_time=60, noise=noise)
+        inputs = {p: f"v{p}" for p in system3.pids}
+        sim = run_to_decision(
+            system3, make_omega_consensus(), inputs,
+            pattern=pattern, history=history, seed=3,
+        )
+        check_consensus(sim, inputs)
+
+    def test_register_based(self, system3):
+        spec = OmegaSpec(system3)
+        pattern = FailurePattern.failure_free(system3)
+        history = spec.sample_history(pattern, random.Random(4),
+                                      stabilization_time=30)
+        inputs = {p: p for p in system3.pids}
+        sim = run_to_decision(
+            system3, make_omega_consensus(register_based=True), inputs,
+            pattern=pattern, history=history, seed=4,
+        )
+        check_consensus(sim, inputs)
+
+
+class TestBoostedConsensus:
+    def _run(self, system, seed, stabilization=70):
+        spec = omega_n(system)
+        rng = random.Random(seed)
+        pattern = FailurePattern.random(system, rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng,
+                                      stabilization_time=stabilization)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = run_to_decision(
+            system, make_boosted_consensus(), inputs,
+            pattern=pattern, history=history, seed=seed,
+            memory=boosted_consensus_memory(system),
+        )
+        check_consensus(sim, inputs)
+        return sim
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_runs(self, system4, seed):
+        self._run(system4, seed)
+
+    def test_only_n_process_objects_used(self, system4):
+        """The run itself certifies the type discipline: every consensus
+        object was touched by at most n distinct processes."""
+        sim = self._run(system4, seed=11)
+        n = system4.n
+        used_any = False
+        for key in list(sim.memory._objects):
+            obj = sim.memory.get(key)
+            if isinstance(obj, ConsensusObject):
+                used_any = True
+                assert obj.m == n
+                assert len(obj.accessors) <= n
+        assert used_any, "the boosted protocol must use consensus objects"
+
+    def test_type_restriction_is_real(self, system4):
+        """Accessing an n-consensus object with n+1 processes raises."""
+        memory = boosted_consensus_memory(system4)
+        obj = memory.create_consensus("probe", system4.n)
+        for pid in range(system4.n):
+            obj.propose(pid, pid)
+        with pytest.raises(MemoryError_):
+            obj.propose(system4.n, "overflow")
+
+
+@given(
+    n_procs=st.integers(2, 5),
+    seed=st.integers(0, 50_000),
+    stabilization=st.integers(0, 120),
+)
+@settings(max_examples=25, deadline=None)
+def test_boosted_consensus_hypothesis(n_procs, seed, stabilization):
+    system = System(n_procs)
+    spec = omega_n(system)
+    rng = random.Random(seed)
+    pattern = FailurePattern.random(system, rng, max_crash_time=40)
+    history = spec.sample_history(pattern, rng, stabilization_time=stabilization)
+    inputs = {p: f"v{p}" for p in system.pids}
+    sim = run_to_decision(
+        system, make_boosted_consensus(), inputs,
+        pattern=pattern, history=history, seed=seed,
+        memory=boosted_consensus_memory(system), max_steps=1_000_000,
+    )
+    ConsensusSpec().check(sim, inputs).raise_if_failed()

@@ -1,0 +1,139 @@
+"""Tests for the store/collect helpers and a stateful model test of Memory.
+
+The stateful test drives `Memory` with random operation sequences and
+compares every response against an independent dictionary model — the
+lightweight sibling of the trace-replay validator.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.memory import Memory, cell, collect, read_cell, store
+from repro.runtime import (
+    BOT,
+    ConsensusPropose,
+    Decide,
+    Read,
+    RoundRobinScheduler,
+    Simulation,
+    SnapshotScan,
+    SnapshotUpdate,
+    System,
+    Write,
+)
+
+
+class TestCollectHelpers:
+    def test_cell_key_shape(self):
+        assert cell("arr", 2) == ("arr", 2)
+
+    def test_store_then_collect(self, system3):
+        def protocol(ctx, value):
+            yield from store("arr", ctx.pid, value)
+            values = yield from collect("arr", ctx.system.n_processes)
+            yield Decide(tuple(values))
+
+        sim = Simulation(system3, protocol,
+                         inputs={p: f"v{p}" for p in system3.pids})
+        sim.run_until(Simulation.all_correct_decided, 1_000,
+                      RoundRobinScheduler())
+        # Under lockstep, the last process to collect sees every store.
+        final = sim.decisions()[2]
+        assert final == ("v0", "v1", "v2")
+
+    def test_collect_sees_bot_for_unwritten(self, system3):
+        def protocol(ctx, _):
+            values = yield from collect("ghost", 3)
+            yield Decide(tuple(values))
+
+        sim = Simulation(system3, {0: protocol}, inputs={0: None})
+        while not sim.runtimes[0].has_decided:
+            sim.step(0)
+        assert sim.runtimes[0].decision == (BOT, BOT, BOT)
+
+    def test_read_cell(self, system3):
+        def protocol(ctx, _):
+            yield from store("arr", 1, "x")
+            value = yield from read_cell("arr", 1)
+            yield Decide(value)
+
+        sim = Simulation(system3, {0: protocol}, inputs={0: None})
+        while not sim.runtimes[0].has_decided:
+            sim.step(0)
+        assert sim.runtimes[0].decision == "x"
+
+    def test_collect_costs_one_step_per_cell(self, system3):
+        def protocol(ctx, _):
+            yield from collect("arr", 3)
+            yield Decide("done")
+
+        sim = Simulation(system3, {0: protocol}, inputs={0: None})
+        while not sim.runtimes[0].has_decided:
+            sim.step(0)
+        assert sim.runtimes[0].steps_taken == 4  # 3 reads + decide
+
+
+class MemoryModel(RuleBasedStateMachine):
+    """Random Memory workloads checked against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.system = System(4)
+        self.memory = Memory(self.system)
+        self.registers = {}
+        self.snapshots = {}
+        self.consensus = {}
+        self.consensus_accessors = {}
+
+    keys = st.sampled_from(["a", ("b", 1), ("c", 2, "x")])
+    snap_keys = st.sampled_from(["s1", ("s", 2)])
+    cons_keys = st.sampled_from(["c1", "c2"])
+    pids = st.integers(0, 3)
+    values = st.one_of(st.integers(), st.text(max_size=4))
+
+    @rule(key=keys, value=values, pid=pids)
+    def write(self, key, value, pid):
+        self.memory.execute(Write(key, value), pid)
+        self.registers[key] = value
+
+    @rule(key=keys, pid=pids)
+    def read(self, key, pid):
+        got = self.memory.execute(Read(key), pid)
+        expected = self.registers.get(key, BOT)
+        assert got == expected or (got is BOT and expected is BOT)
+
+    @rule(key=snap_keys, index=pids, value=values, pid=pids)
+    def snap_update(self, key, index, value, pid):
+        self.memory.execute(SnapshotUpdate(key, index, value), pid)
+        self.snapshots.setdefault(key, {})[index] = value
+
+    @rule(key=snap_keys, pid=pids)
+    def snap_scan(self, key, pid):
+        got = self.memory.execute(SnapshotScan(key), pid)
+        model = self.snapshots.setdefault(key, {})
+        expected = tuple(model.get(i, BOT) for i in range(4))
+        assert got == expected
+
+    @rule(key=cons_keys, value=values, pid=pids)
+    def propose(self, key, value, pid):
+        accessors = self.consensus_accessors.setdefault(key, set())
+        if len(accessors | {pid}) > 4:
+            return  # would violate the type restriction (m = 4 here)
+        got = self.memory.execute(ConsensusPropose(key, value), pid)
+        accessors.add(pid)
+        if key not in self.consensus:
+            self.consensus[key] = value
+        assert got == self.consensus[key]
+
+    @precondition(lambda self: self.registers)
+    @rule()
+    def peek_matches(self):
+        for key, expected in self.registers.items():
+            assert self.memory.peek_register(key) == expected
+
+
+MemoryModel.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestMemoryModel = MemoryModel.TestCase

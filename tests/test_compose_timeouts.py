@@ -1,0 +1,205 @@
+"""Tests for online reduction composition and the timeout-based Υ."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    make_omega_consensus,
+    make_upsilon_set_agreement,
+)
+from repro.core.compose import (
+    omega_k_complement_transform,
+    upsilon_to_omega_two_process_transform,
+    with_fd_transform,
+)
+from repro.core.timeouts import (
+    EventuallySynchronousScheduler,
+    GrowingDelayScheduler,
+    make_timeout_upsilon,
+)
+from repro.core.extraction import stable_emulated_output
+from repro.detectors import StableHistory, UpsilonSpec, omega_n
+from repro.failures import FailurePattern
+from repro.runtime import (
+    Decide,
+    Nop,
+    QueryFD,
+    RandomScheduler,
+    Simulation,
+    System,
+)
+from repro.tasks import ConsensusSpec, SetAgreementSpec
+
+from tests.helpers import run_to_decision
+
+
+class TestWithFdTransform:
+    def test_transform_applies_only_to_queries(self):
+        system = System(2)
+
+        def protocol(ctx, _):
+            a = yield QueryFD()
+            b = yield Nop()
+            yield Decide((a, b))
+
+        wrapped = with_fd_transform(protocol, lambda ctx, v: v * 10)
+        sim = Simulation(system, {0: wrapped}, inputs={0: None},
+                         history=StableHistory(7, 0))
+        sim.step(0)
+        sim.step(0)
+        sim.step(0)
+        assert sim.runtimes[0].decision == (70, None)
+
+    def test_step_count_preserved(self):
+        """The combinator adds no steps: same trace length either way."""
+        system = System(3)
+        spec = UpsilonSpec(system)
+        rng = random.Random(2)
+        pattern = FailurePattern.failure_free(system)
+        history = spec.sample_history(pattern, rng, stabilization_time=30)
+        inputs = {p: f"v{p}" for p in system.pids}
+
+        plain = run_to_decision(system, make_upsilon_set_agreement(),
+                                inputs, pattern=pattern, history=history,
+                                seed=3)
+        wrapped = run_to_decision(
+            system,
+            with_fd_transform(make_upsilon_set_agreement(),
+                              lambda ctx, v: frozenset(v)),
+            inputs, pattern=pattern, history=history, seed=3,
+        )
+        assert plain.time == wrapped.time
+
+    def test_return_value_propagates(self):
+        system = System(2)
+
+        def protocol(ctx, _):
+            yield Nop()
+            return "inner-result"
+
+        wrapped = with_fd_transform(protocol, lambda ctx, v: v)
+        sim = Simulation(system, {0: wrapped}, inputs={0: None})
+        sim.step(0)
+        assert sim.runtimes[0].return_value == "inner-result"
+
+
+class TestConsensusFromUpsilonTwoProcesses:
+    """Sect. 4 made executable end to end: Υ ≡ Ω for n = 1, so the
+    Ω-consensus algorithm with the online Υ → Ω map solves consensus
+    from Υ alone."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_runs(self, seed):
+        system = System(2)
+        spec = UpsilonSpec(system)
+        rng = random.Random(f"u2o:{seed}")
+        pattern = FailurePattern.random(system, rng, max_crash_time=30)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        protocol = with_fd_transform(
+            make_omega_consensus(), upsilon_to_omega_two_process_transform
+        )
+        inputs = {0: "a", 1: "b"}
+        sim = run_to_decision(system, protocol, inputs, pattern=pattern,
+                              history=history, seed=seed)
+        ConsensusSpec().check(sim, inputs).raise_if_failed()
+
+    def test_full_universe_output_case(self):
+        """Stable U = Π (legal only when someone is faulty): the survivor
+        elects itself and decides."""
+        system = System(2)
+        pattern = FailurePattern.crash_at(system, {1: 5})
+        history = StableHistory(frozenset({0, 1}), 0)
+        protocol = with_fd_transform(
+            make_omega_consensus(), upsilon_to_omega_two_process_transform
+        )
+        inputs = {0: "a", 1: "b"}
+        sim = run_to_decision(system, protocol, inputs, pattern=pattern,
+                              history=history, seed=1)
+        ConsensusSpec().check(sim, inputs).raise_if_failed()
+
+
+class TestSetAgreementFromOmegaNOnline:
+    """Corollary 3's easy direction, composed online: Fig. 1 + the
+    complement map, reading a genuine Ωn history."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_runs(self, system4, seed):
+        spec = omega_n(system4)
+        rng = random.Random(f"c3o:{seed}")
+        pattern = FailurePattern.random(system4, rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        protocol = with_fd_transform(
+            make_upsilon_set_agreement(), omega_k_complement_transform
+        )
+        inputs = {p: f"v{p}" for p in system4.pids}
+        sim = run_to_decision(system4, protocol, inputs, pattern=pattern,
+                              history=history, seed=seed)
+        SetAgreementSpec(system4.n).check(sim, inputs).raise_if_failed()
+
+
+class TestTimeoutUpsilon:
+    def test_stabilizes_under_eventual_synchrony(self):
+        """After GST the heartbeat protocol's emitted Υ-output settles on
+        a legal value — timing assumptions really do yield failure
+        information (Sect. 1)."""
+        system = System(3)
+        spec = UpsilonSpec(system)
+        pattern = FailurePattern.crash_at(system, {2: 100})
+        sim = Simulation(system, make_timeout_upsilon(), inputs={},
+                         pattern=pattern)
+        sim.run(max_steps=12_000,
+                scheduler=EventuallySynchronousScheduler(gst=400, seed=3))
+        outputs = stable_emulated_output(sim, pattern)
+        assert outputs is not None, "did not stabilize under GST"
+        values = {frozenset(v) for v in outputs.values()}
+        assert len(values) == 1
+        (value,) = values
+        assert spec.is_legal_stable_value(pattern, value)
+
+    def test_failure_free_also_legal(self):
+        """With nobody faulty the emitted Π − {min pid} is still ≠ Π."""
+        system = System(3)
+        spec = UpsilonSpec(system)
+        pattern = FailurePattern.failure_free(system)
+        sim = Simulation(system, make_timeout_upsilon(), inputs={},
+                         pattern=pattern)
+        sim.run(max_steps=12_000,
+                scheduler=EventuallySynchronousScheduler(gst=200, seed=5))
+        outputs = stable_emulated_output(sim, pattern)
+        assert outputs is not None
+        (value,) = {frozenset(v) for v in outputs.values()}
+        assert spec.is_legal_stable_value(pattern, value)
+
+    def test_growing_delays_defeat_timeouts(self):
+        """Under the never-synchronous adversary the starved process keeps
+        getting falsely suspected and un-suspected: the emitted output of
+        the fast process flips without bound — Υ is not implementable in
+        a fully asynchronous system."""
+        system = System(2)
+        sim = Simulation(system, make_timeout_upsilon(initial_timeout=2),
+                         inputs={})
+        sim.run(max_steps=60_000, scheduler=GrowingDelayScheduler())
+        flips = sim.trace.emit_change_count(0)
+        assert flips >= 6, f"only {flips} flips — adversary too weak?"
+        # The flip times grow geometrically (the doubling bursts): each
+        # run extension brings another pair of flips, so there is no
+        # suffix after which the output is stable.
+        emits = sim.trace.emits(0)
+        change_times = [
+            b.time for a, b in zip(emits, emits[1:]) if a.value != b.value
+        ]
+        assert change_times[-1] > 10_000  # flips deep into the run
+
+    def test_longer_runs_more_flips(self):
+        """Non-stabilization, quantitatively: the flip count grows with
+        the budget (the counterpart of Theorem 1's flip linearity)."""
+        def flips(budget):
+            system = System(2)
+            sim = Simulation(system,
+                             make_timeout_upsilon(initial_timeout=2),
+                             inputs={})
+            sim.run(max_steps=budget, scheduler=GrowingDelayScheduler())
+            return sim.trace.emit_change_count(0)
+
+        assert flips(120_000) > flips(15_000)

@@ -1,0 +1,192 @@
+"""Property tests for the k-converge routine (Sect. 5.1, [21]).
+
+The four properties — C-Termination, C-Validity, C-Agreement and
+Convergence — are checked over randomized schedules, crash patterns and
+input multisets, with both snapshot back-ends.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConvergeInstance, k_converge
+from repro.failures import FailurePattern
+from repro.runtime import Decide, RandomScheduler, Simulation, System
+
+
+def converge_protocol(k, register_based):
+    def protocol(ctx, value):
+        picked, committed = yield from k_converge(
+            ctx, "instance", k, value, register_based=register_based
+        )
+        yield Decide((picked, committed))
+
+    return protocol
+
+
+def run_converge(n_procs, k, inputs, seed, register_based=False, crashes=None):
+    system = System(n_procs)
+    pattern = (
+        FailurePattern.crash_at(system, crashes)
+        if crashes
+        else FailurePattern.failure_free(system)
+    )
+    sim = Simulation(
+        system,
+        converge_protocol(k, register_based),
+        inputs=inputs,
+        pattern=pattern,
+    )
+    sim.run_until(
+        Simulation.all_correct_decided,
+        max_steps=300_000,
+        scheduler=RandomScheduler(seed),
+    )
+    return sim.decisions()  # pid -> (picked, committed)
+
+
+def assert_converge_properties(decisions, inputs, k):
+    picks = [p for (p, _) in decisions.values()]
+    commits = [c for (_, c) in decisions.values()]
+    # C-Validity
+    assert set(picks) <= set(inputs.values())
+    # C-Agreement
+    if any(commits):
+        assert len(set(picks)) <= max(k, 1)
+    # Convergence
+    if len(set(inputs.values())) <= k:
+        assert all(commits)
+
+
+class TestDegenerate:
+    def test_0_converge_returns_input_uncommitted(self, system3):
+        decisions = run_converge(3, 0, {p: f"v{p}" for p in range(3)}, seed=1)
+        assert decisions == {p: (f"v{p}", False) for p in range(3)}
+
+    def test_0_converge_takes_no_shared_steps(self, system3):
+        def protocol(ctx, value):
+            result = yield from k_converge(ctx, "x", 0, value)
+            yield Decide(result)
+
+        sim = Simulation(system3, {0: protocol}, inputs={0: "v"})
+        sim.step(0)
+        assert sim.runtimes[0].decision == ("v", False)
+        assert sim.runtimes[0].steps_taken == 1  # just the Decide
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergeInstance("x", -1, 3)
+
+
+class TestSingleValue:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("register_based", [False, True])
+    def test_unanimous_input_commits(self, k, register_based):
+        decisions = run_converge(
+            4, k, {p: "same" for p in range(4)}, seed=3,
+            register_based=register_based,
+        )
+        assert all(d == ("same", True) for d in decisions.values())
+
+
+class TestConvergenceThreshold:
+    def test_k_distinct_inputs_commit(self):
+        # exactly k = 2 distinct values among 4 processes
+        inputs = {0: "a", 1: "a", 2: "b", 3: "b"}
+        decisions = run_converge(4, 2, inputs, seed=5)
+        assert all(c for (_, c) in decisions.values())
+        assert {p for (p, _) in decisions.values()} <= {"a", "b"}
+
+    def test_solo_participant_commits_any_k_ge_1(self):
+        system = System(4)
+
+        def protocol(ctx, value):
+            result = yield from k_converge(ctx, "solo", 1, value)
+            yield Decide(result)
+
+        sim = Simulation(system, {2: protocol}, inputs={2: "mine"})
+        while not sim.runtimes[2].has_decided:
+            sim.step(2)
+        assert sim.runtimes[2].decision == ("mine", True)
+
+
+class TestAgreementUnderContention:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_n_plus_1_values_k_n(self, seed):
+        """The Fig. 1 top-of-round shape: n+1 distinct values, k = n."""
+        inputs = {p: f"v{p}" for p in range(4)}
+        decisions = run_converge(4, 3, inputs, seed=seed)
+        assert_converge_properties(decisions, inputs, 3)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_contended_k_1(self, seed):
+        inputs = {p: f"v{p}" for p in range(3)}
+        decisions = run_converge(3, 1, inputs, seed=seed)
+        assert_converge_properties(decisions, inputs, 1)
+
+
+class TestWithCrashes:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_crashed_participants_do_not_break_properties(self, seed):
+        rng = random.Random(seed)
+        inputs = {p: f"v{p % 3}" for p in range(5)}
+        crashes = {rng.randrange(5): rng.randrange(30)}
+        decisions = run_converge(5, 2, inputs, seed=seed, crashes=crashes)
+        assert_converge_properties(decisions, inputs, 2)
+        assert set(decisions) >= set(range(5)) - set(crashes)
+
+
+@given(
+    n_procs=st.integers(2, 5),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 100_000),
+    value_count=st.integers(1, 5),
+    register_based=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_converge_properties_hypothesis(n_procs, k, seed, value_count, register_based):
+    rng = random.Random(seed)
+    values = [f"v{i}" for i in range(value_count)]
+    inputs = {p: rng.choice(values) for p in range(n_procs)}
+    decisions = run_converge(
+        n_procs, min(k, n_procs), inputs, seed=seed,
+        register_based=register_based,
+    )
+    assert_converge_properties(decisions, inputs, min(k, n_procs))
+    # C-Termination: every (correct) process picked.
+    assert set(decisions) == set(range(n_procs))
+
+
+@given(
+    n_procs=st.integers(3, 5),
+    seed=st.integers(0, 100_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_converge_agreement_with_crash(n_procs, seed):
+    rng = random.Random(seed)
+    k = rng.randint(1, n_procs - 1)
+    inputs = {p: f"v{p}" for p in range(n_procs)}
+    victim = rng.randrange(n_procs)
+    decisions = run_converge(
+        n_procs, k, inputs, seed=seed, crashes={victim: rng.randrange(40)}
+    )
+    assert_converge_properties(decisions, inputs, k)
+
+
+class TestInstanceIsolation:
+    def test_distinct_keys_do_not_interfere(self):
+        """Two instances in the same memory stay independent."""
+        system = System(2)
+
+        def protocol(ctx, value):
+            r1 = yield from k_converge(ctx, "one", 1, value)
+            r2 = yield from k_converge(ctx, "two", 1, f"second-{value}")
+            yield Decide((r1, r2))
+
+        sim = Simulation(system, protocol, inputs={0: "a", 1: "b"})
+        sim.run_until(Simulation.all_correct_decided, 50_000, RandomScheduler(2))
+        for pid, (r1, r2) in sim.decisions().items():
+            assert r1[0] in {"a", "b"}
+            assert r2[0] in {"second-a", "second-b"}

@@ -1,0 +1,160 @@
+"""Tests for the failure-detector framework (histories, specs, sampling)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import (
+    ConstantHistory,
+    LocallyStableHistory,
+    ScriptedHistory,
+    StableHistory,
+    UpsilonSpec,
+    powerset_nonempty,
+    seeded_noise,
+)
+from repro.detectors.base import DetectorSpec
+from repro.failures import FailurePattern
+from repro.runtime import HistoryError, System
+
+
+class TestHistories:
+    def test_constant(self):
+        h = ConstantHistory("d")
+        assert h.value(0, 0) == "d"
+        assert h.value(5, 99999) == "d"
+        assert "d" in h.describe()
+
+    def test_scripted_with_default(self):
+        h = ScriptedHistory({(1, 3): "special"}, default="usual")
+        assert h.value(1, 3) == "special"
+        assert h.value(1, 4) == "usual"
+        assert h.value(0, 3) == "usual"
+
+    def test_stable_after_time(self):
+        h = StableHistory("stable", stabilization_time=10, noise=lambda p, t: f"n{t}")
+        assert h.value(0, 9) == "n9"
+        assert h.value(0, 10) == "stable"
+        assert h.value(2, 10**9) == "stable"
+
+    def test_stable_without_noise_is_constant(self):
+        h = StableHistory("v", stabilization_time=50)
+        assert h.value(0, 0) == "v"
+
+    def test_locally_stable_per_process_values(self):
+        h = LocallyStableHistory({0: "a", 1: "b"}, stabilization_time=0)
+        assert h.value(0, 100) == "a"
+        assert h.value(1, 100) == "b"
+
+
+class TestSeededNoise:
+    def test_deterministic(self):
+        n1 = seeded_noise(42, ["a", "b", "c"])
+        n2 = seeded_noise(42, ["a", "b", "c"])
+        assert [n1(p, t) for p in range(3) for t in range(10)] == [
+            n2(p, t) for p in range(3) for t in range(10)
+        ]
+
+    def test_query_order_independent(self):
+        n = seeded_noise(7, list(range(10)))
+        forward = [n(0, t) for t in range(20)]
+        backward = [n(0, t) for t in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_varies_with_seed(self):
+        pool = list(range(50))
+        a = [seeded_noise(1, pool)(0, t) for t in range(30)]
+        b = [seeded_noise(2, pool)(0, t) for t in range(30)]
+        assert a != b
+
+    def test_draws_from_pool(self):
+        n = seeded_noise(3, ["x", "y"])
+        assert {n(p, t) for p in range(4) for t in range(25)} <= {"x", "y"}
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(HistoryError):
+            seeded_noise(0, [])
+
+
+class TestSpecSampling:
+    def _spec_and_pattern(self):
+        system = System(3)
+        spec = UpsilonSpec(system)
+        pattern = FailurePattern.crash_at(system, {0: 10})
+        return spec, pattern
+
+    def test_sampled_history_is_legal(self):
+        spec, pattern = self._spec_and_pattern()
+        for seed in range(20):
+            h = spec.sample_history(pattern, random.Random(seed),
+                                    stabilization_time=30)
+            spec.validate(h, pattern)  # must not raise
+            assert spec.is_legal_stable_value(pattern, h.stable_value)
+
+    def test_requested_stable_value_honoured(self):
+        spec, pattern = self._spec_and_pattern()
+        h = spec.sample_history(
+            pattern, random.Random(0), stable_value=frozenset({0})
+        )
+        assert h.stable_value == frozenset({0})
+
+    def test_illegal_requested_value_rejected(self):
+        spec, pattern = self._spec_and_pattern()
+        with pytest.raises(HistoryError):
+            spec.sample_history(
+                pattern, random.Random(0), stable_value=pattern.correct
+            )
+
+    def test_validate_rejects_illegal_stable(self):
+        spec, pattern = self._spec_and_pattern()
+        bad = StableHistory(pattern.correct, stabilization_time=0)
+        with pytest.raises(HistoryError):
+            spec.validate(bad, pattern)
+
+    def test_validate_rejects_illegal_constant(self):
+        spec, pattern = self._spec_and_pattern()
+        with pytest.raises(HistoryError):
+            spec.validate(ConstantHistory(pattern.correct), pattern)
+
+    def test_validate_scripted_not_supported(self):
+        spec, pattern = self._spec_and_pattern()
+        with pytest.raises(HistoryError, match="statically"):
+            spec.validate(ScriptedHistory({}, default=frozenset({0})), pattern)
+
+    def test_zero_stabilization_has_no_noise(self):
+        spec, pattern = self._spec_and_pattern()
+        h = spec.sample_history(pattern, random.Random(1), stabilization_time=0)
+        assert h.value(0, 0) == h.stable_value
+
+    @given(seed=st.integers(0, 5000), stab=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_noise_values_within_range(self, seed, stab):
+        system = System(3)
+        spec = UpsilonSpec(system)
+        pattern = FailurePattern.failure_free(system)
+        h = spec.sample_history(pattern, random.Random(seed),
+                                stabilization_time=stab)
+        for t in range(0, stab, 7):
+            value = h.value(0, t)
+            assert value and value <= system.pid_set
+
+    def test_spec_with_no_legal_values_raises(self):
+        class Impossible(DetectorSpec):
+            name = "∅"
+
+            def legal_stable_values(self, pattern):
+                return []
+
+        system = System(2)
+        pattern = FailurePattern.failure_free(system)
+        with pytest.raises(HistoryError, match="no legal stable value"):
+            Impossible().sample_history(pattern, random.Random(0))
+
+
+def test_powerset_nonempty():
+    subsets = list(powerset_nonempty([0, 1, 2]))
+    assert len(subsets) == 7
+    assert frozenset({0, 1, 2}) in subsets
+    assert frozenset() not in subsets

@@ -1,0 +1,203 @@
+"""Specification tests for Υ, Υf, Ω, Ωk, ◇P, anti-Ω and dummies.
+
+Includes the paper's own 3-process example (Sect. 4): with p1 faulty and
+p2, p3 correct, Υ may stabilize on any non-empty set except {p2, p3}.
+"""
+
+import pytest
+
+from repro.detectors import (
+    AntiOmegaSpec,
+    DummySpec,
+    EventuallyPerfectSpec,
+    OmegaKSpec,
+    OmegaSpec,
+    UpsilonFSpec,
+    UpsilonSpec,
+    omega_n,
+)
+from repro.failures import Environment, FailurePattern
+from repro.runtime import System
+
+
+class TestUpsilonPaperExample:
+    """Sect. 4's illustration, translated to pids (p1→0, p2→1, p3→2)."""
+
+    def setup_method(self):
+        self.system = System(3)
+        self.spec = UpsilonSpec(self.system)
+        # p1 (pid 0) fails; p2, p3 (pids 1, 2) correct.
+        self.pattern = FailurePattern.crash_at(self.system, {0: 5})
+
+    def test_all_sets_but_correct_are_legal(self):
+        legal = set(self.spec.legal_stable_values(self.pattern))
+        expected = {
+            frozenset({0}), frozenset({1}), frozenset({2}),
+            frozenset({0, 2}), frozenset({0, 1}), frozenset({0, 1, 2}),
+        }
+        assert legal == expected
+
+    def test_correct_set_is_the_only_forbidden_one(self):
+        assert not self.spec.is_legal_stable_value(
+            self.pattern, frozenset({1, 2})
+        )
+
+    def test_sets_without_any_correct_process_are_legal(self):
+        # "the set it outputs might never contain any correct process"
+        assert self.spec.is_legal_stable_value(self.pattern, frozenset({0}))
+
+    def test_sets_without_any_faulty_process_are_legal(self):
+        assert self.spec.is_legal_stable_value(self.pattern, frozenset({1}))
+
+
+class TestUpsilonSpec:
+    def test_range_excludes_empty_set(self, system3):
+        spec = UpsilonSpec(system3)
+        values = list(spec.range_values())
+        assert frozenset() not in values
+        assert len(values) == 7
+
+    def test_noise_pool_includes_correct_set(self, system3):
+        """Pre-stabilization output is unconstrained — even the correct set."""
+        spec = UpsilonSpec(system3)
+        pattern = FailurePattern.failure_free(system3)
+        assert pattern.correct in set(spec.noise_pool(pattern))
+
+    def test_legality_accepts_plain_sets(self, system3):
+        spec = UpsilonSpec(system3)
+        pattern = FailurePattern.failure_free(system3)
+        assert spec.is_legal_stable_value(pattern, {0})
+        assert not spec.is_legal_stable_value(pattern, {0, 1, 2})
+
+    def test_out_of_universe_rejected(self, system3):
+        spec = UpsilonSpec(system3)
+        pattern = FailurePattern.failure_free(system3)
+        assert not spec.is_legal_stable_value(pattern, frozenset({7}))
+        assert not spec.is_legal_stable_value(pattern, frozenset())
+
+
+class TestUpsilonFSpec:
+    def test_minimum_size(self, system5):
+        env = Environment(system5, 2)
+        spec = UpsilonFSpec(env)
+        assert spec.min_size == 3
+        assert all(len(s) >= 3 for s in spec.range_values())
+
+    def test_small_sets_illegal(self, system5):
+        env = Environment(system5, 2)
+        spec = UpsilonFSpec(env)
+        pattern = FailurePattern.crash_at(system5, {0: 1})
+        assert not spec.is_legal_stable_value(pattern, frozenset({1, 2}))
+
+    def test_correct_set_illegal(self, system5):
+        env = Environment(system5, 2)
+        spec = UpsilonFSpec(env)
+        pattern = FailurePattern.crash_at(system5, {0: 1, 1: 2})
+        assert not spec.is_legal_stable_value(pattern, pattern.correct)
+        assert spec.is_legal_stable_value(pattern, system5.pid_set)
+
+    def test_upsilon_n_is_upsilon(self, system4):
+        """Υ^n is Υ (Sect. 5.3)."""
+        wait_free = UpsilonFSpec(Environment.wait_free(system4))
+        plain = UpsilonSpec(system4)
+        pattern = FailurePattern.crash_at(system4, {2: 3})
+        assert set(wait_free.legal_stable_values(pattern)) == set(
+            plain.legal_stable_values(pattern)
+        )
+
+
+class TestOmegaSpec:
+    def test_stable_values_are_correct_pids(self, system3):
+        spec = OmegaSpec(system3)
+        pattern = FailurePattern.crash_at(system3, {1: 4})
+        assert list(spec.legal_stable_values(pattern)) == [0, 2]
+
+    def test_noise_may_be_faulty(self, system3):
+        spec = OmegaSpec(system3)
+        pattern = FailurePattern.crash_at(system3, {1: 4})
+        assert 1 in spec.noise_pool(pattern)
+
+    def test_legality(self, system3):
+        spec = OmegaSpec(system3)
+        pattern = FailurePattern.crash_at(system3, {1: 4})
+        assert spec.is_legal_stable_value(pattern, 0)
+        assert not spec.is_legal_stable_value(pattern, 1)
+
+
+class TestOmegaKSpec:
+    def test_size_constraint(self, system4):
+        spec = OmegaKSpec(system4, 2)
+        assert all(len(s) == 2 for s in spec.range_values())
+        assert len(list(spec.range_values())) == 6
+
+    def test_must_contain_correct(self, system4):
+        spec = OmegaKSpec(system4, 2)
+        pattern = FailurePattern.crash_at(system4, {0: 1, 1: 2})
+        assert spec.is_legal_stable_value(pattern, frozenset({0, 2}))
+        assert not spec.is_legal_stable_value(pattern, frozenset({0, 1}))
+
+    def test_wrong_size_illegal(self, system4):
+        spec = OmegaKSpec(system4, 2)
+        pattern = FailurePattern.failure_free(system4)
+        assert not spec.is_legal_stable_value(pattern, frozenset({0}))
+        assert not spec.is_legal_stable_value(pattern, frozenset({0, 1, 2}))
+
+    def test_omega_n_helper(self, system4):
+        assert omega_n(system4).k == 3
+
+    def test_omega_1_matches_omega(self, system3):
+        o1 = OmegaKSpec(system3, 1)
+        omega = OmegaSpec(system3)
+        pattern = FailurePattern.crash_at(system3, {2: 0})
+        singles = {frozenset({p}) for p in omega.legal_stable_values(pattern)}
+        assert set(o1.legal_stable_values(pattern)) == singles
+
+    def test_k_bounds(self, system3):
+        with pytest.raises(ValueError):
+            OmegaKSpec(system3, 0)
+        with pytest.raises(ValueError):
+            OmegaKSpec(system3, 4)
+
+
+class TestEventuallyPerfect:
+    def test_unique_stable_value(self, system3):
+        spec = EventuallyPerfectSpec(system3)
+        pattern = FailurePattern.crash_at(system3, {0: 1})
+        assert list(spec.legal_stable_values(pattern)) == [frozenset({0})]
+
+    def test_failure_free_suspects_nobody(self, system3):
+        spec = EventuallyPerfectSpec(system3)
+        pattern = FailurePattern.failure_free(system3)
+        assert spec.is_legal_stable_value(pattern, frozenset())
+        assert not spec.is_legal_stable_value(pattern, frozenset({0}))
+
+    def test_range_includes_empty(self, system3):
+        assert frozenset() in set(EventuallyPerfectSpec(system3).range_values())
+
+
+class TestAntiOmega:
+    def test_legal_when_other_correct_exists(self, system3):
+        spec = AntiOmegaSpec(system3)
+        pattern = FailurePattern.crash_at(system3, {0: 1})  # correct {1,2}
+        assert set(spec.legal_stable_values(pattern)) == {0, 1, 2}
+
+    def test_illegal_when_single_correct_is_value(self, system3):
+        spec = AntiOmegaSpec(system3)
+        pattern = FailurePattern.crash_at(system3, {0: 1, 1: 1})  # correct {2}
+        assert not spec.is_legal_stable_value(pattern, 2)
+        assert spec.is_legal_stable_value(pattern, 0)
+
+
+class TestDummy:
+    def test_single_legal_value(self, system3):
+        spec = DummySpec("d")
+        pattern = FailurePattern.failure_free(system3)
+        assert list(spec.legal_stable_values(pattern)) == ["d"]
+        assert spec.is_legal_stable_value(pattern, "d")
+        assert not spec.is_legal_stable_value(pattern, "e")
+
+    def test_history_is_constant(self):
+        spec = DummySpec(42)
+        h = spec.history()
+        assert h.value(0, 0) == 42
+        assert h.value(3, 10**6) == 42

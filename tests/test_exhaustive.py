@@ -1,0 +1,149 @@
+"""Exhaustive model checking on small instances.
+
+Random and property-based schedules sample the interleaving space; these
+tests *enumerate* it.  For two-process protocols the full schedule tree is
+small enough to check every interleaving; crash times are additionally
+swept exhaustively for three processes.
+"""
+
+from typing import Callable, List
+
+import pytest
+
+from repro.core import ConvergeInstance, make_upsilon_set_agreement
+from repro.detectors import ConstantHistory
+from repro.failures import FailurePattern
+from repro.memory import check_immediacy, make_immediate_api
+from repro.runtime import Decide, RoundRobinScheduler, Simulation, System
+from repro.tasks import SetAgreementSpec
+
+
+def explore_all_schedules(
+    make_sim: Callable[[], Simulation],
+    check: Callable[[Simulation], None],
+    max_depth: int = 64,
+) -> int:
+    """DFS over every scheduling choice; re-executes runs from scratch.
+
+    For each maximal schedule (no process left to run) the ``check``
+    callback is invoked with the finished simulation.  Returns the number
+    of complete schedules explored.
+    """
+    complete = 0
+    stack: List[List[int]] = [[]]
+    while stack:
+        prefix = stack.pop()
+        sim = make_sim()
+        for pid in prefix:
+            sim.step(pid)
+        eligible = sim.eligible()
+        if not eligible:
+            complete += 1
+            check(sim)
+            continue
+        if len(prefix) >= max_depth:
+            raise AssertionError(
+                f"schedule exceeded depth {max_depth}: protocol not "
+                "wait-free on this instance?"
+            )
+        for pid in eligible:
+            stack.append(prefix + [pid])
+    return complete
+
+
+class TestConvergeExhaustive:
+    @pytest.mark.parametrize("k", [1, 2])
+    @pytest.mark.parametrize("inputs", [
+        {0: "a", 1: "b"},
+        {0: "same", 1: "same"},
+    ])
+    def test_all_two_process_interleavings(self, k, inputs):
+        system = System(2)
+
+        def protocol(ctx, value):
+            instance = ConvergeInstance("x", k, system.n_processes)
+            result = yield from instance.converge(ctx, value)
+            yield Decide(result)
+
+        def check(sim):
+            decisions = sim.decisions()
+            picks = {p for (p, _) in decisions.values()}
+            commits = [c for (_, c) in decisions.values()]
+            assert picks <= set(inputs.values())           # C-Validity
+            if any(commits):
+                assert len(picks) <= k                     # C-Agreement
+            if len(set(inputs.values())) <= k:
+                assert all(commits)                        # Convergence
+
+        def make_sim():
+            return Simulation(system, protocol, inputs=inputs)
+
+        # 2 processes × 5 steps each → C(10, 5) = 252 interleavings.
+        count = explore_all_schedules(make_sim, check)
+        assert count == 252
+
+
+class TestImmediateSnapshotExhaustive:
+    def test_all_two_process_interleavings(self):
+        system = System(2)
+
+        def protocol(ctx, value):
+            api = make_immediate_api("obj", system.n_processes, True)
+            view = yield from api.write_and_scan(ctx.pid, value)
+            yield Decide(view)
+
+        def check(sim):
+            views = {p: r.decision for p, r in sim.runtimes.items()}
+            assert check_immediacy(views) == []
+
+        def make_sim():
+            return Simulation(system, protocol,
+                              inputs={0: "a", 1: "b"})
+
+        count = explore_all_schedules(make_sim, check, max_depth=40)
+        assert count > 100  # the level algorithm has data-dependent length
+
+
+class TestCrashTimeSweep:
+    """Every crash time for every victim, under lockstep (Fig. 1)."""
+
+    def test_fig1_single_crash_sweep(self):
+        system = System(3)
+        task = SetAgreementSpec(system.n)
+        inputs = {p: f"v{p}" for p in system.pids}
+        checked = 0
+        for victim in system.pids:
+            for crash_time in range(0, 42, 1):
+                pattern = FailurePattern.crash_at(system, {victim: crash_time})
+                # A constant legal Υ value for *this* pattern.
+                stable = frozenset({victim})  # contains a faulty process,
+                # so it can never equal the correct set.
+                sim = Simulation(
+                    system, make_upsilon_set_agreement(), inputs=inputs,
+                    pattern=pattern, history=ConstantHistory(stable),
+                )
+                sim.run(max_steps=50_000, scheduler=RoundRobinScheduler(),
+                        stop_when=Simulation.all_correct_decided)
+                assert sim.all_correct_decided(), (
+                    f"victim {victim} at t={crash_time} blocked the run"
+                )
+                SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()
+                checked += 1
+        assert checked == 3 * 42
+
+    def test_fig1_two_crash_grid(self):
+        """Two victims, a coarse grid of crash-time pairs."""
+        system = System(3)
+        inputs = {p: f"v{p}" for p in system.pids}
+        for t0 in range(0, 30, 6):
+            for t1 in range(0, 30, 6):
+                pattern = FailurePattern.crash_at(system, {0: t0, 1: t1})
+                sim = Simulation(
+                    system, make_upsilon_set_agreement(), inputs=inputs,
+                    pattern=pattern,
+                    history=ConstantHistory(frozenset({0, 1})),
+                )
+                sim.run(max_steps=50_000, scheduler=RoundRobinScheduler(),
+                        stop_when=Simulation.all_correct_decided)
+                assert sim.all_correct_decided()
+                SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()

@@ -1,0 +1,141 @@
+"""Unit and property tests for failure patterns and environments E_f."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.failures import Environment, FailurePattern
+from repro.runtime import PatternError, System
+
+
+class TestFailurePattern:
+    def test_failure_free(self, system3):
+        p = FailurePattern.failure_free(system3)
+        assert p.faulty == frozenset()
+        assert p.correct == system3.pid_set
+        assert p.crashed_by(10**6) == frozenset()
+        assert p.describe() == "failure-free"
+
+    def test_crash_at(self, system3):
+        p = FailurePattern.crash_at(system3, {0: 5, 2: 10})
+        assert p.faulty == frozenset({0, 2})
+        assert p.correct == frozenset({1})
+        assert p.crashed_by(4) == frozenset()
+        assert p.crashed_by(5) == frozenset({0})
+        assert p.crashed_by(10) == frozenset({0, 2})
+        assert p.last_crash_time == 10
+
+    def test_is_alive_boundary(self, system3):
+        p = FailurePattern.crash_at(system3, {1: 7})
+        assert p.is_alive(1, 6)
+        assert not p.is_alive(1, 7)
+        assert p.is_alive(0, 10**9)
+
+    def test_crash_time(self, system3):
+        p = FailurePattern.crash_at(system3, {1: 7})
+        assert p.crash_time(1) == 7
+        assert p.crash_time(0) is None
+
+    def test_at_least_one_correct(self, system3):
+        with pytest.raises(PatternError):
+            FailurePattern.crash_at(system3, {0: 1, 1: 1, 2: 1})
+
+    def test_negative_crash_time_rejected(self, system3):
+        with pytest.raises(PatternError):
+            FailurePattern.crash_at(system3, {0: -1})
+
+    def test_bad_pid_rejected(self, system3):
+        with pytest.raises(ValueError):
+            FailurePattern.crash_at(system3, {5: 1})
+
+    def test_only_correct(self, system4):
+        p = FailurePattern.only_correct(system4, [1, 3])
+        assert p.correct == frozenset({1, 3})
+        assert p.crashed_by(0) == frozenset({0, 2})
+
+    def test_describe_lists_crashes(self, system3):
+        p = FailurePattern.crash_at(system3, {2: 3})
+        assert "p2@3" in p.describe()
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_random_pattern_invariants(self, seed):
+        system = System(5)
+        p = FailurePattern.random(system, random.Random(seed))
+        # partition
+        assert p.correct | p.faulty == system.pid_set
+        assert not (p.correct & p.faulty)
+        assert p.correct  # at least one correct
+        # monotonicity of F(t)
+        previous = frozenset()
+        for t in range(0, 250, 10):
+            now = p.crashed_by(t)
+            assert previous <= now
+            previous = now
+        assert p.crashed_by(10**9) == p.faulty
+
+    def test_random_respects_max_faulty(self, system5, rng):
+        for _ in range(20):
+            p = FailurePattern.random(system5, rng, max_faulty=2)
+            assert len(p.faulty) <= 2
+
+    def test_random_max_faulty_validated(self, system3, rng):
+        with pytest.raises(PatternError):
+            FailurePattern.random(system3, rng, max_faulty=3)
+
+
+class TestEnvironment:
+    def test_wait_free(self, system4):
+        env = Environment.wait_free(system4)
+        assert env.f == 3
+        assert env.is_wait_free
+        assert env.min_correct == 1
+
+    def test_min_correct(self, system5):
+        assert Environment(system5, 2).min_correct == 3
+
+    def test_f_bounds(self, system3):
+        with pytest.raises(PatternError):
+            Environment(system3, 3)  # f must be <= n = 2
+        with pytest.raises(PatternError):
+            Environment(system3, -1)
+
+    def test_admits(self, system4):
+        env = Environment(system4, 1)
+        assert env.admits(FailurePattern.crash_at(system4, {0: 3}))
+        assert not env.admits(FailurePattern.crash_at(system4, {0: 3, 1: 4}))
+
+    def test_require_raises(self, system4):
+        env = Environment(system4, 1)
+        bad = FailurePattern.crash_at(system4, {0: 0, 1: 0})
+        with pytest.raises(PatternError):
+            env.require(bad)
+        good = FailurePattern.failure_free(system4)
+        assert env.require(good) is good
+
+    def test_correct_set_candidates_sizes(self, system4):
+        env = Environment(system4, 2)
+        candidates = list(env.correct_set_candidates())
+        assert all(len(c) >= 2 for c in candidates)
+        # C(4,2) + C(4,3) + C(4,4) = 6 + 4 + 1
+        assert len(candidates) == 11
+        assert len(set(candidates)) == len(candidates)
+
+    def test_wait_free_candidates_are_all_nonempty_subsets(self, system3):
+        env = Environment.wait_free(system3)
+        assert len(list(env.correct_set_candidates())) == 7  # 2^3 − 1
+
+    def test_initially_dead(self, system4):
+        env = Environment(system4, 2)
+        p = env.initially_dead(frozenset({0, 1}))
+        assert p.correct == frozenset({2, 3})
+        assert p.crashed_by(0) == frozenset({0, 1})
+        with pytest.raises(PatternError):
+            env.initially_dead(frozenset({0, 1, 2}))
+
+    def test_random_pattern_in_env(self, system5, rng):
+        env = Environment(system5, 2)
+        for _ in range(20):
+            assert env.admits(env.random_pattern(rng))

@@ -1,0 +1,185 @@
+"""Tests for Fig. 1 — Υ-based n-set agreement (Theorem 2).
+
+Every run is checked against the three set-agreement properties via the
+task spec; sweeps cover crash patterns, adversarial stable Υ values, long
+noise prefixes, register-only builds, and the non-participation Remark.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_upsilon_set_agreement
+from repro.detectors import StableHistory, UpsilonSpec, seeded_noise
+from repro.failures import FailurePattern
+from repro.runtime import (
+    NON_PARTICIPANT,
+    RandomScheduler,
+    Simulation,
+    System,
+)
+from repro.tasks import SetAgreementSpec
+
+from tests.helpers import run_to_decision
+
+
+def run_fig1(system, pattern, history, seed=0, inputs=None, register_based=False):
+    inputs = inputs or {p: f"v{p}" for p in system.pids}
+    sim = run_to_decision(
+        system,
+        make_upsilon_set_agreement(register_based=register_based),
+        inputs,
+        pattern=pattern,
+        history=history,
+        seed=seed,
+    )
+    SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()
+    return sim
+
+
+class TestBasics:
+    def test_failure_free_immediate_stability(self, system3):
+        spec = UpsilonSpec(system3)
+        pattern = FailurePattern.failure_free(system3)
+        history = StableHistory(frozenset({0}), stabilization_time=0)
+        sim = run_fig1(system3, pattern, history)
+        assert len(sim.trace.decided_values()) <= system3.n
+
+    def test_two_processes_is_consensus_strength_free_case(self):
+        """n = 1: 1-set agreement = consensus, solvable since Υ ≡ Ω."""
+        system = System(2)
+        pattern = FailurePattern.failure_free(system)
+        # Legal stable values exclude {0,1} = correct set.
+        history = StableHistory(frozenset({1}), stabilization_time=0)
+        sim = run_fig1(system, pattern, history)
+        assert len(sim.trace.decided_values()) == 1
+
+    def test_decisions_are_proposals(self, system4):
+        spec = UpsilonSpec(system4)
+        pattern = FailurePattern.crash_at(system4, {1: 20})
+        history = spec.sample_history(pattern, random.Random(3),
+                                      stabilization_time=50)
+        sim = run_fig1(system4, pattern, history, seed=9)
+        assert sim.trace.decided_values() <= {f"v{p}" for p in system4.pids}
+
+    def test_decision_register_consistent(self, system3):
+        """Every decided value was at some point in register D."""
+        spec = UpsilonSpec(system3)
+        pattern = FailurePattern.failure_free(system3)
+        history = spec.sample_history(pattern, random.Random(5),
+                                      stabilization_time=20)
+        sim = run_fig1(system3, pattern, history, seed=4)
+        assert sim.memory.peek_register("D") in sim.trace.decided_values()
+
+
+class TestAdversarialStableValues:
+    """Υ may stabilize on ANY set ≠ correct — including nasty ones."""
+
+    def test_stable_set_of_only_faulty_processes(self, system4):
+        pattern = FailurePattern.crash_at(system4, {0: 10, 1: 15})
+        history = StableHistory(frozenset({0, 1}), stabilization_time=30)
+        run_fig1(system4, pattern, history, seed=1)
+
+    def test_stable_set_of_only_correct_processes_strict_subset(self, system4):
+        pattern = FailurePattern.crash_at(system4, {0: 10})
+        history = StableHistory(frozenset({1, 2}), stabilization_time=30)
+        run_fig1(system4, pattern, history, seed=2)
+
+    def test_stable_full_universe(self, system4):
+        """U = Π is legal whenever someone is faulty."""
+        pattern = FailurePattern.crash_at(system4, {3: 5})
+        history = StableHistory(system4.pid_set, stabilization_time=0)
+        run_fig1(system4, pattern, history, seed=3)
+
+    def test_stable_superset_of_correct(self, system4):
+        """Case (1) of the proof: correct ⊊ U, gladiator crash unblocks."""
+        pattern = FailurePattern.crash_at(system4, {0: 40})
+        history = StableHistory(frozenset({0, 1, 2, 3}), stabilization_time=0)
+        run_fig1(system4, pattern, history, seed=4)
+
+    def test_stable_disjoint_from_correct(self, system4):
+        """Case (2): a correct citizen exists and publishes D[r]."""
+        pattern = FailurePattern.crash_at(system4, {0: 30, 1: 35})
+        history = StableHistory(frozenset({0, 1}), stabilization_time=10)
+        run_fig1(system4, pattern, history, seed=5)
+
+    def test_singleton_faulty_gladiator(self, system3):
+        pattern = FailurePattern.crash_at(system3, {2: 8})
+        history = StableHistory(frozenset({2}), stabilization_time=0)
+        run_fig1(system3, pattern, history, seed=6)
+
+
+class TestNoisePrefixes:
+    @pytest.mark.parametrize("stabilization", [0, 10, 100, 400])
+    def test_longer_noise_still_terminates(self, system4, stabilization):
+        spec = UpsilonSpec(system4)
+        pattern = FailurePattern.crash_at(system4, {2: 50})
+        history = spec.sample_history(
+            pattern, random.Random(stabilization), stabilization_time=stabilization
+        )
+        run_fig1(system4, pattern, history, seed=stabilization)
+
+    def test_noise_showing_correct_set_is_survivable(self, system3):
+        """Pre-stabilization Υ may (illegally-looking) show the correct
+        set; the Stable[r] mechanism must cope."""
+        pattern = FailurePattern.failure_free(system3)
+        noise = seeded_noise(11, [pattern.correct, frozenset({0})])
+        history = StableHistory(frozenset({1}), stabilization_time=150,
+                                noise=noise)
+        run_fig1(system3, pattern, history, seed=7)
+
+
+class TestRemarkNonParticipation:
+    """Remark after Theorem 2: with a non-participant, round 1 commits."""
+
+    def test_terminates_without_full_participation(self, system4):
+        spec = UpsilonSpec(system4)
+        pattern = FailurePattern.failure_free(system4)
+        history = spec.sample_history(pattern, random.Random(8),
+                                      stabilization_time=1000)
+        inputs = {0: "a", 1: "b", 2: "c", 3: NON_PARTICIPANT}
+        sim = Simulation(
+            system4, make_upsilon_set_agreement(), inputs=inputs,
+            pattern=pattern, history=history,
+        )
+        sim.run_until(
+            Simulation.all_correct_decided, 100_000, RandomScheduler(1)
+        )
+        decided = sim.trace.decided_values()
+        assert decided <= {"a", "b", "c"}
+        # n-converge sees at most n distinct values, so everyone commits
+        # in round 1 — even though Υ never stabilizes within the run.
+        from repro.analysis import max_round_reached
+        assert max_round_reached(sim) == 1
+
+
+class TestRegisterOnlyBuild:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_register_based_snapshots(self, system3, seed):
+        spec = UpsilonSpec(system3)
+        rng = random.Random(seed)
+        pattern = FailurePattern.random(system3, rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        run_fig1(system3, pattern, history, seed=seed, register_based=True)
+
+
+@given(
+    n_procs=st.integers(2, 5),
+    seed=st.integers(0, 100_000),
+    stabilization=st.integers(0, 200),
+)
+@settings(max_examples=40, deadline=None)
+def test_fig1_properties_hypothesis(n_procs, seed, stabilization):
+    system = System(n_procs)
+    spec = UpsilonSpec(system)
+    rng = random.Random(seed)
+    pattern = FailurePattern.random(system, rng, max_crash_time=stabilization or 50)
+    history = spec.sample_history(pattern, rng, stabilization_time=stabilization)
+    inputs = {p: f"v{p}" for p in system.pids}
+    sim = run_to_decision(
+        system, make_upsilon_set_agreement(), inputs,
+        pattern=pattern, history=history, seed=seed,
+    )
+    SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()

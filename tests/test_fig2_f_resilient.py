@@ -1,0 +1,145 @@
+"""Tests for Fig. 2 — Υf-based f-resilient f-set agreement (Theorem 6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_upsilon_f_set_agreement
+from repro.detectors import StableHistory, UpsilonFSpec
+from repro.failures import Environment, FailurePattern
+from repro.runtime import System
+from repro.tasks import SetAgreementSpec
+
+from tests.helpers import run_to_decision
+
+
+def run_fig2(system, f, pattern, history, seed=0, register_based=False):
+    inputs = {p: f"v{p}" for p in system.pids}
+    sim = run_to_decision(
+        system,
+        make_upsilon_f_set_agreement(f, register_based=register_based),
+        inputs,
+        pattern=pattern,
+        history=history,
+        seed=seed,
+        max_steps=1_000_000,
+    )
+    SetAgreementSpec(f).check(sim, inputs).raise_if_failed()
+    return sim
+
+
+class TestParameterValidation:
+    def test_f_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_upsilon_f_set_agreement(0)
+
+
+class TestGridSweep:
+    @pytest.mark.parametrize("n_procs,f", [
+        (3, 1), (3, 2), (4, 1), (4, 2), (4, 3), (5, 2), (5, 4),
+    ])
+    def test_agreement_bound_is_f(self, n_procs, f):
+        system = System(n_procs)
+        env = Environment(system, f)
+        spec = UpsilonFSpec(env)
+        for seed in range(4):
+            rng = random.Random(f"{n_procs}/{f}/{seed}")
+            pattern = env.random_pattern(rng, max_crash_time=60)
+            history = spec.sample_history(pattern, rng, stabilization_time=80)
+            sim = run_fig2(system, f, pattern, history, seed=seed)
+            assert len(sim.trace.decided_values()) <= f
+
+
+class TestMinimumSizeOutput:
+    def test_u_of_exactly_min_size_relies_on_citizens(self):
+        """|U| = n+1−f makes the gladiator convergence 0-converge (never
+        commits); a correct citizen must free the round."""
+        system = System(5)  # n = 4
+        f = 2
+        pattern = FailurePattern.crash_at(system, {0: 10, 1: 20})
+        # |U| = n+1−f = 3, U ≠ correct = {2,3,4}: pick {0,1,2}.
+        history = StableHistory(frozenset({0, 1, 2}), stabilization_time=0)
+        run_fig2(system, f, pattern, history, seed=1)
+
+    def test_u_superset_of_correct_uses_snapshot_elimination(self):
+        """correct ⊊ U: the snapshot chain bounds distinct adopted values."""
+        system = System(5)
+        f = 2
+        pattern = FailurePattern.crash_at(system, {0: 15, 4: 25})
+        history = StableHistory(system.pid_set, stabilization_time=0)
+        sim = run_fig2(system, f, pattern, history, seed=2)
+        assert len(sim.trace.decided_values()) <= f
+
+
+class TestBlockingLoopEscapes:
+    def test_escape_via_round_register(self):
+        """Gladiators blocked at < n+1−f entries escape once a citizen
+        writes D[r]."""
+        system = System(4)
+        f = 2
+        # correct = {2, 3}; stable U = {0, 1}? size must be >= n+1-f = 2. OK.
+        # But U must not equal correct; {0,1} != {2,3}. Gladiators 0,1 are
+        # both faulty; citizens 2,3 are correct and publish.
+        pattern = FailurePattern.crash_at(system, {0: 25, 1: 30})
+        history = StableHistory(frozenset({0, 1}), stabilization_time=0)
+        run_fig2(system, f, pattern, history, seed=3)
+
+    def test_escape_via_instability_flag(self):
+        """A long noisy prefix exercises Stable[r]-based escapes."""
+        system = System(4)
+        f = 2
+        env = Environment(system, f)
+        spec = UpsilonFSpec(env)
+        rng = random.Random(77)
+        pattern = FailurePattern.crash_at(system, {1: 50})
+        history = spec.sample_history(pattern, rng, stabilization_time=300)
+        run_fig2(system, f, pattern, history, seed=4)
+
+
+class TestWaitFreeInstanceMatchesFig1Guarantee:
+    def test_f_equals_n(self, system4):
+        """Υ^n-based Fig. 2 still solves n-set agreement."""
+        env = Environment.wait_free(system4)
+        spec = UpsilonFSpec(env)
+        rng = random.Random(5)
+        pattern = env.random_pattern(rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        sim = run_fig2(system4, system4.n, pattern, history, seed=5)
+        assert len(sim.trace.decided_values()) <= system4.n
+
+
+class TestRegisterOnlyBuild:
+    def test_register_based(self):
+        system = System(4)
+        f = 2
+        env = Environment(system, f)
+        spec = UpsilonFSpec(env)
+        rng = random.Random(6)
+        pattern = env.random_pattern(rng, max_crash_time=30)
+        history = spec.sample_history(pattern, rng, stabilization_time=40)
+        run_fig2(system, f, pattern, history, seed=6, register_based=True)
+
+
+@given(
+    n_procs=st.integers(3, 5),
+    seed=st.integers(0, 100_000),
+    stabilization=st.integers(0, 150),
+    f_choice=st.integers(1, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_fig2_properties_hypothesis(n_procs, seed, stabilization, f_choice):
+    system = System(n_procs)
+    f = min(f_choice, system.n)
+    env = Environment(system, f)
+    spec = UpsilonFSpec(env)
+    rng = random.Random(seed)
+    pattern = env.random_pattern(rng, max_crash_time=stabilization or 40)
+    history = spec.sample_history(pattern, rng, stabilization_time=stabilization)
+    inputs = {p: f"v{p}" for p in system.pids}
+    sim = run_to_decision(
+        system, make_upsilon_f_set_agreement(f), inputs,
+        pattern=pattern, history=history, seed=seed, max_steps=1_000_000,
+    )
+    SetAgreementSpec(f).check(sim, inputs).raise_if_failed()

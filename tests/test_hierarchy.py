@@ -1,0 +1,137 @@
+"""Tests for the detector-hierarchy graph — including the semantic check
+that every composed pointwise transform maps legal histories to legal
+histories."""
+
+import random
+
+import pytest
+
+from repro.core.hierarchy import DetectorHierarchy
+from repro.failures import Environment, FailurePattern
+from repro.runtime import System
+
+
+@pytest.fixture
+def wait_free_hierarchy(system4):
+    return DetectorHierarchy(Environment.wait_free(system4))
+
+
+@pytest.fixture
+def e2_hierarchy():
+    return DetectorHierarchy(Environment(System(5), 2))
+
+
+class TestStructure:
+    def test_wait_free_nodes(self, wait_free_hierarchy):
+        assert set(wait_free_hierarchy.detectors()) == {
+            "anti-Ω", "dummy", "Ω", "Ωn", "Υ", "◇P",
+        }
+
+    def test_f_resilient_adds_f_detectors(self, e2_hierarchy):
+        names = e2_hierarchy.detectors()
+        assert "Υf" in names and "Ωf" in names
+
+    def test_unknown_detector_rejected(self, wait_free_hierarchy):
+        with pytest.raises(KeyError):
+            wait_free_hierarchy.weaker_than("Σ", "Ω")
+
+
+class TestWeakerThan:
+    def test_paper_chain(self, wait_free_hierarchy):
+        h = wait_free_hierarchy
+        chain = ["dummy", "anti-Ω", "Υ", "Ωn", "Ω", "◇P"]
+        for weaker, stronger in zip(chain, chain[1:]):
+            assert h.weaker_than(weaker, stronger)
+        # transitivity end to end:
+        assert h.weaker_than("dummy", "◇P")
+        assert h.weaker_than("Υ", "◇P")
+
+    def test_reflexive(self, wait_free_hierarchy):
+        assert wait_free_hierarchy.weaker_than("Υ", "Υ")
+
+    def test_no_downward_paths(self, wait_free_hierarchy):
+        h = wait_free_hierarchy
+        assert not h.weaker_than("◇P", "Υ")
+        assert not h.weaker_than("Ωn", "Υ")
+        assert not h.weaker_than("Ω", "Ωn")
+
+    def test_f_resilient_chain(self, e2_hierarchy):
+        h = e2_hierarchy
+        assert h.weaker_than("Υf", "Ωf")
+        assert h.weaker_than("Υ", "Υf")
+        assert h.weaker_than("Υ", "Ωf")  # via Υf
+        assert h.weaker_than("Ωf", "Ω")
+
+
+class TestStrictness:
+    def test_theorem1_strictness(self, wait_free_hierarchy):
+        assert wait_free_hierarchy.strictly_weaker("Υ", "Ωn")
+
+    def test_theorem5_strictness(self, e2_hierarchy):
+        assert e2_hierarchy.strictly_weaker("Υf", "Ωf")
+
+    def test_strictness_propagates_along_paths(self, wait_free_hierarchy):
+        assert wait_free_hierarchy.strictly_weaker("Υ", "◇P")
+
+    def test_not_strict_for_equal(self, wait_free_hierarchy):
+        assert not wait_free_hierarchy.strictly_weaker("Υ", "Υ")
+
+    def test_explanations_cite_sources(self, wait_free_hierarchy):
+        edges = wait_free_hierarchy.explain("Υ", "Ωn")
+        assert len(edges) == 1
+        assert "Theorem 1" in edges[0].strictness_source
+
+
+class TestTransforms:
+    @pytest.mark.parametrize("weaker,stronger", [
+        ("Υ", "Ωn"), ("Υ", "Ω"), ("Ωn", "Ω"), ("Ω", "◇P"),
+        ("Υ", "◇P"), ("Ωn", "◇P"),
+    ])
+    def test_composed_transform_preserves_legality(
+        self, wait_free_hierarchy, weaker, stronger
+    ):
+        """The semantic content of 'weaker than': a stable value legal for
+        the stronger detector maps to one legal for the weaker."""
+        h = wait_free_hierarchy
+        transform = h.transform(weaker, stronger)
+        rng = random.Random(7)
+        for seed in range(10):
+            pattern = FailurePattern.random(h.system, rng, max_crash_time=20)
+            for value in h.specs[stronger].legal_stable_values(pattern):
+                mapped = transform(value)
+                assert h.specs[weaker].is_legal_stable_value(
+                    pattern, mapped
+                ), (
+                    f"{stronger}={value!r} mapped to illegal "
+                    f"{weaker}={mapped!r} for correct="
+                    f"{sorted(pattern.correct)}"
+                )
+
+    def test_f_resilient_transforms(self, e2_hierarchy):
+        h = e2_hierarchy
+        transform = h.transform("Υf", "Ωf")
+        rng = random.Random(3)
+        for seed in range(5):
+            pattern = h.env.random_pattern(rng)
+            for value in h.specs["Ωf"].legal_stable_values(pattern):
+                assert h.specs["Υf"].is_legal_stable_value(
+                    pattern, transform(value)
+                )
+
+    def test_transform_history(self, wait_free_hierarchy):
+        h = wait_free_hierarchy
+        pattern = FailurePattern.crash_at(h.system, {0: 5})
+        rng = random.Random(1)
+        strong = h.specs["Ω"].sample_history(pattern, rng,
+                                             stabilization_time=10)
+        weak = h.transform_history("Υ", "Ω", strong)
+        stable = weak.value(1, 10**6)
+        assert h.specs["Υ"].is_legal_stable_value(pattern, stable)
+
+    def test_non_constructive_path_rejected(self, wait_free_hierarchy):
+        with pytest.raises(ValueError, match="no constructive reduction"):
+            wait_free_hierarchy.transform("anti-Ω", "Υ")
+
+    def test_dummy_transform_is_constant(self, wait_free_hierarchy):
+        transform = wait_free_hierarchy.transform("dummy", "anti-Ω")
+        assert transform(0) == transform(3) == "d"

@@ -1,0 +1,181 @@
+"""Tests for the iterated-immediate-snapshot model and its topology.
+
+Reproduces the combinatorial heart of the impossibility substrate: one
+IS round's view profiles are exactly the ordered set partitions of the
+participants (the simplices of the standard chromatic subdivision).
+"""
+
+import random
+
+import pytest
+
+from repro.memory.iis import (
+    fubini,
+    iis_protocol,
+    ordered_partitions,
+    views_to_ordered_partition,
+)
+from repro.runtime import (
+    BOT,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Simulation,
+    System,
+)
+
+from tests.test_exhaustive import explore_all_schedules
+
+
+class TestFubini:
+    def test_known_values(self):
+        assert [fubini(n) for n in range(6)] == [1, 1, 3, 13, 75, 541]
+
+    def test_matches_enumeration(self):
+        for n in range(1, 5):
+            assert len(list(ordered_partitions(range(n)))) == fubini(n)
+
+    def test_partitions_are_partitions(self):
+        for blocks in ordered_partitions([0, 1, 2]):
+            flat = [p for block in blocks for p in block]
+            assert sorted(flat) == [0, 1, 2]
+            assert len(flat) == len(set(flat))
+
+
+class TestDecoding:
+    def test_singleton_blocks(self):
+        views = {
+            0: ("a", BOT, BOT),
+            1: ("a", "b", BOT),
+            2: ("a", "b", "c"),
+        }
+        assert views_to_ordered_partition(views) == (
+            frozenset({0}), frozenset({1}), frozenset({2}),
+        )
+
+    def test_one_big_block(self):
+        views = {
+            0: ("a", "b", BOT),
+            1: ("a", "b", BOT),
+        }
+        assert views_to_ordered_partition(views) == (frozenset({0, 1}),)
+
+    def test_invalid_incomparable_views(self):
+        views = {
+            0: ("a", BOT),
+            1: (BOT, "b"),
+        }
+        assert views_to_ordered_partition(views) is None
+
+    def test_invalid_missing_self(self):
+        views = {0: (BOT, "b"), 1: (BOT, "b")}
+        assert views_to_ordered_partition(views) is None
+
+
+def _round_views(decisions, round_index, n_procs):
+    return {
+        pid: history[round_index] for pid, history in decisions.items()
+    }
+
+
+class TestOneRoundProfiles:
+    def test_primitive_backend_yields_total_orders(self):
+        """The one-step primitive linearizes singleton blocks only, so the
+        observed profiles are exactly the 3! total orders for 3 procs."""
+        system = System(3)
+        profiles = set()
+        for seed in range(60):
+            sim = Simulation(system, iis_protocol(1, register_based=False),
+                             inputs={p: f"v{p}" for p in system.pids})
+            sim.run_until(Simulation.all_correct_decided, 10_000,
+                          RandomScheduler(seed))
+            profile = views_to_ordered_partition(
+                _round_views(sim.decisions(), 0, 3))
+            assert profile is not None
+            assert all(len(block) == 1 for block in profile)
+            profiles.add(profile)
+        assert len(profiles) == 6  # all 3! singleton-block orders
+
+    def test_level_backend_realizes_simultaneous_blocks(self):
+        """The Borowsky–Gafni construction also produces multi-process
+        blocks — more than the 6 total orders — and never an invalid
+        profile.  (All 13 profiles exist in the schedule space; random
+        sampling must find strictly more than the total orders.)"""
+        system = System(3)
+        profiles = set()
+        for seed in range(200):
+            sim = Simulation(system, iis_protocol(1, register_based=True),
+                             inputs={p: f"v{p}" for p in system.pids})
+            sim.run_until(Simulation.all_correct_decided, 50_000,
+                          RandomScheduler(seed))
+            profile = views_to_ordered_partition(
+                _round_views(sim.decisions(), 0, 3))
+            assert profile is not None, "invalid IS views observed"
+            profiles.add(profile)
+        valid = set(ordered_partitions(range(3)))
+        assert profiles <= valid
+        assert any(
+            any(len(block) >= 2 for block in profile) for profile in profiles
+        ), "no simultaneous block ever realized"
+
+    def test_lockstep_is_the_single_block(self):
+        system = System(3)
+        sim = Simulation(system, iis_protocol(1, register_based=True),
+                         inputs={p: f"v{p}" for p in system.pids})
+        sim.run_until(Simulation.all_correct_decided, 10_000,
+                      RoundRobinScheduler())
+        profile = views_to_ordered_partition(
+            _round_views(sim.decisions(), 0, 3))
+        assert profile == (frozenset({0, 1, 2}),)
+
+    def test_two_process_profiles_exhaustively(self):
+        """All interleavings of a 1-round, 2-process IIS: exactly the 3
+        profiles of the subdivided edge — ({0}{1}), ({1}{0}), ({0,1})."""
+        system = System(2)
+        seen = set()
+
+        def check(sim):
+            profile = views_to_ordered_partition(
+                _round_views(sim.decisions(), 0, 2))
+            assert profile is not None
+            seen.add(profile)
+
+        def make_sim():
+            return Simulation(system, iis_protocol(1, register_based=True),
+                              inputs={0: "a", 1: "b"})
+
+        explore_all_schedules(make_sim, check, max_depth=40)
+        assert seen == set(ordered_partitions(range(2)))
+        assert len(seen) == fubini(2) == 3
+
+
+class TestIteratedRounds:
+    @pytest.mark.parametrize("register_based", [False, True])
+    def test_every_round_is_a_valid_profile(self, register_based):
+        system = System(3)
+        rounds = 3
+        for seed in range(10):
+            sim = Simulation(
+                system, iis_protocol(rounds, register_based=register_based),
+                inputs={p: f"v{p}" for p in system.pids},
+            )
+            sim.run_until(Simulation.all_correct_decided, 100_000,
+                          RandomScheduler(seed))
+            for r in range(rounds):
+                profile = views_to_ordered_partition(
+                    _round_views(sim.decisions(), r, 3))
+                assert profile is not None, f"round {r} invalid"
+
+    def test_knowledge_accumulates(self):
+        """Full information: a later view contains earlier views."""
+        system = System(2)
+        sim = Simulation(system, iis_protocol(2),
+                         inputs={0: "a", 1: "b"})
+        sim.run_until(Simulation.all_correct_decided, 10_000,
+                      RoundRobinScheduler())
+        for pid, history in sim.decisions().items():
+            round2_self = history[1][pid]
+            assert round2_self == history[0]  # round 2 carries round 1 view
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            iis_protocol(0)

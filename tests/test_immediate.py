@@ -1,0 +1,156 @@
+"""Tests for one-shot immediate snapshots (Borowsky–Gafni [2]).
+
+Verifies self-inclusion, containment and immediacy for both
+implementations under random schedules, shows why plain
+update-then-scan is NOT immediate, and checks the SWMR discipline.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    ImmediateSnapshotObject,
+    check_immediacy,
+    make_immediate_api,
+    make_snapshot_api,
+)
+from repro.runtime import (
+    BOT,
+    Decide,
+    MemoryError_,
+    RandomScheduler,
+    Simulation,
+    System,
+)
+
+
+def _is_protocol(register_based):
+    def protocol(ctx, value):
+        api = make_immediate_api("obj", ctx.system.n_processes,
+                                 register_based)
+        view = yield from api.write_and_scan(ctx.pid, value)
+        yield Decide(view)
+
+    return protocol
+
+
+def run_immediate(n_procs, seed, register_based):
+    system = System(n_procs)
+    sim = Simulation(
+        system, _is_protocol(register_based),
+        inputs={p: f"v{p}" for p in system.pids},
+    )
+    sim.run_until(Simulation.all_correct_decided, 100_000,
+                  RandomScheduler(seed))
+    return sim.decisions()
+
+
+class TestPrimitiveObject:
+    def test_view_includes_self_and_earlier(self):
+        obj = ImmediateSnapshotObject(3)
+        assert obj.write_and_scan(1, "b") == (BOT, "b", BOT)
+        assert obj.write_and_scan(0, "a") == ("a", "b", BOT)
+
+    def test_one_shot_enforced(self):
+        obj = ImmediateSnapshotObject(2)
+        obj.write_and_scan(0, "a")
+        with pytest.raises(MemoryError_, match="twice"):
+            obj.write_and_scan(0, "b")
+
+    def test_index_range(self):
+        with pytest.raises(MemoryError_):
+            ImmediateSnapshotObject(2).write_and_scan(2, "x")
+
+
+@pytest.mark.parametrize("register_based", [False, True])
+@pytest.mark.parametrize("seed", range(8))
+def test_immediacy_properties_random_schedules(register_based, seed):
+    views = run_immediate(4, seed, register_based)
+    assert check_immediacy(views) == []
+
+
+@given(
+    n_procs=st.integers(2, 5),
+    seed=st.integers(0, 100_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_immediacy_properties_hypothesis(n_procs, seed):
+    views = run_immediate(n_procs, seed, register_based=True)
+    assert check_immediacy(views) == []
+    # Self-inclusion, explicitly:
+    for pid, view in views.items():
+        assert view[pid] == f"v{pid}"
+
+
+class TestNaiveUpdateScanIsNotImmediate:
+    """The counterexample from the module docstring: update-then-scan on a
+    plain atomic snapshot violates immediacy under a specific schedule."""
+
+    def test_counterexample_schedule(self):
+        system = System(3)
+
+        def protocol(ctx, value):
+            api = make_snapshot_api("obj", system.n_processes, False)
+            yield from api.update(ctx.pid, value)
+            view = yield from api.scan()
+            yield Decide(view)
+
+        sim = Simulation(system, protocol,
+                         inputs={p: f"v{p}" for p in system.pids})
+        # p0 updates; p1 updates, scans ({p0,p1}) and decides; p2 updates;
+        # p0 scans ({p0,p1,p2}) and decides; p2 finishes.
+        # p0 ∈ view(p1) but view(p0) ⊋ view(p1): immediacy violated.
+        sim.run_script([0, 1, 1, 1, 2, 0, 0, 2, 2])
+        views = {pid: r.decision for pid, r in sim.runtimes.items()
+                 if r.has_decided}
+        problems = check_immediacy(views)
+        assert any(p.startswith("immediacy") for p in problems)
+
+
+class TestCheckImmediacy:
+    def test_detects_missing_self(self):
+        problems = check_immediacy({0: (BOT, "x", BOT)})
+        assert problems == ["self-inclusion: p0 missing from own view"]
+
+    def test_detects_incomparable_views(self):
+        problems = check_immediacy({
+            0: ("a", BOT),
+            1: (BOT, "b"),
+        })
+        assert any(p.startswith("containment") for p in problems)
+
+    def test_accepts_block_views(self):
+        """Two processes in one linearization block: identical views."""
+        problems = check_immediacy({
+            0: ("a", "b", BOT),
+            1: ("a", "b", BOT),
+        })
+        assert problems == []
+
+
+class TestLevelAlgorithmShape:
+    def test_solo_run_gets_singleton_view(self):
+        system = System(4)
+        sim = Simulation(system, {2: _is_protocol(True)}, inputs={2: "mine"})
+        while not sim.runtimes[2].has_decided:
+            sim.step(2)
+        view = sim.runtimes[2].decision
+        assert view == (BOT, BOT, "mine", BOT)
+
+    def test_lockstep_run_gets_full_views(self):
+        """Under lockstep all processes descend together and return at the
+        bottom levels with large, nested views."""
+        from repro.runtime import RoundRobinScheduler
+
+        system = System(3)
+        sim = Simulation(system, _is_protocol(True),
+                         inputs={p: f"v{p}" for p in system.pids})
+        sim.run_until(Simulation.all_correct_decided, 10_000,
+                      RoundRobinScheduler())
+        views = {pid: r.decision for pid, r in sim.runtimes.items()}
+        assert check_immediacy(views) == []
+        largest = max(
+            sum(1 for v in view if v is not BOT) for view in views.values()
+        )
+        assert largest == 3

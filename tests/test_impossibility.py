@@ -1,0 +1,135 @@
+"""Impossibility-side demonstrations (the backdrop of [2, 11, 14, 20]).
+
+These tests exhibit the *other* half of the paper's story: without the
+failure information Υ provides, the algorithms run forever.  Each test
+constructs a schedule/history pair outside the detector's specification and
+shows the protocol makes no progress within a large step budget —
+deterministically, not merely probabilistically.
+"""
+
+import pytest
+
+from repro.core import ConvergeInstance, make_omega_consensus, make_upsilon_set_agreement
+from repro.detectors import ConstantHistory
+from repro.failures import FailurePattern
+from repro.runtime import (
+    Decide,
+    RoundRobinScheduler,
+    Simulation,
+    System,
+)
+
+
+class TestConvergeNeedsFewValues:
+    """1-converge under lockstep with distinct inputs never commits — the
+    FLP-flavoured core of why registers alone cannot decide."""
+
+    @pytest.mark.parametrize("n_procs", [2, 3, 4])
+    def test_lockstep_defeats_commit(self, n_procs):
+        system = System(n_procs)
+
+        def protocol(ctx, value):
+            instance = ConvergeInstance("c", 1, system.n_processes)
+            result = yield from instance.converge(ctx, value)
+            yield Decide(result)
+
+        sim = Simulation(system, protocol,
+                         inputs={p: f"v{p}" for p in system.pids})
+        sim.run_until(Simulation.all_correct_decided, 10_000,
+                      RoundRobinScheduler())
+        # Under lockstep every phase-1 scan sees every value, so nobody
+        # commits and everybody keeps its own value.
+        for pid, (picked, committed) in sim.decisions().items():
+            assert committed is False
+            assert picked == f"v{pid}"
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_lockstep_defeats_k_converge(self, k):
+        """Generalizes to any k < #distinct inputs."""
+        system = System(4)
+
+        def protocol(ctx, value):
+            instance = ConvergeInstance("c", k, system.n_processes)
+            result = yield from instance.converge(ctx, value)
+            yield Decide(result)
+
+        sim = Simulation(system, protocol,
+                         inputs={p: f"v{p}" for p in system.pids})
+        sim.run_until(Simulation.all_correct_decided, 10_000,
+                      RoundRobinScheduler())
+        assert not any(c for (_, c) in sim.decisions().values())
+
+
+class TestFig1NeedsUpsilon:
+    """Feed Fig. 1 the one history Υ forbids — the correct set, forever —
+    and lockstep it: no process ever decides.  This is the wait-free
+    set-agreement impossibility surfacing through the algorithm."""
+
+    @pytest.mark.parametrize("n_procs", [3, 4])
+    def test_livelock_under_forbidden_history(self, n_procs):
+        system = System(n_procs)
+        pattern = FailurePattern.failure_free(system)
+        forbidden = ConstantHistory(pattern.correct)  # U = correct(F) = Π
+        sim = Simulation(
+            system, make_upsilon_set_agreement(),
+            inputs={p: f"v{p}" for p in system.pids},
+            pattern=pattern, history=forbidden,
+        )
+        sim.run(max_steps=60_000, scheduler=RoundRobinScheduler(),
+                stop_when=Simulation.all_correct_decided)
+        assert not sim.decisions(), (
+            "the algorithm decided without Υ's guarantee — the run should "
+            "livelock"
+        )
+        assert sim.time == 60_000  # exhausted the budget, still running
+
+    def test_budget_scaling(self):
+        """The livelock is not slow progress: doubling the budget leaves
+        the run equally undecided."""
+        system = System(3)
+        pattern = FailurePattern.failure_free(system)
+        for budget in (20_000, 40_000, 80_000):
+            sim = Simulation(
+                system, make_upsilon_set_agreement(),
+                inputs={p: f"v{p}" for p in system.pids},
+                pattern=pattern, history=ConstantHistory(pattern.correct),
+            )
+            sim.run(max_steps=budget, scheduler=RoundRobinScheduler(),
+                    stop_when=Simulation.all_correct_decided)
+            assert not sim.decisions()
+
+    def test_legal_history_same_schedule_decides(self):
+        """Control experiment: identical lockstep schedule, but a *legal*
+        Υ history — now the run terminates.  The detector, not the
+        scheduler, is what beats the impossibility."""
+        system = System(3)
+        pattern = FailurePattern.failure_free(system)
+        legal = ConstantHistory(frozenset({0}))  # ≠ correct set
+        sim = Simulation(
+            system, make_upsilon_set_agreement(),
+            inputs={p: f"v{p}" for p in system.pids},
+            pattern=pattern, history=legal,
+        )
+        sim.run(max_steps=60_000, scheduler=RoundRobinScheduler(),
+                stop_when=Simulation.all_correct_decided)
+        assert sim.all_correct_decided()
+
+
+class TestConsensusNeedsOmega:
+    """The Ω-based consensus blocks forever when fed an illegal history
+    that keeps electing a crashed leader."""
+
+    def test_dead_leader_blocks_run(self):
+        system = System(3)
+        # Crash the leader before it can publish its round-1 value (its
+        # first step is the Ω query, the write would be its second).
+        pattern = FailurePattern.crash_at(system, {0: 1})
+        illegal = ConstantHistory(0)  # leader 0 is faulty — not an Ω history
+        sim = Simulation(
+            system, make_omega_consensus(),
+            inputs={p: f"v{p}" for p in system.pids},
+            pattern=pattern, history=illegal,
+        )
+        sim.run(max_steps=50_000, scheduler=RoundRobinScheduler(),
+                stop_when=Simulation.all_correct_decided)
+        assert not sim.all_correct_decided()

@@ -1,0 +1,157 @@
+"""Cross-module integration tests.
+
+The centrepiece is the paper's full chain, executed end-to-end:
+
+    stable non-trivial D  ──Fig. 3──▶  Υ  ──Fig. 1──▶  n-set agreement
+
+An extraction run's emitted ``Υ-output`` timeline is replayed (via
+:class:`~repro.analysis.EmittedHistory`) as the failure-detector history of
+a second run executing the Fig. 1 protocol; set agreement must hold.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import ComplementHistory, EmittedHistory
+from repro.core import (
+    PhiMap,
+    make_extraction_protocol,
+    make_upsilon_f_set_agreement,
+    make_upsilon_set_agreement,
+)
+from repro.detectors import (
+    EventuallyPerfectSpec,
+    OmegaKSpec,
+    OmegaSpec,
+    omega_n,
+)
+from repro.failures import Environment, FailurePattern
+from repro.runtime import RandomScheduler, Simulation, System
+from repro.tasks import SetAgreementSpec
+
+from tests.helpers import run_to_decision
+
+
+def extract_then_agree(system, source_spec, env, seed, f=None,
+                       extraction_steps=30_000):
+    """Run Fig. 3 over ``source_spec``, replay its output into Fig. 1/2."""
+    f = env.f if f is None else f
+    rng = random.Random(f"chain:{seed}")
+    pattern = env.random_pattern(rng, max_crash_time=40)
+    source_history = source_spec.sample_history(
+        pattern, rng, stabilization_time=60
+    )
+    extraction = Simulation(
+        system,
+        make_extraction_protocol(PhiMap(source_spec, env)),
+        inputs={},
+        pattern=pattern,
+        history=source_history,
+    )
+    extraction.run(max_steps=extraction_steps, scheduler=RandomScheduler(seed))
+
+    upsilon_history = EmittedHistory(extraction, default=system.pid_set)
+    if f == system.n:
+        protocol = make_upsilon_set_agreement()
+    else:
+        protocol = make_upsilon_f_set_agreement(f)
+    inputs = {p: f"v{p}" for p in system.pids}
+    agreement = run_to_decision(
+        system, protocol, inputs, pattern=pattern,
+        history=upsilon_history, seed=seed + 1, max_steps=1_000_000,
+    )
+    SetAgreementSpec(f).check(agreement, inputs).raise_if_failed()
+    return agreement
+
+
+class TestFullChain:
+    """Theorem 10 + Theorem 2/6 composed: D ⇒ Υf ⇒ f-set agreement."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_omega_to_set_agreement(self, system4, seed):
+        env = Environment.wait_free(system4)
+        extract_then_agree(system4, OmegaSpec(system4), env, seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_omega_n_to_set_agreement(self, system4, seed):
+        env = Environment.wait_free(system4)
+        extract_then_agree(system4, omega_n(system4), env, seed + 50)
+
+    def test_diamond_p_to_set_agreement(self, system4):
+        env = Environment.wait_free(system4)
+        extract_then_agree(system4, EventuallyPerfectSpec(system4), env, 7)
+
+    def test_f_resilient_chain(self, system4):
+        """Ωf ⇒ Υf ⇒ f-set agreement in E_f."""
+        env = Environment(system4, 2)
+        extract_then_agree(system4, OmegaKSpec(system4, 2), env, 3)
+
+
+class TestCorollary3:
+    """Ωn is not the weakest detector for set agreement: Fig. 1 solves it
+    directly from Υ — and from Ωn via the complement, but Theorem 1
+    (tests/test_adversary.py) rules out the converse direction."""
+
+    def test_set_agreement_via_complemented_omega_n(self, system4):
+        rng = random.Random(21)
+        pattern = FailurePattern.random(system4, rng, max_crash_time=40)
+        omega_history = omega_n(system4).sample_history(
+            pattern, rng, stabilization_time=60
+        )
+        inputs = {p: f"v{p}" for p in system4.pids}
+        sim = run_to_decision(
+            system4, make_upsilon_set_agreement(), inputs,
+            pattern=pattern,
+            history=ComplementHistory(system4, omega_history),
+            seed=21,
+        )
+        SetAgreementSpec(system4.n).check(sim, inputs).raise_if_failed()
+
+
+class TestRegisterOnlyEndToEnd:
+    """The paper's 'weakest memory model': the whole Fig. 1 stack on
+    register-built snapshots, with crashes and noise, in one run."""
+
+    def test_fig1_register_only(self):
+        system = System(3)
+        from repro.detectors import UpsilonSpec
+
+        spec = UpsilonSpec(system)
+        rng = random.Random(33)
+        pattern = FailurePattern.crash_at(system, {0: 60})
+        history = spec.sample_history(pattern, rng, stabilization_time=100)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = run_to_decision(
+            system, make_upsilon_set_agreement(register_based=True), inputs,
+            pattern=pattern, history=history, seed=33, max_steps=2_000_000,
+        )
+        SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()
+        # Register-only: memory must contain no primitive snapshots.
+        from repro.memory import PrimitiveSnapshot
+
+        for key in list(sim.memory._objects):
+            assert not isinstance(sim.memory.get(key), PrimitiveSnapshot)
+
+
+class TestDeterministicReplay:
+    """Identical (seed, pattern, history) ⇒ identical runs, bit for bit."""
+
+    def test_fig1_replay(self, system4):
+        from repro.detectors import UpsilonSpec
+
+        spec = UpsilonSpec(system4)
+        pattern = FailurePattern.crash_at(system4, {1: 30})
+        inputs = {p: f"v{p}" for p in system4.pids}
+
+        def one_run():
+            history = spec.sample_history(
+                pattern, random.Random(5), stabilization_time=80
+            )
+            sim = run_to_decision(
+                system4, make_upsilon_set_agreement(), inputs,
+                pattern=pattern, history=history, seed=9,
+            )
+            return [(s.time, s.pid) for s in sim.trace.steps], sim.decisions()
+
+        assert one_run() == one_run()

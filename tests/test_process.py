@@ -1,0 +1,164 @@
+"""Unit tests for System and the process runtime."""
+
+import pytest
+
+from repro.runtime import (
+    Decide,
+    Nop,
+    ProcessContext,
+    ProcessRuntime,
+    ProcessStatus,
+    ProtocolError,
+    System,
+)
+
+
+class TestSystem:
+    def test_n_relationship(self):
+        assert System(4).n == 3
+        assert System(2).n == 1
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            System(1)
+
+    def test_pids(self):
+        assert list(System(3).pids) == [0, 1, 2]
+
+    def test_pid_set_and_complement(self):
+        s = System(4)
+        assert s.pid_set == frozenset({0, 1, 2, 3})
+        assert s.complement([1, 2]) == frozenset({0, 3})
+        assert s.complement([]) == s.pid_set
+
+    def test_validate_pid(self):
+        s = System(3)
+        s.validate_pid(2)
+        with pytest.raises(ValueError):
+            s.validate_pid(3)
+        with pytest.raises(ValueError):
+            s.validate_pid(-1)
+
+
+class TestProcessContext:
+    def test_others(self):
+        ctx = ProcessContext(pid=1, system=System(3))
+        assert ctx.others == frozenset({0, 2})
+
+
+def _runtime(protocol, pid=0, system=None, value=None):
+    ctx = ProcessContext(pid=pid, system=system or System(3))
+    return ProcessRuntime(ctx, protocol, value)
+
+
+class TestProcessRuntime:
+    def test_priming_exposes_first_op(self):
+        def proto(ctx, v):
+            yield Nop()
+
+        rt = _runtime(proto)
+        assert rt.pending_op == Nop()
+        assert rt.steps_taken == 0
+        assert rt.status is ProcessStatus.RUNNING
+
+    def test_resume_advances(self):
+        def proto(ctx, v):
+            got = yield Nop()
+            assert got == "resp"
+            yield Decide(1)
+
+        rt = _runtime(proto)
+        rt.resume("resp")
+        assert rt.pending_op == Decide(1)
+        assert rt.steps_taken == 1
+
+    def test_return_sets_status_and_value(self):
+        def proto(ctx, v):
+            yield Nop()
+            return "done"
+
+        rt = _runtime(proto)
+        rt.resume(None)
+        assert rt.status is ProcessStatus.RETURNED
+        assert rt.return_value == "done"
+        assert not rt.schedulable
+
+    def test_immediate_return(self):
+        def proto(ctx, v):
+            return "instant"
+            yield  # pragma: no cover — makes it a generator
+
+        rt = _runtime(proto)
+        assert rt.status is ProcessStatus.RETURNED
+        assert rt.return_value == "instant"
+
+    def test_non_operation_yield_rejected(self):
+        def proto(ctx, v):
+            yield "not an op"
+
+        with pytest.raises(ProtocolError, match="not an Operation"):
+            _runtime(proto)
+
+    def test_non_operation_later_yield_rejected(self):
+        def proto(ctx, v):
+            yield Nop()
+            yield 42
+
+        rt = _runtime(proto)
+        with pytest.raises(ProtocolError):
+            rt.resume(None)
+
+    def test_double_decide_rejected(self):
+        def proto(ctx, v):
+            yield Decide(1)
+            yield Decide(2)
+
+        rt = _runtime(proto)
+        rt.record_decision(1)
+        with pytest.raises(ProtocolError, match="decided twice"):
+            rt.record_decision(2)
+
+    def test_crash_stops_scheduling(self):
+        def proto(ctx, v):
+            while True:
+                yield Nop()
+
+        rt = _runtime(proto)
+        rt.crash()
+        assert rt.status is ProcessStatus.CRASHED
+        assert not rt.schedulable
+        with pytest.raises(ProtocolError):
+            rt.resume(None)
+
+    def test_crash_closes_generator(self):
+        cleaned = []
+
+        def proto(ctx, v):
+            try:
+                while True:
+                    yield Nop()
+            finally:
+                cleaned.append(True)
+
+        rt = _runtime(proto)
+        rt.crash()
+        assert cleaned == [True]
+
+    def test_input_value_delivered(self):
+        def proto(ctx, v):
+            yield Decide(v * 2)
+
+        rt = _runtime(proto, value=21)
+        assert rt.input_value == 21
+        assert rt.pending_op == Decide(42)
+
+    def test_emit_recorded(self):
+        def proto(ctx, v):
+            yield Nop()
+
+        rt = _runtime(proto)
+        assert not rt.has_emitted
+        rt.record_emit("x")
+        assert rt.has_emitted and rt.emitted == "x"
+        rt.record_emit("y")
+        assert rt.emitted == "y"

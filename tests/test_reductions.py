@@ -1,0 +1,180 @@
+"""Tests for the constructive reductions of Sect. 4 and 5.3."""
+
+import random
+
+import pytest
+
+from repro.analysis import ComplementHistory
+from repro.core import (
+    make_omega_k_to_upsilon_f,
+    make_omega_to_upsilon,
+    make_upsilon1_to_omega,
+    make_upsilon_to_omega_two_processes,
+    stable_emulated_output,
+)
+from repro.detectors import (
+    OmegaKSpec,
+    OmegaSpec,
+    StableHistory,
+    UpsilonFSpec,
+    UpsilonSpec,
+    omega_n,
+)
+from repro.failures import Environment, FailurePattern
+from repro.runtime import RandomScheduler, Simulation, System
+
+
+def run_reduction(protocol, env, source_spec, target_spec, seed,
+                  stabilization=50, steps=25_000, pattern=None,
+                  stable_value=None):
+    """Run a reduction; return the agreed stable emitted value (asserting
+    agreement and legality against the target spec)."""
+    system = env.system
+    rng = random.Random(f"red:{seed}")
+    if pattern is None:
+        pattern = env.random_pattern(rng, max_crash_time=40)
+    history = source_spec.sample_history(
+        pattern, rng, stabilization_time=stabilization, stable_value=stable_value
+    )
+    sim = Simulation(system, protocol, inputs={}, pattern=pattern,
+                     history=history)
+    sim.run(max_steps=steps, scheduler=RandomScheduler(seed))
+    outputs = stable_emulated_output(sim, pattern)
+    assert outputs is not None, "reduction output did not stabilize"
+    values = set(outputs.values())
+    assert len(values) == 1, f"correct processes disagree: {outputs}"
+    (value,) = values
+    assert target_spec.is_legal_stable_value(pattern, value), (
+        f"{value!r} illegal for correct={sorted(pattern.correct)} "
+        f"(source stable {history.stable_value!r})"
+    )
+    return value, history, pattern
+
+
+class TestOmegaNToUpsilon:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_complement_is_legal_upsilon(self, system4, seed):
+        env = Environment.wait_free(system4)
+        value, history, _ = run_reduction(
+            make_omega_k_to_upsilon_f(), env, omega_n(system4),
+            UpsilonSpec(system4), seed,
+        )
+        assert value == system4.pid_set - history.stable_value
+
+    def test_output_size_is_one_for_omega_n(self, system4):
+        env = Environment.wait_free(system4)
+        value, _, _ = run_reduction(
+            make_omega_k_to_upsilon_f(), env, omega_n(system4),
+            UpsilonSpec(system4), seed=42,
+        )
+        assert len(value) == 1
+
+
+class TestOmegaFToUpsilonF:
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_in_e_f(self, system5, f):
+        env = Environment(system5, f)
+        value, history, _ = run_reduction(
+            make_omega_k_to_upsilon_f(), env, OmegaKSpec(system5, f),
+            UpsilonFSpec(env), seed=f,
+        )
+        assert value == system5.pid_set - history.stable_value
+        assert len(value) == env.min_correct
+
+
+class TestOmegaToUpsilon:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_leader_complement(self, system4, seed):
+        env = Environment.wait_free(system4)
+        value, history, _ = run_reduction(
+            make_omega_to_upsilon(), env, OmegaSpec(system4),
+            UpsilonSpec(system4), seed,
+        )
+        assert value == system4.pid_set - {history.stable_value}
+
+
+class TestTwoProcessEquivalence:
+    """Sect. 4: in a system of 2 processes, Υ and Ω are equivalent."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_upsilon_to_omega(self, seed):
+        system = System(2)
+        env = Environment.wait_free(system)
+        run_reduction(
+            make_upsilon_to_omega_two_processes(), env,
+            UpsilonSpec(system), OmegaSpec(system), seed,
+        )
+
+    def test_upsilon_full_set_means_other_faulty(self):
+        """Stable U = Π is legal only when some process is faulty; the
+        reduction must elect the survivor."""
+        system = System(2)
+        env = Environment.wait_free(system)
+        pattern = FailurePattern.crash_at(system, {1: 15})
+        value, _, _ = run_reduction(
+            make_upsilon_to_omega_two_processes(), env,
+            UpsilonSpec(system), OmegaSpec(system), seed=3,
+            pattern=pattern, stable_value=frozenset({0, 1}),
+        )
+        assert value == 0
+
+    def test_round_trip_omega_upsilon_omega(self):
+        """Composing Ω → Υ → Ω over histories yields a legal Ω history."""
+        system = System(2)
+        env = Environment.wait_free(system)
+        pattern = FailurePattern.crash_at(system, {0: 10})
+        omega_spec = OmegaSpec(system)
+        omega_history = omega_spec.sample_history(
+            pattern, random.Random(4), stabilization_time=30
+        )
+        upsilon_history = ComplementHistory(system, omega_history)
+        sim = Simulation(
+            system, make_upsilon_to_omega_two_processes(), inputs={},
+            pattern=pattern, history=upsilon_history,
+        )
+        sim.run(max_steps=20_000, scheduler=RandomScheduler(4))
+        outputs = stable_emulated_output(sim, pattern)
+        assert outputs is not None
+        (value,) = set(outputs.values())
+        assert value == omega_history.stable_value
+
+    def test_requires_two_processes(self, system3):
+        protocol = make_upsilon_to_omega_two_processes()
+        # The guard fires while priming the generators (before any step).
+        with pytest.raises(ValueError, match="two-process"):
+            Simulation(system3, protocol, inputs={})
+
+
+class TestUpsilon1ToOmega:
+    """Sect. 5.3: Υ¹ → Ω in E₁ via timestamps."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_runs(self, system4, seed):
+        env = Environment(system4, 1)
+        run_reduction(
+            make_upsilon1_to_omega(), env, UpsilonFSpec(env),
+            OmegaSpec(system4), seed, steps=40_000,
+        )
+
+    def test_proper_subset_elects_excluded_process(self, system4):
+        env = Environment(system4, 1)
+        pattern = FailurePattern.failure_free(system4)
+        value, _, _ = run_reduction(
+            make_upsilon1_to_omega(), env, UpsilonFSpec(env),
+            OmegaSpec(system4), seed=7, pattern=pattern,
+            stable_value=frozenset({0, 1, 2}),
+        )
+        assert value == 3
+
+    def test_full_set_elects_via_timestamps(self, system4):
+        """U = Π in E₁ means exactly one faulty process; the heartbeat
+        ranking must exclude it."""
+        env = Environment(system4, 1)
+        pattern = FailurePattern.crash_at(system4, {2: 40})
+        value, _, _ = run_reduction(
+            make_upsilon1_to_omega(), env, UpsilonFSpec(env),
+            OmegaSpec(system4), seed=8, pattern=pattern,
+            stable_value=system4.pid_set, steps=60_000,
+        )
+        assert value != 2
+        assert value in pattern.correct

@@ -1,0 +1,106 @@
+"""Tests for the trace renderer."""
+
+from repro.analysis import describe_step, render_summary, render_timeline
+from repro.runtime import (
+    BOT,
+    ConsensusPropose,
+    Decide,
+    Emit,
+    Nop,
+    QueryFD,
+    Read,
+    SnapshotScan,
+    SnapshotUpdate,
+    Write,
+)
+from repro.runtime.trace import StepRecord, Trace
+
+
+def _trace(*records):
+    trace = Trace()
+    for r in records:
+        trace.record(r)
+    return trace
+
+
+class TestDescribeStep:
+    def test_read(self):
+        line = describe_step(StepRecord(3, 0, Read("x"), 7))
+        assert line == "t=3 p0 R('x') -> 7"
+
+    def test_write(self):
+        assert "W('x') = 'v'" in describe_step(
+            StepRecord(0, 1, Write("x", "v"), None))
+
+    def test_snapshot_ops(self):
+        assert "U('s'[2])" in describe_step(
+            StepRecord(0, 0, SnapshotUpdate("s", 2, 1), None))
+        assert "S('s') ->" in describe_step(
+            StepRecord(0, 0, SnapshotScan("s"), (BOT,)))
+
+    def test_fd_query_with_set(self):
+        line = describe_step(StepRecord(5, 2, QueryFD(), frozenset({0, 2})))
+        assert "FD? -> {0,2}" in line
+
+    def test_decide_and_emit(self):
+        assert "DECIDE" in describe_step(StepRecord(0, 0, Decide("v"), None))
+        assert "EMIT" in describe_step(StepRecord(0, 0, Emit("v"), None))
+
+    def test_consensus_and_nop(self):
+        assert "C(" in describe_step(
+            StepRecord(0, 0, ConsensusPropose("c", 1), 1))
+        assert describe_step(StepRecord(2, 1, Nop(), None)).endswith("nop")
+
+    def test_long_values_truncated(self):
+        line = describe_step(StepRecord(0, 0, Write("x", "y" * 100), None))
+        assert "…" in line and len(line) < 80
+
+
+class TestTimeline:
+    def test_empty(self):
+        assert render_timeline(Trace(), 2) == "(empty trace)"
+
+    def test_one_lane_per_process(self):
+        trace = _trace(
+            StepRecord(0, 0, Write("x", 1), None),
+            StepRecord(1, 1, Read("x"), 1),
+            StepRecord(2, 2, Decide(1), None),
+        )
+        out = render_timeline(trace, 3)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + 3 lanes
+        assert lines[1].startswith("p0 |w")
+        assert "r" in lines[2]
+        assert "D" in lines[3]
+
+    def test_compression_buckets(self):
+        trace = _trace(*[
+            StepRecord(t, 0, Nop(), None) for t in range(500)
+        ])
+        out = render_timeline(trace, 1, width=50)
+        lane = out.splitlines()[1]
+        assert len(lane) <= 5 + 50 + 1  # "p0 |" + columns + "|"
+
+    def test_decision_glyph_wins_bucket(self):
+        trace = _trace(
+            StepRecord(0, 0, Decide("v"), None),
+            StepRecord(1, 0, Nop(), None),
+        )
+        out = render_timeline(trace, 1, width=1)
+        assert "D" in out
+
+
+class TestSummary:
+    def test_counts(self):
+        trace = _trace(
+            StepRecord(0, 0, Write("x", 1), None),
+            StepRecord(1, 0, Read("x"), 1),
+            StepRecord(2, 1, QueryFD(), "d"),
+            StepRecord(3, 1, Decide("d"), None),
+        )
+        out = render_summary(trace, 2)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        # p0: 1 read, 1 write; p1: 1 query, 1 decide.
+        assert lines[1].split()[1:3] == ["1", "1"]
+        assert lines[2].split()[-1] == "2"  # total for p1

@@ -1,0 +1,222 @@
+"""Tests for f-resilient samples and the constructive ϕD maps (Sect. 6.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PhiMap,
+    ShiftedPhiMap,
+    TrivialDetectorError,
+    assert_valid_phi_entry,
+    canonical_pattern,
+    is_forever_sample,
+)
+from repro.detectors import (
+    DummySpec,
+    EventuallyPerfectSpec,
+    OmegaKSpec,
+    OmegaSpec,
+    UpsilonFSpec,
+    UpsilonSpec,
+    omega_n,
+)
+from repro.failures import Environment
+from repro.runtime import System
+
+
+class TestIsForeverSample:
+    def test_omega_sample_iff_leader_correct(self, system3):
+        env = Environment.wait_free(system3)
+        spec = OmegaSpec(system3)
+        assert is_forever_sample(spec, env, 0, frozenset({0, 1}))
+        assert not is_forever_sample(spec, env, 0, frozenset({1, 2}))
+
+    def test_too_small_correct_set_never_a_sample(self, system4):
+        env = Environment(system4, 1)  # min correct = 3
+        spec = OmegaSpec(system4)
+        assert not is_forever_sample(spec, env, 0, frozenset({0, 1}))
+
+    def test_upsilon_sample_iff_not_correct_set(self, system3):
+        env = Environment.wait_free(system3)
+        spec = UpsilonSpec(system3)
+        u = frozenset({0, 1})
+        assert not is_forever_sample(spec, env, u, u)
+        assert is_forever_sample(spec, env, u, frozenset({0, 2}))
+
+    def test_canonical_pattern(self, system4):
+        env = Environment(system4, 2)
+        p = canonical_pattern(env, frozenset({1, 3}))
+        assert p.correct == frozenset({1, 3})
+        assert p.crashed_by(0) == frozenset({0, 2})
+
+
+class TestPhiMapOmega:
+    def test_entry_avoids_the_leader(self, system4):
+        """Any certificate for a stable leader must avoid the leader; the
+        deterministic map picks the smallest one — a singleton {q},
+        q ≠ leader (Π − {leader} would be equally valid, just larger)."""
+        env = Environment.wait_free(system4)
+        phi = PhiMap(OmegaSpec(system4), env)
+        for leader in system4.pids:
+            correct, w = phi(leader)
+            assert leader not in correct
+            assert len(correct) == 1
+            assert w == 0
+
+    def test_entries_validate(self, system4):
+        env = Environment.wait_free(system4)
+        spec = OmegaSpec(system4)
+        phi = PhiMap(spec, env)
+        for leader in system4.pids:
+            assert_valid_phi_entry(spec, env, leader, phi(leader))
+
+
+class TestPhiMapOmegaK:
+    def test_omega_f_complement(self, system5):
+        """ϕ_{Ωf}(L) = (Π − L, 0) in E_f."""
+        f = 2
+        env = Environment(system5, f)
+        spec = OmegaKSpec(system5, f)
+        phi = PhiMap(spec, env)
+        for value in spec.range_values():
+            correct, w = phi(value)
+            assert correct == system5.pid_set - value
+            assert w == 0
+            assert_valid_phi_entry(spec, env, value, (correct, w))
+
+    def test_omega_n_wait_free(self, system4):
+        env = Environment.wait_free(system4)
+        spec = omega_n(system4)
+        phi = PhiMap(spec, env)
+        for value in spec.range_values():
+            correct, _ = phi(value)
+            assert correct == system4.pid_set - value
+
+
+class TestPhiMapUpsilon:
+    def test_identity_on_upsilon(self, system4):
+        """The only correct set incompatible with stable U is U itself."""
+        env = Environment.wait_free(system4)
+        spec = UpsilonSpec(system4)
+        phi = PhiMap(spec, env)
+        for value in spec.range_values():
+            correct, w = phi(value)
+            assert correct == value
+            assert w == 0
+
+    def test_identity_on_upsilon_f(self, system5):
+        env = Environment(system5, 2)
+        spec = UpsilonFSpec(env)
+        phi = PhiMap(spec, env)
+        for value in spec.range_values():
+            assert phi(value) == (value, 0)
+
+
+class TestPhiMapEventuallyPerfect:
+    def test_entries_avoid_the_one_compatible_set(self, system4):
+        env = Environment.wait_free(system4)
+        spec = EventuallyPerfectSpec(system4)
+        phi = PhiMap(spec, env)
+        for suspected in spec.range_values():
+            correct, w = phi(suspected)
+            assert correct != system4.pid_set - suspected
+            assert_valid_phi_entry(spec, env, suspected, (correct, w))
+
+
+class TestPhiMapDummy:
+    def test_trivial_detector_rejected(self, system3):
+        env = Environment.wait_free(system3)
+        phi = PhiMap(DummySpec("d"), env)
+        with pytest.raises(TrivialDetectorError):
+            phi("d")
+
+
+class TestDeterminismAndCaching:
+    def test_same_value_same_entry(self, system4):
+        env = Environment.wait_free(system4)
+        phi1 = PhiMap(OmegaSpec(system4), env)
+        phi2 = PhiMap(OmegaSpec(system4), env)
+        assert phi1(2) == phi2(2)
+        assert phi1(2) == phi1(2)
+
+    def test_freeze_normalizes_sets_and_lists(self, system4):
+        env = Environment.wait_free(system4)
+        phi = PhiMap(omega_n(system4), env)
+        assert phi(frozenset({0, 1, 2})) == phi({0, 1, 2})
+
+
+class TestShiftedPhiMap:
+    def test_shifts_w(self, system4):
+        env = Environment.wait_free(system4)
+        inner = PhiMap(OmegaSpec(system4), env)
+        shifted = ShiftedPhiMap(inner, 3)
+        correct, w = shifted(1)
+        assert w == 3
+        assert correct == inner(1)[0]
+
+    def test_shift_must_be_positive(self, system4):
+        env = Environment.wait_free(system4)
+        inner = PhiMap(OmegaSpec(system4), env)
+        with pytest.raises(ValueError):
+            ShiftedPhiMap(inner, 0)
+
+    def test_shifted_entries_still_valid(self, system4):
+        env = Environment.wait_free(system4)
+        spec = OmegaSpec(system4)
+        shifted = ShiftedPhiMap(PhiMap(spec, env), 2)
+        assert_valid_phi_entry(spec, env, 0, shifted(0))
+
+
+class TestAssertValidPhiEntry:
+    def test_rejects_sample_entries(self, system3):
+        env = Environment.wait_free(system3)
+        spec = OmegaSpec(system3)
+        with pytest.raises(AssertionError, match="is a sample"):
+            assert_valid_phi_entry(spec, env, 0, (frozenset({0, 1}), 0))
+
+    def test_rejects_small_sets(self, system4):
+        env = Environment(system4, 1)
+        spec = OmegaSpec(system4)
+        with pytest.raises(AssertionError, match="n\\+1−f"):
+            assert_valid_phi_entry(spec, env, 0, (frozenset({1}), 0))
+
+    def test_rejects_negative_w(self, system3):
+        env = Environment.wait_free(system3)
+        spec = OmegaSpec(system3)
+        with pytest.raises(AssertionError, match="non-negative"):
+            assert_valid_phi_entry(spec, env, 0, (frozenset({1}), -1))
+
+
+@given(
+    n_procs=st.integers(3, 5),
+    f_choice=st.integers(1, 4),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_phi_entries_always_valid_hypothesis(n_procs, f_choice, data):
+    """For every detector family, every ϕ entry produced is a genuine
+    non-sample certificate of adequate size."""
+    system = System(n_procs)
+    f = min(f_choice, system.n)
+    env = Environment(system, f)
+    spec = data.draw(
+        st.sampled_from([
+            OmegaSpec(system),
+            OmegaKSpec(system, f),
+            UpsilonFSpec(env),
+            EventuallyPerfectSpec(system),
+        ])
+    )
+    values = list(
+        spec.range_values() if hasattr(spec, "range_values") else []
+    )
+    value = data.draw(st.sampled_from(values))
+    phi = PhiMap(spec, env)
+    try:
+        entry = phi(value)
+    except TrivialDetectorError:
+        # Possible for ◇P values compatible with every candidate set in
+        # low-f environments; the theorem then simply does not apply.
+        return
+    assert_valid_phi_entry(spec, env, value, entry)

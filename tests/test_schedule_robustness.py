@@ -1,0 +1,160 @@
+"""Scheduler-family robustness: the protocols under skewed and staged
+schedules.
+
+Fair-random schedules are the easy case.  Here every main protocol runs
+under (a) heavily skewed weighted-random schedules (one process ~20×
+faster), and (b) a staged adversary — an unfair priority prefix followed
+by a fair suffix, the shape real partial synchrony produces.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    make_boosted_consensus,
+    make_omega_consensus,
+    make_upsilon_f_set_agreement,
+    make_upsilon_set_agreement,
+    boosted_consensus_memory,
+)
+from repro.detectors import (
+    OmegaSpec,
+    UpsilonFSpec,
+    UpsilonSpec,
+    omega_n,
+)
+from repro.failures import Environment, FailurePattern
+from repro.runtime import (
+    PriorityScheduler,
+    RandomScheduler,
+    ScriptedScheduler,
+    Simulation,
+    System,
+    WeightedRandomScheduler,
+)
+from repro.tasks import ConsensusSpec, SetAgreementSpec
+
+
+def skewed_scheduler(n_processes: int, fast_pid: int, seed: int):
+    weights = [0.05] * n_processes
+    weights[fast_pid] = 1.0
+    return WeightedRandomScheduler(weights, seed=seed)
+
+
+def staged_scheduler(priority_order, prefix_len: int, seed: int):
+    """Unfair priority prefix, then fair random forever."""
+    priority = PriorityScheduler(priority_order)
+
+    class Staged:
+        def __init__(self):
+            self.remaining = prefix_len
+            self.fallback = RandomScheduler(seed)
+
+        def choose(self, t, eligible):
+            if self.remaining > 0:
+                self.remaining -= 1
+                return priority.choose(t, eligible)
+            return self.fallback.choose(t, eligible)
+
+    return Staged()
+
+
+class TestFig1Robustness:
+    @pytest.mark.parametrize("fast_pid", [0, 2])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_skewed_speeds(self, fast_pid, seed):
+        system = System(4)
+        spec = UpsilonSpec(system)
+        rng = random.Random(f"skew:{fast_pid}:{seed}")
+        pattern = FailurePattern.random(system, rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=80)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = Simulation(system, make_upsilon_set_agreement(),
+                         inputs=inputs, pattern=pattern, history=history)
+        sim.run_until(Simulation.all_correct_decided, 1_000_000,
+                      skewed_scheduler(4, fast_pid, seed))
+        SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()
+
+    @pytest.mark.parametrize("prefix_len", [50, 400])
+    def test_staged_priority_then_fair(self, prefix_len):
+        system = System(4)
+        spec = UpsilonSpec(system)
+        rng = random.Random(prefix_len)
+        pattern = FailurePattern.failure_free(system)
+        history = spec.sample_history(pattern, rng, stabilization_time=100)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = Simulation(system, make_upsilon_set_agreement(),
+                         inputs=inputs, pattern=pattern, history=history)
+        sim.run_until(Simulation.all_correct_decided, 1_000_000,
+                      staged_scheduler([3, 1, 0, 2], prefix_len, 7))
+        SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()
+
+
+class TestFig2Robustness:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_skewed_speeds(self, seed):
+        system = System(5)
+        f = 2
+        env = Environment(system, f)
+        spec = UpsilonFSpec(env)
+        rng = random.Random(f"f2skew:{seed}")
+        pattern = env.random_pattern(rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = Simulation(system, make_upsilon_f_set_agreement(f),
+                         inputs=inputs, pattern=pattern, history=history)
+        sim.run_until(Simulation.all_correct_decided, 1_500_000,
+                      skewed_scheduler(5, seed % 5, seed))
+        SetAgreementSpec(f).check(sim, inputs).raise_if_failed()
+
+
+class TestConsensusRobustness:
+    def test_omega_consensus_skewed(self):
+        system = System(3)
+        spec = OmegaSpec(system)
+        rng = random.Random(11)
+        pattern = FailurePattern.crash_at(system, {0: 30})
+        history = spec.sample_history(pattern, rng, stabilization_time=80)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = Simulation(system, make_omega_consensus(),
+                         inputs=inputs, pattern=pattern, history=history)
+        sim.run_until(Simulation.all_correct_decided, 1_000_000,
+                      skewed_scheduler(3, 1, 11))
+        ConsensusSpec().check(sim, inputs).raise_if_failed()
+
+    def test_boosted_consensus_staged(self):
+        system = System(4)
+        spec = omega_n(system)
+        rng = random.Random(12)
+        pattern = FailurePattern.failure_free(system)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = Simulation(system, make_boosted_consensus(),
+                         inputs=inputs, pattern=pattern, history=history,
+                         memory=boosted_consensus_memory(system))
+        sim.run_until(Simulation.all_correct_decided, 1_000_000,
+                      staged_scheduler([0, 1, 2, 3], 200, 12))
+        ConsensusSpec().check(sim, inputs).raise_if_failed()
+
+
+class TestScriptedPrefixIntoFairness:
+    def test_solo_prefix_then_fair(self):
+        """A long solo prefix (one process races ahead through several
+        rounds) followed by fairness: stragglers catch up via D / D[r]."""
+        system = System(3)
+        spec = UpsilonSpec(system)
+        pattern = FailurePattern.failure_free(system)
+        history = spec.sample_history(pattern, random.Random(5),
+                                      stabilization_time=0)
+        inputs = {p: f"v{p}" for p in system.pids}
+        sim = Simulation(system, make_upsilon_set_agreement(),
+                         inputs=inputs, pattern=pattern, history=history)
+        script = itertools.chain([0] * 300)
+        sim.run(max_steps=300,
+                scheduler=ScriptedScheduler(script, skip_ineligible=True,
+                                            fallback=RandomScheduler(5)))
+        sim.run_until(Simulation.all_correct_decided, 1_000_000,
+                      RandomScheduler(6))
+        SetAgreementSpec(system.n).check(sim, inputs).raise_if_failed()

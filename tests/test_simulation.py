@@ -1,0 +1,220 @@
+"""Tests for the simulation engine: step semantics, crashes, run loops."""
+
+import pytest
+
+from repro.detectors import ConstantHistory, ScriptedHistory
+from repro.failures import FailurePattern
+from repro.runtime import (
+    BOT,
+    Decide,
+    Emit,
+    NON_PARTICIPANT,
+    Nop,
+    ProtocolError,
+    QueryFD,
+    RandomScheduler,
+    Read,
+    RoundRobinScheduler,
+    Simulation,
+    SimulationLimitError,
+    System,
+    Write,
+    run_protocol,
+)
+
+
+def looping(ctx, _):
+    while True:
+        yield Nop()
+
+
+def write_then_decide(ctx, v):
+    yield Write(("R", ctx.pid), v)
+    got = yield Read(("R", ctx.pid))
+    yield Decide(got)
+
+
+class TestStepSemantics:
+    def test_time_advances_per_step(self, system3):
+        sim = Simulation(system3, looping, inputs={})
+        assert sim.time == 0
+        sim.step(0)
+        sim.step(1)
+        assert sim.time == 2
+        assert len(sim.trace) == 2
+
+    def test_query_fd_gets_time_indexed_value(self, system3):
+        history = ScriptedHistory({(0, 0): "early", (0, 5): "late"}, default="mid")
+
+        def proto(ctx, _):
+            first = yield QueryFD()
+            for _ in range(4):
+                yield Nop()
+            second = yield QueryFD()
+            yield Decide((first, second))
+
+        sim = Simulation(system3, {0: proto}, inputs={0: None}, history=history)
+        for _ in range(7):
+            sim.step(0)
+        assert sim.runtimes[0].decision == ("early", "late")
+
+    def test_query_without_history_raises(self, system3):
+        def proto(ctx, _):
+            yield QueryFD()
+
+        sim = Simulation(system3, {0: proto}, inputs={0: None})
+        with pytest.raises(ProtocolError, match="no history"):
+            sim.step(0)
+
+    def test_decide_recorded(self, system3):
+        sim = Simulation(system3, write_then_decide, inputs={0: "a", 1: "b", 2: "c"})
+        sim.run_until(Simulation.all_correct_decided, 1000, RoundRobinScheduler())
+        assert sim.decisions() == {0: "a", 1: "b", 2: "c"}
+
+    def test_emit_updates_current_output(self, system3):
+        def proto(ctx, _):
+            yield Emit(1)
+            yield Emit(2)
+            while True:
+                yield Nop()
+
+        sim = Simulation(system3, {0: proto}, inputs={0: None})
+        sim.step(0)
+        assert sim.emulated_outputs() == {0: 1}
+        sim.step(0)
+        assert sim.emulated_outputs() == {0: 2}
+
+    def test_stepping_unknown_pid(self, system3):
+        sim = Simulation(system3, {0: looping}, inputs={0: None})
+        with pytest.raises(ProtocolError, match="not participating"):
+            sim.step(2)
+
+    def test_stepping_returned_process(self, system3):
+        def proto(ctx, _):
+            yield Nop()
+
+        sim = Simulation(system3, {0: proto}, inputs={0: None})
+        sim.step(0)
+        with pytest.raises(ProtocolError, match="returned"):
+            sim.step(0)
+
+
+class TestCrashes:
+    def test_crashed_process_not_eligible(self, system3):
+        pattern = FailurePattern.crash_at(system3, {1: 2})
+        sim = Simulation(system3, looping, inputs={}, pattern=pattern)
+        assert sim.eligible() == [0, 1, 2]
+        sim.step(0)
+        sim.step(1)
+        assert sim.eligible() == [0, 2]
+
+    def test_stepping_crashed_process_raises(self, system3):
+        pattern = FailurePattern.crash_at(system3, {1: 0})
+        sim = Simulation(system3, looping, inputs={}, pattern=pattern)
+        with pytest.raises(ProtocolError, match="crashed"):
+            sim.step(1)
+
+    def test_crash_mid_protocol_preserves_memory(self, system3):
+        """A process that crashed after writing leaves its write visible."""
+        pattern = FailurePattern.crash_at(system3, {0: 1})
+
+        def writer(ctx, _):
+            yield Write("shared", "legacy")
+            yield Nop()  # never reached: crash at t=1
+
+        def reader(ctx, _):
+            while True:
+                value = yield Read("shared")
+                if value is not BOT:
+                    yield Decide(value)
+                    return
+
+        sim = Simulation(
+            system3, {0: writer, 1: reader}, inputs={0: None, 1: None},
+            pattern=pattern,
+        )
+        sim.step(0)  # the write, at t=0
+        sim.run_until(
+            Simulation.all_correct_decided, 100, RoundRobinScheduler(start=1)
+        )
+        assert sim.runtimes[1].decision == "legacy"
+
+    def test_all_correct_decided_ignores_faulty(self, system3):
+        pattern = FailurePattern.crash_at(system3, {2: 0})
+        sim = Simulation(system3, write_then_decide, inputs={0: 1, 1: 2, 2: 3},
+                         pattern=pattern)
+        sim.run_until(Simulation.all_correct_decided, 1000, RoundRobinScheduler())
+        assert set(sim.decisions()) == {0, 1}
+
+
+class TestRunLoops:
+    def test_run_stops_at_quiescence(self, system3):
+        sim = Simulation(system3, write_then_decide, inputs={p: p for p in range(3)})
+        trace = sim.run(max_steps=10_000)
+        assert len(trace) == 9  # 3 steps each, all returned
+
+    def test_run_until_budget_error(self, system3):
+        sim = Simulation(system3, looping, inputs={})
+        with pytest.raises(SimulationLimitError):
+            sim.run_until(lambda s: False, max_steps=50)
+
+    def test_run_until_returns_trace(self, system3):
+        sim = Simulation(system3, write_then_decide, inputs={p: p for p in range(3)})
+        trace = sim.run_until(Simulation.all_correct_decided, 1000)
+        assert trace is sim.trace
+
+    def test_run_script(self, system3):
+        sim = Simulation(system3, looping, inputs={})
+        sim.run_script([0, 0, 1, 2, 0])
+        counts = sim.trace.step_counts()
+        assert counts[0] == 3 and counts[1] == 1 and counts[2] == 1
+
+    def test_stop_when_predicate(self, system3):
+        sim = Simulation(system3, looping, inputs={})
+        sim.run(max_steps=1000, stop_when=lambda s: s.time >= 7)
+        assert sim.time == 7
+
+
+class TestParticipation:
+    def test_non_participant_sentinel(self, system3):
+        sim = Simulation(
+            system3, write_then_decide, inputs={0: "a", 1: NON_PARTICIPANT, 2: "c"}
+        )
+        assert set(sim.runtimes) == {0, 2}
+        assert sim.eligible() == [0, 2]
+
+    def test_protocol_map_partial(self, system3):
+        sim = Simulation(system3, {1: looping}, inputs={})
+        assert set(sim.runtimes) == {1}
+
+    def test_run_protocol_helper(self, system3):
+        sim = run_protocol(
+            system3, write_then_decide, {p: p * 2 for p in system3.pids}
+        )
+        assert sim.decisions() == {0: 0, 1: 2, 2: 4}
+
+    def test_run_protocol_requires_termination(self, system3):
+        with pytest.raises(SimulationLimitError):
+            run_protocol(system3, looping, {p: None for p in system3.pids},
+                         max_steps=100)
+
+    def test_run_protocol_no_termination_flag(self, system3):
+        sim = run_protocol(
+            system3, looping, {p: None for p in system3.pids},
+            max_steps=100, require_termination=False,
+        )
+        assert sim.time == 100
+
+
+class TestHistoryIntegration:
+    def test_constant_history(self, system3):
+        def proto(ctx, _):
+            value = yield QueryFD()
+            yield Decide(value)
+
+        sim = Simulation(
+            system3, proto, inputs={p: None for p in system3.pids},
+            history=ConstantHistory("d"),
+        )
+        sim.run_until(Simulation.all_correct_decided, 100)
+        assert set(sim.decisions().values()) == {"d"}

@@ -1,0 +1,196 @@
+"""Tests for atomic snapshots — primitive API and the register construction.
+
+The key correctness property (used by Fig. 2's termination proof) is
+*containment*: any two scans are position-wise comparable.  We verify it by
+tagging every update with a per-position monotone counter and checking all
+pairs of views returned in randomized concurrent runs.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    PrimitiveSnapshotAPI,
+    RegisterSnapshotAPI,
+    make_snapshot_api,
+    nonbot_count,
+    nonbot_values,
+)
+from repro.runtime import BOT, Decide, RandomScheduler, Simulation, System
+
+
+def _version(cell):
+    """Order of a tagged cell value (BOT sorts first)."""
+    return -1 if cell is BOT else cell[1]
+
+
+def _comparable(u, v):
+    """Position-wise ≤ in at least one direction."""
+    u_le_v = all(_version(a) <= _version(b) for a, b in zip(u, v))
+    v_le_u = all(_version(b) <= _version(a) for a, b in zip(u, v))
+    return u_le_v or v_le_u
+
+
+def _snapshot_workload(register_based, n_ops=6):
+    """Protocol: interleave updates (tagged with own counters) and scans."""
+
+    def protocol(ctx, seed):
+        api = make_snapshot_api("obj", ctx.system.n_processes, register_based)
+        local_rng = random.Random(seed)
+        views = []
+        counter = 0
+        for _ in range(n_ops):
+            if local_rng.random() < 0.5:
+                counter += 1
+                yield from api.update(ctx.pid, (ctx.pid, counter))
+            else:
+                view = yield from api.scan()
+                views.append(view)
+        final = yield from api.scan()
+        views.append(final)
+        yield Decide(tuple(views))
+
+    return protocol
+
+
+@pytest.mark.parametrize("register_based", [False, True])
+@pytest.mark.parametrize("seed", range(6))
+def test_containment_under_random_schedules(register_based, seed):
+    system = System(4)
+    sim = Simulation(
+        system,
+        _snapshot_workload(register_based),
+        inputs={p: seed * 31 + p for p in system.pids},
+    )
+    sim.run_until(
+        Simulation.all_correct_decided,
+        max_steps=100_000,
+        scheduler=RandomScheduler(seed),
+    )
+    all_views = [v for views in sim.decisions().values() for v in views]
+    for u, v in itertools.combinations(all_views, 2):
+        assert _comparable(u, v), f"incomparable scans {u} / {v}"
+
+
+@pytest.mark.parametrize("register_based", [False, True])
+def test_scan_sees_own_preceding_update(register_based):
+    system = System(3)
+
+    def protocol(ctx, _):
+        api = make_snapshot_api("obj", ctx.system.n_processes, register_based)
+        yield from api.update(ctx.pid, (ctx.pid, 1))
+        view = yield from api.scan()
+        yield Decide(view)
+
+    sim = Simulation(system, protocol, inputs={p: None for p in system.pids})
+    sim.run_until(
+        Simulation.all_correct_decided, 50_000, RandomScheduler(5)
+    )
+    for pid, view in sim.decisions().items():
+        assert view[pid] == (pid, 1), "own update must be visible"
+
+
+@pytest.mark.parametrize("register_based", [False, True])
+def test_sequential_semantics(register_based):
+    """With a single process the snapshot is just an array."""
+    system = System(3)
+
+    def protocol(ctx, _):
+        api = make_snapshot_api("obj", ctx.system.n_processes, register_based)
+        view0 = yield from api.scan()
+        yield from api.update(0, "a")
+        view1 = yield from api.scan()
+        yield from api.update(0, "b")
+        yield from api.update(2, "c")
+        view2 = yield from api.scan()
+        yield Decide((view0, view1, view2))
+
+    sim = Simulation(system, {0: protocol}, inputs={0: None})
+    # only process 0 participates — run it solo
+    while not sim.runtimes[0].has_decided:
+        sim.step(0)
+    view0, view1, view2 = sim.runtimes[0].decision
+    assert view0 == (BOT, BOT, BOT)
+    assert view1 == ("a", BOT, BOT)
+    assert view2 == ("b", BOT, "c")
+
+
+def test_register_snapshot_borrow_path():
+    """Force the Afek-et-al. 'borrow an embedded view' branch: a scanner is
+    starved while another process updates repeatedly."""
+    system = System(2)
+
+    def scanner(ctx, _):
+        api = RegisterSnapshotAPI("obj", 2)
+        view = yield from api.scan()
+        yield Decide(view)
+
+    def updater(ctx, _):
+        api = RegisterSnapshotAPI("obj", 2)
+        for i in range(1, 40):
+            yield from api.update(1, (1, i))
+        yield Decide("done")
+
+    sim = Simulation(system, {0: scanner, 1: updater}, inputs={0: None, 1: None})
+    # Interleave: scanner gets one step per three updater steps, so cells
+    # keep moving under its double collects.
+    while not sim.runtimes[0].has_decided:
+        if sim.runtimes[1].schedulable:
+            sim.step(1)
+            if sim.runtimes[1].schedulable:
+                sim.step(1)
+        sim.step(0)
+    view = sim.runtimes[0].decision
+    assert view[1] is BOT or view[1][0] == 1
+
+
+def test_nonbot_helpers():
+    assert nonbot_count((BOT, 1, BOT, 2)) == 2
+    assert nonbot_values((BOT, "x", BOT)) == ["x"]
+    assert nonbot_count((BOT, BOT)) == 0
+    # Falsy application values still count as present.
+    assert nonbot_count((0, "", BOT)) == 2
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_procs=st.integers(2, 5),
+)
+@settings(max_examples=25, deadline=None)
+def test_containment_property_register_based(seed, n_procs):
+    system = System(n_procs)
+    sim = Simulation(
+        system,
+        _snapshot_workload(register_based=True, n_ops=4),
+        inputs={p: seed + p for p in system.pids},
+    )
+    sim.run_until(
+        Simulation.all_correct_decided,
+        max_steps=200_000,
+        scheduler=RandomScheduler(seed ^ 0xABC),
+    )
+    all_views = [v for views in sim.decisions().values() for v in views]
+    for u, v in itertools.combinations(all_views, 2):
+        assert _comparable(u, v)
+
+
+def test_primitive_api_single_steps():
+    """Primitive snapshot ops cost exactly one step each."""
+    system = System(3)
+
+    def protocol(ctx, _):
+        api = PrimitiveSnapshotAPI("obj", 3)
+        yield from api.update(ctx.pid, 1)
+        view = yield from api.scan()
+        yield Decide(view)
+
+    sim = Simulation(system, {0: protocol}, inputs={0: None})
+    sim.step(0)
+    sim.step(0)
+    sim.step(0)
+    assert sim.runtimes[0].has_decided
+    assert sim.runtimes[0].steps_taken == 3

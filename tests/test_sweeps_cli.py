@@ -1,0 +1,162 @@
+"""Tests for the sweep/CSV helpers and the command-line interface."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import sweep_extraction, sweep_set_agreement, to_csv
+from repro.cli import main
+from repro.detectors import OmegaSpec
+
+
+class TestSweeps:
+    def test_wait_free_grid(self):
+        results = sweep_set_agreement(
+            system_sizes=[3, 4], seeds=[0, 1], stabilization_times=[0, 40],
+        )
+        assert len(results) == 2 * 2 * 2
+        assert all(r.ok for r in results)
+        assert {r.n_processes for r in results} == {3, 4}
+
+    def test_f_grid_clamps_to_n(self):
+        results = sweep_set_agreement(
+            system_sizes=[3], seeds=[0], stabilization_times=[0],
+            fs=[1, 2, 7],  # 7 > n = 2 is dropped
+        )
+        assert {r.f for r in results} == {1, 2}
+
+    def test_extraction_sweep(self):
+        results = sweep_extraction(
+            [OmegaSpec], system_sizes=[3], seeds=[0, 1],
+            stabilization_time=40, max_steps=30_000,
+        )
+        assert len(results) == 2
+        assert all(r.stabilized and r.legal for r in results)
+
+
+class TestCsvExport:
+    def test_roundtrip(self):
+        results = sweep_set_agreement(
+            system_sizes=[3], seeds=[0, 1], stabilization_times=[0],
+        )
+        text = to_csv(results)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["n_processes"] == "3"
+        assert rows[0]["ok"] == "True"
+
+    def test_frozenset_stringified(self):
+        results = sweep_extraction(
+            [OmegaSpec], system_sizes=[3], seeds=[0],
+            stabilization_time=30, max_steps=30_000,
+        )
+        text = to_csv(results)
+        row = next(csv.DictReader(io.StringIO(text)))
+        assert row["output"].startswith("{")
+
+    def test_file_destination(self, tmp_path):
+        results = sweep_set_agreement(
+            system_sizes=[3], seeds=[0], stabilization_times=[0],
+        )
+        path = tmp_path / "out.csv"
+        to_csv(results, str(path))
+        assert path.read_text().startswith("n_processes,")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            to_csv([])
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            to_csv([{"a": 1}])
+
+    def test_mixed_types_rejected(self):
+        sa = sweep_set_agreement([3], [0], [0])
+        ex = sweep_extraction([OmegaSpec], [3], [0], max_steps=30_000)
+        with pytest.raises(TypeError):
+            to_csv(sa + ex)
+
+
+class TestCli:
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--processes", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "properties: OK" in out
+
+    def test_fig1_adversarial(self, capsys):
+        assert main(["fig1", "--processes", "3", "--adversarial",
+                     "--stabilization", "50"]) == 0
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--processes", "4", "--resilience", "2"]) == 0
+        assert "bound 2" in capsys.readouterr().out
+
+    def test_extract(self, capsys):
+        assert main(["extract", "--detector", "omega_n",
+                     "--processes", "3"]) == 0
+        assert "extraction: OK" in capsys.readouterr().out
+
+    def test_extract_f_resilient(self, capsys):
+        assert main(["extract", "--detector", "omega", "--processes", "4",
+                     "--resilience", "3"]) == 0
+
+    def test_theorem1(self, capsys):
+        assert main(["theorem1", "--candidate", "heartbeat",
+                     "--phases", "4"]) == 0
+        assert "refuted: YES" in capsys.readouterr().out
+
+    def test_run_with_trace(self, capsys):
+        assert main(["run", "--show-trace"]) == 0
+        out = capsys.readouterr().out
+        assert "decisions:" in out
+        assert "p0 |" in out  # the timeline lanes
+
+    def test_hierarchy(self, capsys):
+        assert main(["hierarchy", "--processes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Υ ≺ Ωn" in out
+
+    def test_hierarchy_f_resilient(self, capsys):
+        assert main(["hierarchy", "--processes", "5",
+                     "--resilience", "2"]) == 0
+        assert "Υf" in capsys.readouterr().out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign", "--trials", "4", "--seed", "9"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+
+class TestDetectorRegistry:
+    def test_names(self):
+        from repro.detectors import detector_names
+
+        assert "upsilon" in detector_names()
+        assert "omega_f" in detector_names()
+
+    def test_make_system_detector(self, system4):
+        from repro.detectors import make_detector
+        from repro.failures import Environment
+
+        env = Environment.wait_free(system4)
+        assert make_detector("omega", env).name == "Ω"
+        assert make_detector("upsilon", env).name == "Υ"
+
+    def test_make_env_detector(self, system4):
+        from repro.detectors import make_detector
+        from repro.failures import Environment
+
+        env = Environment(system4, 2)
+        assert make_detector("upsilon_f", env).name == "Υ^2"
+        assert make_detector("omega_f", env).k == 2
+
+    def test_unknown_name(self, system4):
+        from repro.detectors import make_detector
+        from repro.failures import Environment
+
+        with pytest.raises(KeyError):
+            make_detector("sigma", Environment.wait_free(system4))

@@ -1,0 +1,113 @@
+"""Tests for the task specifications — the checkers must catch violations."""
+
+import pytest
+
+from repro.runtime import Decide, Nop, RandomScheduler, Simulation, System
+from repro.failures import FailurePattern
+from repro.tasks import ConsensusSpec, SetAgreementSpec, Verdict, Violation
+
+
+def decide_value(value):
+    def protocol(ctx, _):
+        yield Decide(value)
+
+    return protocol
+
+
+def decide_own(ctx, v):
+    yield Decide(v)
+
+
+def never_decide(ctx, _):
+    while True:
+        yield Nop()
+
+
+def run(system, protocols, inputs, pattern=None, steps=1000):
+    sim = Simulation(system, protocols, inputs=inputs, pattern=pattern)
+    sim.run(max_steps=steps, scheduler=RandomScheduler(1),
+            stop_when=Simulation.all_correct_decided)
+    return sim
+
+
+class TestValidity:
+    def test_accepts_proposed_values(self, system3):
+        inputs = {p: f"v{p}" for p in system3.pids}
+        sim = run(system3, decide_own, inputs)
+        assert SetAgreementSpec(3).check(sim, inputs).ok
+
+    def test_rejects_invented_value(self, system3):
+        inputs = {p: f"v{p}" for p in system3.pids}
+        sim = run(system3, decide_value("invented"), inputs)
+        verdict = SetAgreementSpec(3).check(sim, inputs)
+        assert not verdict.ok
+        assert any(v.prop == "Validity" for v in verdict.violations)
+
+
+class TestAgreement:
+    def test_rejects_too_many_values(self, system3):
+        inputs = {p: f"v{p}" for p in system3.pids}
+        sim = run(system3, decide_own, inputs)
+        verdict = SetAgreementSpec(2).check(sim, inputs)
+        assert not verdict.ok
+        assert any(v.prop == "Agreement" for v in verdict.violations)
+
+    def test_boundary_exactly_k(self, system3):
+        inputs = {p: f"v{p}" for p in system3.pids}
+        protocols = {0: decide_value("v0"), 1: decide_value("v0"),
+                     2: decide_value("v2")}
+        sim = run(system3, protocols, inputs)
+        assert SetAgreementSpec(2).check(sim, inputs).ok
+        assert not SetAgreementSpec(1).check(sim, inputs).ok
+
+
+class TestTermination:
+    def test_rejects_undecided_correct_process(self, system3):
+        inputs = {p: "v" for p in system3.pids}
+        protocols = {0: decide_value("v"), 1: decide_value("v"),
+                     2: never_decide}
+        sim = run(system3, protocols, inputs, steps=200)
+        verdict = SetAgreementSpec(3).check(sim, inputs)
+        assert any(v.prop == "Termination" for v in verdict.violations)
+
+    def test_faulty_processes_excused(self, system3):
+        inputs = {p: "v" for p in system3.pids}
+        pattern = FailurePattern.crash_at(system3, {2: 0})
+        protocols = {0: decide_value("v"), 1: decide_value("v"),
+                     2: never_decide}
+        sim = run(system3, protocols, inputs, pattern=pattern)
+        assert SetAgreementSpec(3).check(sim, inputs).ok
+
+    def test_termination_check_can_be_waived(self, system3):
+        inputs = {p: "v" for p in system3.pids}
+        protocols = {0: decide_value("v"), 1: never_decide, 2: never_decide}
+        sim = run(system3, protocols, inputs, steps=100)
+        assert SetAgreementSpec(3).check(
+            sim, inputs, require_termination=False
+        ).ok
+
+
+class TestConsensusSpec:
+    def test_is_1_set_agreement(self):
+        spec = ConsensusSpec()
+        assert spec.k == 1
+        assert spec.name == "consensus"
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            SetAgreementSpec(0)
+
+
+class TestVerdict:
+    def test_raise_if_failed(self):
+        bad = Verdict("t", [Violation("Agreement", "boom")])
+        with pytest.raises(AssertionError, match="Agreement: boom"):
+            bad.raise_if_failed()
+
+    def test_ok_verdict_passes_through(self):
+        good = Verdict("t", [])
+        assert good.raise_if_failed() is good
+
+    def test_violation_str(self):
+        v = Violation("Validity", "detail")
+        assert str(v) == "Validity: detail"

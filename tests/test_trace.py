@@ -1,0 +1,114 @@
+"""Tests for trace recording and its analysis queries."""
+
+from repro.runtime import Decide, Emit, Nop, QueryFD, Simulation, System
+from repro.runtime.trace import OutputRecord, StepRecord, Trace
+from repro.detectors import ConstantHistory
+
+
+def _trace_with(records):
+    trace = Trace()
+    for r in records:
+        trace.record(r)
+    return trace
+
+
+class TestTraceRecording:
+    def test_decide_becomes_output(self):
+        trace = _trace_with([StepRecord(0, 1, Decide("v"), None)])
+        assert trace.outputs == [OutputRecord(0, 1, "v", "decide")]
+        assert trace.decisions() == {1: "v"}
+
+    def test_emit_becomes_output(self):
+        trace = _trace_with([StepRecord(3, 0, Emit("u"), None)])
+        assert trace.outputs == [OutputRecord(3, 0, "u", "emit")]
+        assert trace.decisions() == {}
+
+    def test_nop_not_output(self):
+        trace = _trace_with([StepRecord(0, 0, Nop(), None)])
+        assert trace.outputs == []
+        assert len(trace) == 1
+
+
+class TestEmitAnalysis:
+    def _emits(self, values_times, pid=0):
+        return _trace_with(
+            [StepRecord(t, pid, Emit(v), None) for t, v in values_times]
+        )
+
+    def test_final_emit(self):
+        trace = self._emits([(0, "a"), (5, "b")])
+        assert trace.final_emit(0) == "b"
+        assert trace.final_emit(1) is None
+
+    def test_stabilization_time_is_last_change(self):
+        trace = self._emits([(0, "a"), (5, "b"), (9, "b"), (12, "b")])
+        assert trace.emit_stabilization_time(0) == 5
+
+    def test_stabilization_time_constant(self):
+        trace = self._emits([(0, "a"), (8, "a")])
+        assert trace.emit_stabilization_time(0) == 0
+
+    def test_stabilization_time_no_emits(self):
+        assert Trace().emit_stabilization_time(0) is None
+
+    def test_change_count(self):
+        trace = self._emits([(0, "a"), (1, "b"), (2, "b"), (3, "a")])
+        assert trace.emit_change_count(0) == 2
+        assert Trace().emit_change_count(0) == 0
+
+    def test_emits_filtered_by_pid(self):
+        trace = _trace_with([
+            StepRecord(0, 0, Emit("x"), None),
+            StepRecord(1, 1, Emit("y"), None),
+        ])
+        assert [r.value for r in trace.emits(0)] == ["x"]
+
+
+class TestStepQueries:
+    def test_steps_of_and_counts(self):
+        trace = _trace_with([
+            StepRecord(0, 0, Nop(), None),
+            StepRecord(1, 1, Nop(), None),
+            StepRecord(2, 0, Nop(), None),
+        ])
+        assert len(trace.steps_of(0)) == 2
+        assert trace.step_counts()[0] == 2
+        assert trace.participants() == frozenset({0, 1})
+
+    def test_fd_queries(self):
+        trace = _trace_with([
+            StepRecord(0, 0, QueryFD(), "d"),
+            StepRecord(1, 1, Nop(), None),
+            StepRecord(2, 1, QueryFD(), "e"),
+        ])
+        assert len(trace.fd_queries()) == 2
+        assert len(trace.fd_queries(1)) == 1
+        assert trace.fd_queries(1)[0].response == "e"
+
+    def test_decision_times(self):
+        trace = _trace_with([
+            StepRecord(4, 0, Decide("v"), None),
+            StepRecord(9, 2, Decide("w"), None),
+        ])
+        assert trace.decision_times() == {0: 4, 2: 9}
+        assert trace.decided_values() == {"v", "w"}
+
+
+class TestEndToEndTrace:
+    def test_simulation_populates_trace(self):
+        system = System(2)
+
+        def proto(ctx, _):
+            value = yield QueryFD()
+            yield Emit(value)
+            yield Decide(value)
+
+        sim = Simulation(
+            system, proto, inputs={p: None for p in system.pids},
+            history=ConstantHistory("d"),
+        )
+        sim.run_until(Simulation.all_correct_decided, 100)
+        assert len(sim.trace) == 6
+        assert sim.trace.decided_values() == {"d"}
+        assert sim.trace.final_emit(0) == "d"
+        assert sim.trace.io_sequence() == sim.trace.outputs

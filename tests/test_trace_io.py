@@ -1,0 +1,142 @@
+"""Round-trip tests for trace serialization."""
+
+import io
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.trace_io import (
+    decode_value,
+    dump_jsonl,
+    encode_value,
+    load_jsonl,
+    step_from_dict,
+    step_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.core import make_upsilon_set_agreement
+from repro.detectors import UpsilonSpec
+from repro.failures import FailurePattern
+from repro.runtime import (
+    BOT,
+    Decide,
+    QueryFD,
+    RandomScheduler,
+    Read,
+    Simulation,
+    SnapshotScan,
+    System,
+    Write,
+)
+from repro.runtime.trace import StepRecord
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, 0, -7, 3.5, "text",
+        (1, 2, "x"), [1, [2, 3]], frozenset({1, 4}),
+        {"a": 1, ("k", 2): frozenset({0})},
+        BOT, (BOT, "v", BOT), frozenset(),
+        ((("nconv", 1), "cvA"),),
+    ])
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bot_identity_preserved(self):
+        assert decode_value(encode_value(BOT)) is BOT
+
+    def test_json_serializable(self):
+        encoded = encode_value({("Dr", 1): (BOT, frozenset({2}))})
+        json.dumps(encoded)  # must not raise
+
+    def test_opaque_fallback(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert decode_value(encode_value(Weird())) == "<weird>"
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            decode_value({"mystery": 1})
+
+
+class TestStepCodec:
+    @pytest.mark.parametrize("step", [
+        StepRecord(0, 1, Read(("R", 2)), BOT),
+        StepRecord(5, 0, Write("D", "v1"), None),
+        StepRecord(9, 2, QueryFD(), frozenset({0, 1})),
+        StepRecord(11, 1, Decide("v0"), None),
+        StepRecord(3, 0, SnapshotScan(("k", "cvA")), ("a", BOT, "c")),
+    ])
+    def test_roundtrip(self, step):
+        assert step_from_dict(step_to_dict(step)) == step
+
+
+class TestTraceRoundTrip:
+    def _real_trace(self):
+        system = System(3)
+        spec = UpsilonSpec(system)
+        rng = random.Random(5)
+        pattern = FailurePattern.crash_at(system, {0: 20})
+        history = spec.sample_history(pattern, rng, stabilization_time=40)
+        sim = Simulation(system, make_upsilon_set_agreement(),
+                         inputs={p: f"v{p}" for p in system.pids},
+                         pattern=pattern, history=history)
+        sim.run_until(Simulation.all_correct_decided, 200_000,
+                      RandomScheduler(5))
+        return sim.trace
+
+    def test_dict_roundtrip_preserves_analysis(self):
+        trace = self._real_trace()
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert len(rebuilt) == len(trace)
+        assert rebuilt.decisions() == trace.decisions()
+        assert rebuilt.decided_values() == trace.decided_values()
+        assert rebuilt.step_counts() == trace.step_counts()
+        assert rebuilt.steps == trace.steps
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        trace = self._real_trace()
+        path = str(tmp_path / "run.jsonl")
+        count = dump_jsonl(trace, path)
+        assert count == len(trace)
+        rebuilt = load_jsonl(path)
+        assert rebuilt.steps == trace.steps
+
+    def test_jsonl_stream_objects(self):
+        trace = self._real_trace()
+        buffer = io.StringIO()
+        dump_jsonl(trace, buffer)
+        buffer.seek(0)
+        for line in buffer:
+            json.loads(line)  # every line is standalone JSON
+        buffer.seek(0)
+        assert load_jsonl(buffer).decisions() == trace.decisions()
+
+    def test_empty_trace(self):
+        from repro.runtime.trace import Trace
+
+        buffer = io.StringIO()
+        assert dump_jsonl(Trace(), buffer) == 0
+        buffer.seek(0)
+        assert len(load_jsonl(buffer)) == 0
+
+
+@given(st.recursive(
+    st.one_of(st.integers(), st.text(max_size=8), st.booleans(),
+              st.none(), st.just(BOT)),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.frozensets(st.integers(0, 5), max_size=3),
+        st.lists(children, max_size=3),
+    ),
+    max_leaves=8,
+))
+@settings(max_examples=60, deadline=None)
+def test_codec_roundtrip_hypothesis(value):
+    assert decode_value(encode_value(value)) == value

@@ -1,0 +1,197 @@
+"""Tests for the independent run-axiom validator (Sect. 3.3 R1–R5)."""
+
+import random
+
+import pytest
+
+from repro.analysis import RunValidator, validate_simulation
+from repro.core import make_upsilon_set_agreement
+from repro.detectors import ConstantHistory, ScriptedHistory, UpsilonSpec
+from repro.failures import FailurePattern
+from repro.runtime import (
+    BOT,
+    ConsensusPropose,
+    Decide,
+    Nop,
+    QueryFD,
+    RandomScheduler,
+    Read,
+    Simulation,
+    SnapshotScan,
+    SnapshotUpdate,
+    System,
+    Write,
+)
+from repro.runtime.trace import StepRecord, Trace
+
+
+def _trace(*records):
+    trace = Trace()
+    for r in records:
+        trace.record(r)
+    return trace
+
+
+@pytest.fixture
+def validator(system3):
+    pattern = FailurePattern.crash_at(system3, {2: 50})
+    return RunValidator(pattern, ConstantHistory("d"), 3)
+
+
+class TestReplayAxioms:
+    def test_clean_register_history_passes(self, validator):
+        trace = _trace(
+            StepRecord(0, 0, Write("x", 1), None),
+            StepRecord(1, 1, Read("x"), 1),
+            StepRecord(2, 1, Read("ghost"), BOT),
+        )
+        assert validator.validate(trace) == []
+
+    def test_r1_crashed_step_flagged(self, validator):
+        trace = _trace(StepRecord(50, 2, Nop(), None))
+        violations = validator.validate(trace)
+        assert [v.axiom for v in violations] == ["R1-crash"]
+
+    def test_r2_history_mismatch_flagged(self, validator):
+        trace = _trace(StepRecord(0, 0, QueryFD(), "wrong"))
+        violations = validator.validate(trace)
+        assert [v.axiom for v in violations] == ["R2-history"]
+
+    def test_r2_history_match_passes(self, validator):
+        trace = _trace(StepRecord(3, 0, QueryFD(), "d"))
+        assert validator.validate(trace) == []
+
+    def test_r3_time_order_flagged(self, validator):
+        trace = _trace(
+            StepRecord(5, 0, Nop(), None),
+            StepRecord(5, 1, Nop(), None),
+        )
+        violations = validator.validate(trace)
+        assert [v.axiom for v in violations] == ["R3-order"]
+
+    def test_r4_register_divergence_flagged(self, validator):
+        trace = _trace(
+            StepRecord(0, 0, Write("x", 1), None),
+            StepRecord(1, 1, Read("x"), 99),
+        )
+        violations = validator.validate(trace)
+        assert [v.axiom for v in violations] == ["R4-register"]
+
+    def test_r4_snapshot_replay(self, validator):
+        good = _trace(
+            StepRecord(0, 0, SnapshotUpdate("s", 0, "a"), None),
+            StepRecord(1, 1, SnapshotScan("s"), ("a", BOT, BOT)),
+        )
+        assert validator.validate(good) == []
+        bad = _trace(
+            StepRecord(0, 0, SnapshotUpdate("s", 0, "a"), None),
+            StepRecord(1, 1, SnapshotScan("s"), (BOT, BOT, BOT)),
+        )
+        assert [v.axiom for v in validator.validate(bad)] == ["R4-snapshot"]
+
+    def test_r4_consensus_replay(self, validator):
+        good = _trace(
+            StepRecord(0, 0, ConsensusPropose("c", "a"), "a"),
+            StepRecord(1, 1, ConsensusPropose("c", "b"), "a"),
+        )
+        assert validator.validate(good) == []
+        bad = _trace(
+            StepRecord(0, 0, ConsensusPropose("c", "a"), "a"),
+            StepRecord(1, 1, ConsensusPropose("c", "b"), "b"),
+        )
+        assert [v.axiom for v in validator.validate(bad)] == ["R4-consensus"]
+
+    def test_violation_str(self, validator):
+        trace = _trace(StepRecord(50, 2, Nop(), None))
+        (violation,) = validator.validate(trace)
+        assert "R1-crash" in str(violation) and "p2" in str(violation)
+
+
+class TestFairness:
+    def test_starvation_flagged(self, system3):
+        """p1 steps once early, then starves for the rest of the run."""
+        pattern = FailurePattern.failure_free(system3)
+        validator = RunValidator(pattern, None, 3, fairness_window=5)
+        records = [StepRecord(0, 1, Nop(), None)] + [
+            StepRecord(1 + t, 0, Nop(), None) for t in range(15)
+        ]
+        violations = validator.validate(_trace(*records))
+        assert any(
+            v.axiom == "R5-fairness" and v.pid == 1 for v in violations
+        )
+
+    def test_interleaved_run_is_fair(self, system3):
+        pattern = FailurePattern.failure_free(system3)
+        validator = RunValidator(pattern, None, 3, fairness_window=6)
+        records = [
+            StepRecord(t, t % 3, Nop(), None) for t in range(30)
+        ]
+        assert validator.validate(_trace(*records)) == []
+
+    def test_mid_run_gap_flagged(self, system3):
+        pattern = FailurePattern.failure_free(system3)
+        validator = RunValidator(pattern, None, 3, fairness_window=4)
+        records = (
+            [StepRecord(t, t % 3, Nop(), None) for t in range(6)]
+            + [StepRecord(t, 0, Nop(), None) for t in range(6, 20)]
+            + [StepRecord(20, 1, Nop(), None), StepRecord(21, 2, Nop(), None)]
+            + [StepRecord(22 + t, t % 3, Nop(), None) for t in range(3)]
+        )
+        violations = validator.validate(_trace(*records))
+        assert any(v.axiom == "R5-fairness" for v in violations)
+
+
+class TestEndToEndValidation:
+    """The engine's own runs must pass the independent validator."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fig1_runs_satisfy_all_axioms(self, system4, seed):
+        spec = UpsilonSpec(system4)
+        rng = random.Random(seed)
+        pattern = FailurePattern.random(system4, rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        sim = Simulation(
+            system4, make_upsilon_set_agreement(),
+            inputs={p: f"v{p}" for p in system4.pids},
+            pattern=pattern, history=history,
+        )
+        sim.run_until(Simulation.all_correct_decided, 500_000,
+                      RandomScheduler(seed))
+        assert validate_simulation(sim) == []
+
+    def test_scripted_history_validates(self, system3):
+        history = ScriptedHistory({(0, 0): "a"}, default="b")
+
+        def proto(ctx, _):
+            first = yield QueryFD()
+            yield Decide(first)
+
+        sim = Simulation(system3, proto,
+                         inputs={p: None for p in system3.pids},
+                         history=history)
+        sim.run_until(Simulation.all_correct_decided, 100)
+        assert validate_simulation(sim) == []
+
+    def test_validator_catches_forged_trace(self, system3):
+        """Tamper with a recorded response: the replay must notice."""
+        def proto(ctx, _):
+            yield Write("x", ctx.pid)
+            got = yield Read("x")
+            yield Decide(got)
+
+        sim = Simulation(system3, proto,
+                         inputs={p: None for p in system3.pids})
+        sim.run_until(Simulation.all_correct_decided, 100)
+        assert validate_simulation(sim) == []
+        # Forge one read response.
+        forged = Trace()
+        for step in sim.trace.steps:
+            if isinstance(step.op, Read) and forged.steps:
+                forged.record(StepRecord(step.time, step.pid, step.op,
+                                         "forged"))
+            else:
+                forged.record(step)
+        validator = RunValidator(sim.pattern, sim.history, 3)
+        assert any(
+            v.axiom == "R4-register" for v in validator.validate(forged)
+        )

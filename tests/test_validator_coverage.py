@@ -1,0 +1,105 @@
+"""Cross-checks: the independent run-axiom validator over every protocol
+family, and hierarchy strictness at the environment boundaries."""
+
+import random
+
+import pytest
+
+from repro.analysis import validate_simulation
+from repro.core import (
+    DetectorHierarchy,
+    PhiMap,
+    make_extraction_protocol,
+    make_upsilon_f_set_agreement,
+)
+from repro.detectors import OmegaSpec, UpsilonFSpec
+from repro.failures import Environment, FailurePattern
+from repro.messaging import AbdRegisters, Network
+from repro.runtime import Decide, RandomScheduler, Simulation, System
+
+
+class TestValidatorOverAllProtocolFamilies:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fig2_runs_satisfy_axioms(self, system4, seed):
+        f = 2
+        env = Environment(system4, f)
+        spec = UpsilonFSpec(env)
+        rng = random.Random(f"vf2:{seed}")
+        pattern = env.random_pattern(rng, max_crash_time=40)
+        history = spec.sample_history(pattern, rng, stabilization_time=60)
+        sim = Simulation(system4, make_upsilon_f_set_agreement(f),
+                         inputs={p: f"v{p}" for p in system4.pids},
+                         pattern=pattern, history=history)
+        sim.run_until(Simulation.all_correct_decided, 1_000_000,
+                      RandomScheduler(seed))
+        assert validate_simulation(sim) == []
+
+    def test_extraction_run_satisfies_axioms(self, system4):
+        env = Environment.wait_free(system4)
+        spec = OmegaSpec(system4)
+        rng = random.Random(8)
+        pattern = FailurePattern.crash_at(system4, {1: 20})
+        history = spec.sample_history(pattern, rng, stabilization_time=40)
+        sim = Simulation(system4, make_extraction_protocol(PhiMap(spec, env)),
+                         inputs={}, pattern=pattern, history=history)
+        sim.run(max_steps=20_000, scheduler=RandomScheduler(8))
+        assert validate_simulation(sim) == []
+
+    def test_messaging_run_satisfies_axioms(self, system3):
+        """Messaging steps are outside the register replay but must not
+        trip R1/R3 and coexist with register traffic."""
+        def protocol(ctx, _):
+            abd = AbdRegisters(ctx)
+            yield from abd.write("x", ctx.pid)
+            got = yield from abd.read("x")
+            yield Decide(got)
+            yield from abd.serve()
+
+        net = Network(system3, seed=3, max_delay=2)
+        pattern = FailurePattern.crash_at(system3, {2: 500})
+        sim = Simulation(system3, protocol,
+                         inputs={p: None for p in system3.pids},
+                         pattern=pattern, network=net)
+        sim.run(max_steps=100_000, scheduler=RandomScheduler(3),
+                stop_when=Simulation.all_correct_decided)
+        assert sim.all_correct_decided()
+        assert validate_simulation(sim) == []
+
+    def test_fairness_window_accepts_fair_protocol_run(self, system3):
+        from repro.core import make_upsilon_set_agreement
+        from repro.detectors import UpsilonSpec
+        from repro.runtime import RoundRobinScheduler
+
+        spec = UpsilonSpec(system3)
+        pattern = FailurePattern.failure_free(system3)
+        history = spec.sample_history(pattern, random.Random(1),
+                                      stabilization_time=0)
+        sim = Simulation(system3, make_upsilon_set_agreement(),
+                         inputs={p: f"v{p}" for p in system3.pids},
+                         pattern=pattern, history=history)
+        sim.run_until(Simulation.all_correct_decided, 100_000,
+                      RoundRobinScheduler())
+        # Lockstep: nobody ever starves past a 2·(n+1) window.
+        assert validate_simulation(sim, fairness_window=8) == []
+
+
+class TestHierarchyEnvironmentBoundaries:
+    def test_e1_upsilon_f_not_strictly_weaker(self):
+        """Theorem 5 needs f ≥ 2; in E₁ the Υf ≤ Ωf edge is recorded as
+        non-strict (indeed Υ¹ → Ω exists, Sect. 5.3)."""
+        system = System(4)
+        hierarchy = DetectorHierarchy(Environment(system, 1))
+        assert hierarchy.weaker_than("Υf", "Ωf")
+        assert not hierarchy.strictly_weaker("Υf", "Ωf")
+
+    def test_e2_is_strict(self):
+        system = System(4)
+        hierarchy = DetectorHierarchy(Environment(system, 2))
+        assert hierarchy.strictly_weaker("Υf", "Ωf")
+
+    def test_two_process_upsilon_omega_not_strict(self):
+        """n = 1: Υ ≡ Ω (Sect. 4) — the Υ ≤ Ωn edge must be non-strict."""
+        system = System(2)
+        hierarchy = DetectorHierarchy(Environment.wait_free(system))
+        assert hierarchy.weaker_than("Υ", "Ωn")
+        assert not hierarchy.strictly_weaker("Υ", "Ωn")
