@@ -11,10 +11,18 @@ Usage:
 
 (the head file carries the summary/fidelity commentary; the body is fully
 regenerated).
+
+Alongside the Markdown, a metrics JSON artifact is written to
+``benchmarks/artifacts/metrics.json``: per-experiment aggregate metrics
+snapshots (step mix, FD-query counts, memory-op mix, stabilization times)
+from instrumented representative runs — the raw material the Markdown
+medians summarize.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import random
 import statistics
 
@@ -468,6 +476,45 @@ def impossibility_table():
     print()
 
 
+ARTIFACT_PATH = pathlib.Path(__file__).parent / "artifacts" / "metrics.json"
+
+
+def metrics_artifact(path: pathlib.Path = ARTIFACT_PATH):
+    """Instrumented representative runs → one metrics JSON artifact."""
+    from repro.obs import MetricsCollector
+
+    artifact = {}
+    for n_procs in (3, 4, 5):
+        system = System(n_procs)
+        collector = MetricsCollector()
+        result = run_set_agreement_trial(
+            system, system.n, seed=0, stabilization_time=100,
+            collector=collector,
+        )
+        artifact[f"fig1_n{n_procs}"] = {
+            "ok": result.ok,
+            "total_steps": result.total_steps,
+            "metrics": result.metrics,
+        }
+    system = System(4)
+    env = Environment.wait_free(system)
+    for spec in (OmegaSpec(system), omega_n(system)):
+        collector = MetricsCollector()
+        result = run_extraction_trial(
+            spec, env, seed=0, stabilization_time=60, collector=collector,
+        )
+        artifact[f"extract_{spec.name}"] = {
+            "stabilized": result.stabilized,
+            "legal": result.legal,
+            "output_settle_time": result.output_settle_time,
+            "metrics": result.metrics,
+        }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True),
+                    encoding="utf-8")
+    return path
+
+
 def main():
     f1_table()
     f1_adversarial_table()
@@ -484,6 +531,8 @@ def main():
     immediate_table()
     timeout_table()
     ablation_table()
+    artifact = metrics_artifact()
+    print(f"<!-- metrics artifact: {artifact} -->")
 
 
 if __name__ == "__main__":

@@ -6,10 +6,16 @@ system sizes and detector-stabilization times; the assertions re-check the
 three set-agreement properties on every measured run.
 """
 
+import json
+import pathlib
+
 import pytest
 
 from repro.analysis import run_set_agreement_trial
+from repro.obs import MetricsCollector
 from repro.runtime import System
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
 
 
 @pytest.mark.parametrize("n_procs", [3, 4, 5])
@@ -46,6 +52,43 @@ def test_fig1_stabilization_sweep(benchmark, stabilization):
         return result
 
     benchmark(run)
+
+
+def test_fig1_metrics_artifact(benchmark):
+    """An instrumented trial: times the run-with-metrics path and persists
+    the metrics snapshot as a JSON artifact next to the markdown output."""
+    system = System(4)
+    counter = iter(range(10_000))
+    snapshots = []
+
+    def run():
+        seed = 300 + next(counter)
+        collector = MetricsCollector()
+        result = run_set_agreement_trial(
+            system, system.n, seed=seed, stabilization_time=60,
+            collector=collector,
+        )
+        assert result.ok, result.violations
+        snapshots.append(result.metrics)
+        return result
+
+    benchmark(run)
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    artifact = ARTIFACTS / "fig1_metrics.json"
+    artifact.write_text(
+        json.dumps(
+            {"experiment": "fig1", "n_processes": 4,
+             "runs": len(snapshots), "last_run_metrics": snapshots[-1]},
+            indent=2, sort_keys=True,
+        ),
+        encoding="utf-8",
+    )
+    assert artifact.exists()
+    # the snapshot must carry the headline quantities
+    counters = snapshots[-1]["counters"]
+    assert "steps_total" in counters
+    assert "fd_queries" in counters
+    assert "memory_ops" in counters
 
 
 def test_fig1_register_only(benchmark):

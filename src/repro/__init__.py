@@ -20,7 +20,9 @@ shared-memory system:
   Theorem 1/5 adversaries, and the Corollary 4 consensus algorithms;
 * :mod:`repro.tasks` — k-set-agreement/consensus specifications checked
   on traces;
-* :mod:`repro.analysis` — experiment drivers behind the benchmarks.
+* :mod:`repro.analysis` — experiment drivers behind the benchmarks;
+* :mod:`repro.obs` — run-level observability: the engine's event bus,
+  metrics registry, run profiler and JSONL/report exporters.
 
 Quickstart::
 
@@ -88,9 +90,19 @@ from .detectors import (
 )
 from .failures import Environment, FailurePattern
 from .memory import Memory, RegisterSnapshotAPI
+from .obs import (
+    EventBus,
+    JsonlEventSink,
+    MetricsCollector,
+    MetricsRegistry,
+    RunProfiler,
+    RunReport,
+    profile_engine,
+)
 from .runtime import (
     BOT,
     NON_PARTICIPANT,
+    ObservedScheduler,
     RandomScheduler,
     RoundRobinScheduler,
     ScriptedScheduler,
@@ -114,17 +126,24 @@ __all__ = [
     "GrowingDelayScheduler",
     "DummySpec",
     "Environment",
+    "EventBus",
     "EventuallyPerfectSpec",
     "FailurePattern",
+    "JsonlEventSink",
     "Memory",
+    "MetricsCollector",
+    "MetricsRegistry",
     "Network",
     "NON_PARTICIPANT",
+    "ObservedScheduler",
     "OmegaKSpec",
     "OmegaSpec",
     "PhiMap",
     "RandomScheduler",
     "RegisterSnapshotAPI",
     "RoundRobinScheduler",
+    "RunProfiler",
+    "RunReport",
     "ScriptedScheduler",
     "SetAgreementSpec",
     "ShiftedPhiMap",
@@ -148,6 +167,7 @@ __all__ = [
     "make_timeout_upsilon",
     "make_upsilon_to_omega_two_processes",
     "omega_n",
+    "profile_engine",
     "run_extraction_trial",
     "run_latency_comparison",
     "run_protocol",

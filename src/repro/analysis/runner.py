@@ -20,6 +20,7 @@ from ..detectors.omega_k import omega_n
 from ..detectors.upsilon import UpsilonFSpec, UpsilonSpec
 from ..failures.environment import Environment
 from ..failures.pattern import FailurePattern
+from ..obs.metrics import MetricsCollector
 from ..runtime.process import System
 from ..runtime.scheduler import RandomScheduler, RoundRobinScheduler
 from ..runtime.simulation import Simulation
@@ -63,6 +64,9 @@ class SetAgreementResult:
     rounds: int
     ok: bool
     violations: str
+    metrics: Optional[Dict[str, Any]] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
 
 def run_set_agreement_trial(
@@ -77,6 +81,7 @@ def run_set_agreement_trial(
     history: Optional[History] = None,
     pattern: Optional[FailurePattern] = None,
     adversarial: bool = False,
+    collector: Optional[MetricsCollector] = None,
 ) -> SetAgreementResult:
     """One seeded Fig. 1 / Fig. 2 run, checked against f-set agreement.
 
@@ -88,7 +93,11 @@ def run_set_agreement_trial(
     (round-robin) schedule, and pre-stabilization noise pinned to the
     correct set — the one value Υ may show only transiently.  Progress is
     then impossible before stabilization, so the decision latency tracks
-    the stabilization time (cf. benches E11/F1)."""
+    the stabilization time (cf. benches E11/F1).
+
+    Every trial is observed: a fresh
+    :class:`~repro.obs.metrics.MetricsCollector` is wired unless one is
+    passed, and the result carries its ``metrics`` snapshot."""
     env = Environment(system, f)
     rng = random.Random(f"sa:{system.n_processes}:{f}:{seed}")
     if pattern is None:
@@ -126,8 +135,11 @@ def run_set_agreement_trial(
                 stable_value=stable_value,
             )
     inputs = {p: f"v{p}" for p in system.pids}
+    if collector is None:
+        collector = MetricsCollector()
     sim = Simulation(
-        system, protocol, inputs=inputs, pattern=pattern, history=history
+        system, protocol, inputs=inputs, pattern=pattern, history=history,
+        bus=collector.bus,
     )
     scheduler = RoundRobinScheduler() if adversarial else RandomScheduler(seed)
     sim.run(
@@ -149,6 +161,7 @@ def run_set_agreement_trial(
         rounds=max_round_reached(sim),
         ok=verdict.ok,
         violations="; ".join(str(v) for v in verdict.violations),
+        metrics=collector.snapshot(),
     )
 
 
@@ -165,6 +178,9 @@ class ExtractionResult:
     output: Optional[frozenset]
     legal: bool
     output_settle_time: int
+    metrics: Optional[Dict[str, Any]] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
 
 def run_extraction_trial(
@@ -175,6 +191,7 @@ def run_extraction_trial(
     max_steps: int = 40_000,
     shift: int = 0,
     pattern: Optional[FailurePattern] = None,
+    collector: Optional[MetricsCollector] = None,
 ) -> ExtractionResult:
     """One seeded Fig. 3 run extracting Υf from ``spec``."""
     rng = random.Random(f"ex:{spec.name}:{env.f}:{seed}")
@@ -186,12 +203,15 @@ def run_extraction_trial(
     phi = PhiMap(spec, env)
     if shift:
         phi = ShiftedPhiMap(phi, shift)
+    if collector is None:
+        collector = MetricsCollector()
     sim = Simulation(
         env.system,
         make_extraction_protocol(phi),
         inputs={},
         pattern=pattern,
         history=history,
+        bus=collector.bus,
     )
     sim.run(max_steps=max_steps, scheduler=RandomScheduler(seed + 1))
     outputs = stable_emulated_output(sim, pattern)
@@ -200,6 +220,7 @@ def run_extraction_trial(
         return ExtractionResult(
             spec.name, env.f, seed, stabilization_time, sim.time,
             stabilized=False, output=None, legal=False, output_settle_time=-1,
+            metrics=collector.snapshot(),
         )
     values = {frozenset(v) for v in outputs.values()}
     agreed = len(values) == 1
@@ -212,6 +233,7 @@ def run_extraction_trial(
         spec.name, env.f, seed, stabilization_time, sim.time,
         stabilized=agreed, output=output, legal=legal,
         output_settle_time=settle,
+        metrics=collector.snapshot(),
     )
 
 
@@ -224,6 +246,9 @@ class LatencyComparison:
     stabilization_time: int
     upsilon_steps: int
     omega_n_steps: int
+    metrics: Optional[Dict[str, Any]] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
 
 def run_latency_comparison(
@@ -277,6 +302,7 @@ def run_latency_comparison(
         stabilization_time=stabilization_time,
         upsilon_steps=direct.last_decision_time,
         omega_n_steps=via_omega.last_decision_time,
+        metrics={"upsilon": direct.metrics, "omega_n": via_omega.metrics},
     )
 
 

@@ -96,7 +96,10 @@ def to_csv(
     """Write a list of result dataclasses as CSV.
 
     ``destination`` may be a path, an open text file, or ``None`` (return
-    the CSV text only).  All rows must share a dataclass type.
+    the CSV text only).  All rows must share a dataclass type.  Fields
+    declared ``repr=False`` (e.g. the nested ``metrics`` snapshot) are
+    omitted — CSV rows stay flat; use the metrics JSON artifacts for the
+    structured data.
     """
     rows = list(results)
     if not rows:
@@ -104,7 +107,7 @@ def to_csv(
     first = rows[0]
     if not dataclasses.is_dataclass(first):
         raise TypeError("results must be dataclass instances")
-    fieldnames = [f.name for f in dataclasses.fields(first)]
+    fieldnames = [f.name for f in dataclasses.fields(first) if f.repr]
     buffer = io.StringIO()
     writer = csv.DictWriter(buffer, fieldnames=fieldnames)
     writer.writeheader()
@@ -114,6 +117,7 @@ def to_csv(
         record = {
             key: _stringify(value)
             for key, value in dataclasses.asdict(row).items()
+            if key in fieldnames
         }
         writer.writerow(record)
     text = buffer.getvalue()

@@ -7,6 +7,8 @@
     python -m repro extract --detector omega --processes 4
     python -m repro theorem1 --candidate heartbeat --phases 8
     python -m repro run --show-trace   # quickstart run with a timeline
+    python -m repro stats fig1 --processes 4 --seed 3   # live metrics table
+    python -m repro profile            # engine hot-path timing
 
 Every subcommand prints a short report and exits non-zero if the
 corresponding paper property failed to hold (they never should).
@@ -98,6 +100,54 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--processes", type=int, default=3)
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--show-trace", action="store_true")
+
+    stats = sub.add_parser(
+        "stats", help="run an experiment with live metrics and print the table"
+    )
+    stats_sub = stats.add_subparsers(dest="stats_command", required=True)
+
+    s_fig1 = stats_sub.add_parser("fig1", help="instrumented Fig. 1 trial")
+    s_fig1.add_argument("--processes", type=int, default=4)
+    s_fig1.add_argument("--stabilization", type=int, default=80)
+    s_fig1.add_argument("--seed", type=int, default=0)
+    s_fig1.add_argument("--adversarial", action="store_true")
+
+    s_fig2 = stats_sub.add_parser("fig2", help="instrumented Fig. 2 trial")
+    s_fig2.add_argument("--processes", type=int, default=4)
+    s_fig2.add_argument("--resilience", type=int, default=2, metavar="F")
+    s_fig2.add_argument("--stabilization", type=int, default=80)
+    s_fig2.add_argument("--seed", type=int, default=0)
+
+    s_extract = stats_sub.add_parser(
+        "extract", help="instrumented Fig. 3 extraction trial"
+    )
+    s_extract.add_argument(
+        "--detector",
+        choices=[n for n in detector_names() if n != "dummy"],
+        default="omega",
+    )
+    s_extract.add_argument("--processes", type=int, default=4)
+    s_extract.add_argument("--resilience", type=int, default=None, metavar="F")
+    s_extract.add_argument("--stabilization", type=int, default=60)
+    s_extract.add_argument("--seed", type=int, default=0)
+
+    for sub_parser in (s_fig1, s_fig2, s_extract):
+        sub_parser.add_argument(
+            "--events", metavar="FILE", default=None,
+            help="also stream every run event to FILE as JSONL",
+        )
+        sub_parser.add_argument(
+            "--json", action="store_true",
+            help="print the metrics snapshot as JSON instead of a table",
+        )
+
+    profile = sub.add_parser(
+        "profile", help="hot-path timing of the engine itself"
+    )
+    profile.add_argument("--processes", type=int, default=4)
+    profile.add_argument("--repeats", type=int, default=5)
+    profile.add_argument("--max-steps", type=int, default=150_000)
+    profile.add_argument("--json", action="store_true")
 
     return parser
 
@@ -195,6 +245,115 @@ def _cmd_run(args) -> int:
     return 0 if verdict.ok else 1
 
 
+def _cmd_stats(args) -> int:
+    import json
+
+    from .obs import JsonlEventSink, MetricsCollector
+
+    collector = MetricsCollector()
+    try:
+        sink = (
+            JsonlEventSink(args.events, bus=collector.bus)
+            if args.events else None
+        )
+    except OSError as exc:
+        print(f"error: cannot open --events file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.stats_command == "fig1":
+            system = System(args.processes)
+            result = run_set_agreement_trial(
+                system, system.n, seed=args.seed,
+                stabilization_time=args.stabilization,
+                adversarial=args.adversarial, collector=collector,
+            )
+            headline = (
+                f"fig1  n+1={args.processes}  f=n={system.n}  "
+                f"stabilization={args.stabilization}  seed={args.seed}  "
+                f"steps={result.total_steps}  "
+                f"distinct decisions={result.distinct_decisions}"
+            )
+            ok = result.ok
+        elif args.stats_command == "fig2":
+            system = System(args.processes)
+            result = run_set_agreement_trial(
+                system, args.resilience, seed=args.seed,
+                stabilization_time=args.stabilization, use_fig2=True,
+                collector=collector,
+            )
+            headline = (
+                f"fig2  n+1={args.processes}  f={args.resilience}  "
+                f"seed={args.seed}  steps={result.total_steps}  "
+                f"distinct decisions={result.distinct_decisions}"
+            )
+            ok = result.ok
+        else:
+            system = System(args.processes)
+            env = (
+                Environment.wait_free(system)
+                if args.resilience is None
+                else Environment(system, args.resilience)
+            )
+            spec = make_detector(args.detector, env)
+            result = run_extraction_trial(
+                spec, env, seed=args.seed,
+                stabilization_time=args.stabilization, collector=collector,
+            )
+            headline = (
+                f"extract  source={spec.name}  environment=E_{env.f}  "
+                f"seed={args.seed}  steps={result.total_steps}  "
+                f"settle time={result.output_settle_time}"
+            )
+            ok = result.stabilized and result.legal
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.json:
+        print(json.dumps(
+            {"headline": headline, "ok": ok,
+             "events_written": sink.lines if sink is not None else 0,
+             "metrics": result.metrics},
+            indent=2, sort_keys=True,
+        ))
+        return 0 if ok else 1
+    print(headline)
+    print()
+    print(collector.registry.render())
+    stab = collector.stabilization_times()
+    print()
+    if stab:
+        settled = ", ".join(
+            f"p{pid}@t={int(t)}" for pid, t in sorted(stab.items())
+        )
+        print(f"emit stabilization times: {settled}")
+    else:
+        print("emit stabilization times: — (no emits in this protocol)")
+    if sink is not None:
+        print(f"{sink.lines} events -> {args.events}")
+    print("properties:", "OK" if ok else "VIOLATED")
+    return 0 if ok else 1
+
+
+def _cmd_profile(args) -> int:
+    import json
+
+    from .obs import profile_engine
+
+    profile = profile_engine(
+        n_processes=args.processes,
+        repeats=args.repeats,
+        max_steps=args.max_steps,
+    )
+    if args.json:
+        print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"engine hot path — lockstep spin workload, "
+              f"n+1={args.processes}, best of {args.repeats} runs")
+        print()
+        print(profile.render())
+    return 0
+
+
 def _cmd_hierarchy(args) -> int:
     from .core import DetectorHierarchy
 
@@ -249,6 +408,8 @@ _COMMANDS = {
     "extract": _cmd_extract,
     "theorem1": _cmd_theorem1,
     "run": _cmd_run,
+    "stats": _cmd_stats,
+    "profile": _cmd_profile,
 }
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable
 
+from ..obs.events import MemoryOp
 from ..runtime.errors import MemoryError_
 from ..runtime.ops import (
     BOT,
@@ -150,6 +151,10 @@ class Memory:
             system.n_processes if default_consensus_m is None else default_consensus_m
         )
         self.op_count = 0
+        #: Optional :class:`~repro.obs.events.EventBus`; the simulation
+        #: attaches its own bus here so every dispatched operation is
+        #: published as a :class:`~repro.obs.events.MemoryOp` event.
+        self.bus = None
 
     # -- explicit creation -------------------------------------------------
 
@@ -208,6 +213,11 @@ class Memory:
     def execute(self, op: Operation, pid: int) -> Any:
         """Apply one shared-object operation; returns its response."""
         self.op_count += 1
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.publish(
+                MemoryOp(-1, pid, type(op).__name__, getattr(op, "key", None))
+            )
         if isinstance(op, Read):
             reg = self._lookup(op.key, AtomicRegister, AtomicRegister)
             return reg.read()

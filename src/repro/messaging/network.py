@@ -21,6 +21,7 @@ import itertools
 import random
 from typing import Any, List, Tuple
 
+from ..obs.events import MessageDelivered, MessageSent
 from ..runtime.process import System
 
 
@@ -30,6 +31,7 @@ class _InFlight:
     sequence: int              # tie-break: preserves send order
     sender: int = dataclasses.field(compare=False)
     payload: Any = dataclasses.field(compare=False)
+    sent_at: int = dataclasses.field(compare=False, default=0)
 
 
 class Network:
@@ -58,6 +60,9 @@ class Network:
         self._last_delivery: dict[Tuple[int, int], int] = {}
         self.sent_count = 0
         self.delivered_count = 0
+        #: Optional :class:`~repro.obs.events.EventBus`; the simulation
+        #: attaches its own bus here so sends/deliveries are published.
+        self.bus = None
 
     def send(self, sender: int, dest: int, payload: Any, now: int) -> None:
         """Enqueue a message; it becomes receivable at its delivery time."""
@@ -68,9 +73,12 @@ class Network:
         self._last_delivery[(sender, dest)] = deliver_at
         heapq.heappush(
             self._mailboxes[dest],
-            _InFlight(deliver_at, next(self._sequence), sender, payload),
+            _InFlight(deliver_at, next(self._sequence), sender, payload, now),
         )
         self.sent_count += 1
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.publish(MessageSent(now, sender, dest, deliver_at))
 
     def broadcast(self, sender: int, payload: Any, now: int) -> None:
         """Send to every process, the sender included."""
@@ -80,10 +88,18 @@ class Network:
     def deliver(self, dest: int, now: int) -> tuple:
         """Drain all messages for ``dest`` whose delivery time has come."""
         mailbox = self._mailboxes[dest]
+        bus = self.bus
+        publish = bus is not None and bus.active
         out = []
         while mailbox and mailbox[0].deliver_at <= now:
             message = heapq.heappop(mailbox)
             out.append((message.sender, message.payload))
+            if publish:
+                bus.publish(
+                    MessageDelivered(
+                        now, dest, message.sender, now - message.sent_at
+                    )
+                )
         self.delivered_count += len(out)
         return tuple(out)
 

@@ -1,0 +1,77 @@
+"""Run-level observability: event bus, metrics registry, profiler, exporters.
+
+The simulation engine is instrumented at every layer — scheduler, engine,
+shared memory, network — but pays (almost) nothing when nobody listens:
+
+* :mod:`repro.obs.events` — typed events and the :class:`EventBus`.  The
+  engine publishes only when ``bus.active`` is true, so un-instrumented
+  runs keep their hot path.
+* :mod:`repro.obs.metrics` — counters, gauges and histograms in a
+  :class:`MetricsRegistry`, plus the :class:`MetricsCollector` subscriber
+  that turns the event stream into the run-level quantities the paper
+  cares about (step mix, FD-query mix, emit churn, stabilization times).
+* :mod:`repro.obs.profile` — wall-clock/step profiling of protocol phases
+  and of the engine hot path itself (``python -m repro profile``).
+* :mod:`repro.obs.export` — JSONL event streaming (composes with
+  :mod:`repro.analysis.trace_io`) and the :class:`RunReport` bundle.
+
+Quickstart::
+
+    from repro.obs import EventBus, MetricsCollector
+
+    collector = MetricsCollector()          # owns a bus + registry
+    sim = Simulation(..., bus=collector.bus)
+    sim.run(10_000)
+    print(collector.registry.render())
+"""
+
+from .events import (
+    Decided,
+    EmitChanged,
+    Event,
+    EventBus,
+    FDQueried,
+    MemoryOp,
+    MessageDelivered,
+    MessageSent,
+    ProcessCrashed,
+    ProtocolViolated,
+    SchedulerDecision,
+    StepTaken,
+)
+from .export import JsonlEventSink, RunReport, event_to_dict
+from .metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsCollector,
+    MetricsRegistry,
+)
+from .profile import EngineProfile, PhaseRecord, RunProfiler, profile_engine
+
+__all__ = [
+    "CounterMetric",
+    "Decided",
+    "EmitChanged",
+    "EngineProfile",
+    "Event",
+    "EventBus",
+    "FDQueried",
+    "GaugeMetric",
+    "HistogramMetric",
+    "JsonlEventSink",
+    "MemoryOp",
+    "MessageDelivered",
+    "MessageSent",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "PhaseRecord",
+    "ProcessCrashed",
+    "ProtocolViolated",
+    "RunProfiler",
+    "RunReport",
+    "SchedulerDecision",
+    "StepTaken",
+    "event_to_dict",
+    "profile_engine",
+]

@@ -1,0 +1,205 @@
+"""Typed run events and the engine's event bus.
+
+Every layer of the engine publishes a small set of typed events:
+
+* :class:`StepTaken` — the engine, once per atomic step;
+* :class:`FDQueried` — the engine, when a step is a detector query;
+* :class:`MemoryOp` — :class:`~repro.memory.base.Memory`, per shared-object
+  operation;
+* :class:`MessageSent` / :class:`MessageDelivered` —
+  :class:`~repro.messaging.network.Network`;
+* :class:`ProcessCrashed` — the engine, when a failure pattern kills a
+  process;
+* :class:`Decided` / :class:`EmitChanged` — the engine, for the output
+  events of part (iii) of a step;
+* :class:`ProtocolViolated` — the engine, just before it raises a
+  :class:`~repro.runtime.errors.ProtocolError` for a contract breach
+  (e.g. a second ``Decide``);
+* :class:`SchedulerDecision` — :class:`~repro.runtime.scheduler.ObservedScheduler`.
+
+Publishing is gated on :attr:`EventBus.active`, which is true only while at
+least one subscriber is attached.  The engine's fast path is therefore a
+single attribute test per potential event — runs without subscribers pay
+essentially nothing (see ``python -m repro profile``).
+
+This module deliberately imports nothing from the rest of the library so
+that any layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """Base class of all run events.  ``time`` is the global step index."""
+
+    time: int
+
+
+@dataclasses.dataclass(frozen=True)
+class StepTaken(Event):
+    """One atomic step: who stepped, the operation, and its response."""
+
+    pid: int
+    op: Any
+    response: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class FDQueried(Event):
+    """A failure-detector query step; ``value`` is ``H(pid, time)``."""
+
+    pid: int
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryOp(Event):
+    """A shared-object operation dispatched by the memory.
+
+    ``time`` is ``-1`` when the memory is driven outside a simulation (the
+    engine stamps the step time via the surrounding :class:`StepTaken`).
+    """
+
+    pid: int
+    kind: str
+    key: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageSent(Event):
+    """A message entered the network (``deliver_at`` is its arrival time)."""
+
+    sender: int
+    dest: int
+    deliver_at: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageDelivered(Event):
+    """A message left a mailbox; ``latency`` = delivery − send time."""
+
+    dest: int
+    sender: int
+    latency: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessCrashed(Event):
+    """The failure pattern crashed ``pid`` (observed at ``time``)."""
+
+    pid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Decided(Event):
+    """A process produced its (first and only) decision output."""
+
+    pid: int
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class EmitChanged(Event):
+    """A process re-published its emulated output (the D-output variable).
+
+    ``changed`` is false when the new value equals the previous one —
+    emit *churn* is the count of events with ``changed`` true.
+    """
+
+    pid: int
+    value: Any
+    previous: Any
+    changed: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolViolated(Event):
+    """A protocol contract breach the engine is about to raise for."""
+
+    pid: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerDecision(Event):
+    """The scheduler picked ``pid`` among ``eligible_count`` candidates."""
+
+    pid: int
+    eligible_count: int
+
+
+#: Signature of a subscriber: receives each published event.
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Zero-or-more subscribers per event type, with a no-op fast path.
+
+    Subscribers register for specific event types or for everything.
+    :attr:`active` flips true only while at least one subscriber exists;
+    publishers are expected to gate on it, so an idle bus costs publishers
+    a single attribute read.
+    """
+
+    __slots__ = ("_by_type", "_catch_all", "active")
+
+    def __init__(self) -> None:
+        self._by_type: Dict[Type[Event], List[Subscriber]] = {}
+        self._catch_all: List[Subscriber] = []
+        self.active = False
+
+    # -- subscription ------------------------------------------------------
+
+    def subscribe(
+        self,
+        handler: Subscriber,
+        kinds: Optional[Iterable[Type[Event]]] = None,
+    ) -> Subscriber:
+        """Attach ``handler`` for ``kinds`` (or every event); returns it."""
+        if kinds is None:
+            self._catch_all.append(handler)
+        else:
+            for kind in kinds:
+                self._by_type.setdefault(kind, []).append(handler)
+        self.active = True
+        return handler
+
+    def unsubscribe(self, handler: Subscriber) -> None:
+        """Detach ``handler`` everywhere it was registered."""
+        self._catch_all = [h for h in self._catch_all if h is not handler]
+        for kind in list(self._by_type):
+            remaining = [h for h in self._by_type[kind] if h is not handler]
+            if remaining:
+                self._by_type[kind] = remaining
+            else:
+                del self._by_type[kind]
+        self.active = bool(self._catch_all or self._by_type)
+
+    def subscriber_count(self) -> int:
+        seen: List[Subscriber] = list(self._catch_all)
+        for handlers in self._by_type.values():
+            seen.extend(handlers)
+        return len(seen)
+
+    # -- publication -------------------------------------------------------
+
+    def publish(self, event: Event) -> None:
+        """Deliver ``event`` to its type's subscribers, then catch-alls."""
+        for handler in self._by_type.get(type(event), ()):
+            handler(event)
+        for handler in self._catch_all:
+            handler(event)
+
+
+def combined(*handlers: Subscriber) -> Subscriber:
+    """Compose several subscribers into one (delivery in argument order)."""
+
+    def fan_out(event: Event, _handlers: Tuple[Subscriber, ...] = handlers) -> None:
+        for handler in _handlers:
+            handler(event)
+
+    return fan_out

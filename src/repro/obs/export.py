@@ -1,0 +1,186 @@
+"""Exporters: JSONL event streaming and the ``RunReport`` bundle.
+
+Events serialize with the same tagged value codec as
+:mod:`repro.analysis.trace_io`, so a stream of ``StepTaken`` lines is
+``jq``-compatible with a dumped trace::
+
+    python -m repro stats fig1 --events /tmp/run.jsonl
+    jq -c 'select(.event == "EmitChanged" and .changed)' /tmp/run.jsonl
+
+:class:`RunReport` bundles the three observability artifacts of one run —
+trace, metrics snapshot, phase profile — into a single JSON document.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, IO, List, Optional, Union
+
+from .events import Event, EventBus
+from .metrics import MetricsRegistry
+from .profile import RunProfiler
+
+
+def event_to_dict(event: Event) -> Dict[str, Any]:
+    """Encode an event as a JSON-safe dict (``event`` key = type name)."""
+    from ..analysis.trace_io import encode_value  # deferred: avoids cycles
+    from ..runtime.ops import Operation
+
+    body: Dict[str, Any] = {"event": type(event).__name__}
+    for field in dataclasses.fields(event):
+        value = getattr(event, field.name)
+        if isinstance(value, Operation):
+            # inline the op the way trace_io encodes a step's op
+            from ..analysis.trace_io import _encode_op
+
+            body[field.name] = _encode_op(value)
+        else:
+            body[field.name] = encode_value(value)
+    return body
+
+
+class JsonlEventSink:
+    """A bus subscriber that streams every event as one JSON line.
+
+    Accepts a path or an open text handle; usable as a context manager.
+    Subscribe it for all events (the default when constructed with a
+    ``bus``) or a subset::
+
+        with JsonlEventSink("/tmp/run.jsonl", bus=bus) as sink:
+            sim.run(...)
+        print(sink.lines, "events written")
+    """
+
+    def __init__(
+        self,
+        destination: Union[str, IO[str]],
+        bus: Optional[EventBus] = None,
+        kinds=None,
+    ):
+        if isinstance(destination, str):
+            self._handle: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self.lines = 0
+        self._bus = bus
+        if bus is not None:
+            bus.subscribe(self, kinds)
+
+    def __call__(self, event: Event) -> None:
+        self._handle.write(
+            json.dumps(event_to_dict(event), ensure_ascii=False) + "\n"
+        )
+        self.lines += 1
+
+    def close(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_events(source: Union[str, IO[str]]) -> List[Dict[str, Any]]:
+    """Read a JSONL event stream back as decoded dicts (values untagged).
+
+    Inlined operations (the ``op`` field of ``StepTaken`` lines) decode
+    back to real :class:`~repro.runtime.ops.Operation` instances.
+    """
+    from ..analysis.trace_io import _decode_op, decode_value
+
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+
+    def decode_field(key: str, value: Any) -> Any:
+        if key == "event":
+            return value
+        if key == "op" and isinstance(value, dict) and "op" in value:
+            return _decode_op(value)
+        return decode_value(value)
+
+    out: List[Dict[str, Any]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        out.append({key: decode_field(key, value)
+                    for key, value in raw.items()})
+    return out
+
+
+@dataclasses.dataclass
+class RunReport:
+    """Trace + metrics + profile of one run, as a single artifact."""
+
+    metrics: Dict[str, Any]
+    profile: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    trace: Optional[Any] = None  # a runtime.trace.Trace, serialized on write
+    meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def of(
+        cls,
+        sim,
+        registry: Optional[MetricsRegistry] = None,
+        profiler: Optional[RunProfiler] = None,
+        **meta: Any,
+    ) -> "RunReport":
+        """Bundle a finished simulation's observability artifacts."""
+        return cls(
+            metrics=registry.snapshot() if registry is not None else {},
+            profile=profiler.snapshot() if profiler is not None else [],
+            trace=sim.trace,
+            meta={"total_steps": sim.time, **meta},
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        from ..analysis.trace_io import trace_to_dict
+
+        return {
+            "meta": self.meta,
+            "metrics": self.metrics,
+            "profile": self.profile,
+            "trace": trace_to_dict(self.trace) if self.trace is not None else None,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                handle.write(self.to_json())
+        else:
+            destination.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, body: Dict[str, Any]) -> "RunReport":
+        from ..analysis.trace_io import trace_from_dict
+
+        trace = body.get("trace")
+        return cls(
+            metrics=body.get("metrics", {}),
+            profile=body.get("profile", []),
+            trace=trace_from_dict(trace) if trace is not None else None,
+            meta=body.get("meta", {}),
+        )
+
+    @classmethod
+    def load(cls, source: Union[str, IO[str]]) -> "RunReport":
+        if isinstance(source, str):
+            with open(source, encoding="utf-8") as handle:
+                return cls.from_dict(json.load(handle))
+        return cls.from_dict(json.load(source))

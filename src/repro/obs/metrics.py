@@ -1,0 +1,329 @@
+"""Metrics registry: counters, gauges, histograms — and the collector.
+
+The registry is deliberately tiny (labels are plain hashables, a histogram
+keeps its raw sample) because runs are finite and analysis happens after
+the fact; :meth:`MetricsRegistry.snapshot` serializes everything to plain
+JSON types and :meth:`MetricsRegistry.render` tabulates it on top of
+:class:`repro.analysis.stats.Summary`.
+
+:class:`MetricsCollector` is the standard bus subscriber: it wires the
+typed events of :mod:`repro.obs.events` into the run-level quantities the
+paper's experiments report — step counts per pid, the FD-query and
+memory-op mix, message latency, emit churn and stabilization times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Hashable, List, Optional, Union
+
+from .events import (
+    Decided,
+    EmitChanged,
+    EventBus,
+    FDQueried,
+    MemoryOp,
+    MessageDelivered,
+    MessageSent,
+    ProcessCrashed,
+    ProtocolViolated,
+    SchedulerDecision,
+    StepTaken,
+)
+
+#: The default label for unlabelled observations.
+_NO_LABEL = ""
+
+Label = Hashable
+
+
+class CounterMetric:
+    """A monotonically increasing count, optionally split by label."""
+
+    __slots__ = ("name", "help", "_values")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: Dict[Label, int] = {}
+
+    def inc(self, label: Label = _NO_LABEL, amount: int = 1) -> None:
+        self._values[label] = self._values.get(label, 0) + amount
+
+    def value(self, label: Label = _NO_LABEL) -> int:
+        return self._values.get(label, 0)
+
+    def total(self) -> int:
+        return sum(self._values.values())
+
+    def items(self) -> Dict[Label, int]:
+        return dict(self._values)
+
+
+class GaugeMetric:
+    """A point-in-time value, optionally split by label."""
+
+    __slots__ = ("name", "help", "_values")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: Dict[Label, float] = {}
+
+    def set(self, value: float, label: Label = _NO_LABEL) -> None:
+        self._values[label] = value
+
+    def value(self, label: Label = _NO_LABEL) -> Optional[float]:
+        return self._values.get(label)
+
+    def items(self) -> Dict[Label, float]:
+        return dict(self._values)
+
+
+class HistogramMetric:
+    """A sample of observations; summarized at snapshot time."""
+
+    __slots__ = ("name", "help", "_values")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def summary(self):
+        """A :class:`repro.analysis.stats.Summary` of the sample."""
+        from ..analysis.stats import summarize  # deferred: avoids cycles
+
+        return summarize(self._values)
+
+
+Metric = Union[CounterMetric, GaugeMetric, HistogramMetric]
+
+
+def _label_key(label: Label) -> str:
+    return label if isinstance(label, str) else repr(label)
+
+
+class MetricsRegistry:
+    """A named collection of metrics with JSON snapshot and text render."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, cls, help: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> CounterMetric:
+        return self._get_or_create(name, CounterMetric, help)
+
+    def gauge(self, name: str, help: str = "") -> GaugeMetric:
+        return self._get_or_create(name, GaugeMetric, help)
+
+    def histogram(self, name: str, help: str = "") -> HistogramMetric:
+        return self._get_or_create(name, HistogramMetric, help)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- serialization -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything as plain JSON types (labels become strings)."""
+        counters: Dict[str, Any] = {}
+        gauges: Dict[str, Any] = {}
+        histograms: Dict[str, Any] = {}
+        for metric in sorted(self._metrics.values(), key=lambda m: m.name):
+            if isinstance(metric, CounterMetric):
+                counters[metric.name] = {
+                    _label_key(k): v for k, v in sorted(
+                        metric.items().items(), key=lambda kv: _label_key(kv[0])
+                    )
+                }
+            elif isinstance(metric, GaugeMetric):
+                gauges[metric.name] = {
+                    _label_key(k): v for k, v in sorted(
+                        metric.items().items(), key=lambda kv: _label_key(kv[0])
+                    )
+                }
+            else:
+                if len(metric):
+                    s = metric.summary()
+                    histograms[metric.name] = {
+                        "count": s.count, "mean": s.mean, "median": s.median,
+                        "p95": s.p95, "min": s.minimum, "max": s.maximum,
+                    }
+                else:
+                    histograms[metric.name] = {"count": 0}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """An aligned text table over the snapshot."""
+        rows: List[str] = []
+        header = f"{'metric':<28} {'label':<22} {'value':>12}"
+        rule = "-" * len(header)
+        for metric in sorted(self._metrics.values(), key=lambda m: m.name):
+            if isinstance(metric, CounterMetric):
+                items = metric.items()
+                for label in sorted(items, key=_label_key):
+                    rows.append(
+                        f"{metric.name:<28} {_label_key(label):<22} "
+                        f"{items[label]:>12}"
+                    )
+                rows.append(
+                    f"{metric.name:<28} {'(total)':<22} "
+                    f"{metric.total():>12}"
+                )
+            elif isinstance(metric, GaugeMetric):
+                items = metric.items()
+                for label in sorted(items, key=_label_key):
+                    value = items[label]
+                    text = f"{value:g}" if isinstance(value, float) else str(value)
+                    rows.append(
+                        f"{metric.name:<28} {_label_key(label):<22} {text:>12}"
+                    )
+            else:
+                if len(metric):
+                    rows.append(metric.summary().row(metric.name))
+                else:
+                    rows.append(f"{metric.name:<34} n=0")
+        if not rows:
+            return "(no metrics recorded)"
+        return "\n".join([header, rule] + rows)
+
+
+class MetricsCollector:
+    """The standard subscriber: events in, run-level metrics out.
+
+    Owns (or shares) an :class:`EventBus` and a :class:`MetricsRegistry`;
+    pass ``collector.bus`` to :class:`~repro.runtime.simulation.Simulation`
+    and read ``collector.registry`` (or :meth:`snapshot`) afterwards.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        bus: Optional[EventBus] = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.bus = bus if bus is not None else EventBus()
+        r = self.registry
+        self._steps = r.counter("steps_total", "atomic steps per process")
+        self._fd = r.counter("fd_queries", "detector queries per process")
+        self._mem = r.counter("memory_ops", "shared-object operation mix")
+        self._sent = r.counter("messages_sent", "messages entering the network")
+        self._delivered = r.counter("messages_delivered", "messages drained")
+        self._latency = r.histogram("message_latency", "delivery − send time")
+        self._crashes = r.counter("crashes", "pattern-induced crashes")
+        self._decisions = r.counter("decisions", "decide outputs per process")
+        self._decision_time = r.gauge("decision_time", "step of first decide")
+        self._emits = r.counter("emits", "emit outputs per process")
+        self._churn = r.counter("emit_changes",
+                                "emit-value changes after the first emit")
+        self._stab = r.gauge("emit_stabilization_time",
+                             "time of the last emit-value change")
+        self._violations = r.counter("protocol_violations", "contract breaches")
+        self._sched = r.counter("scheduler_choices",
+                                "ObservedScheduler picks per process")
+        self._emitted_once: set = set()
+        self._wire(self.bus)
+
+    def _wire(self, bus: EventBus) -> None:
+        bus.subscribe(self._on_step, (StepTaken,))
+        bus.subscribe(self._on_fd, (FDQueried,))
+        bus.subscribe(self._on_memory, (MemoryOp,))
+        bus.subscribe(self._on_sent, (MessageSent,))
+        bus.subscribe(self._on_delivered, (MessageDelivered,))
+        bus.subscribe(self._on_crash, (ProcessCrashed,))
+        bus.subscribe(self._on_decided, (Decided,))
+        bus.subscribe(self._on_emit, (EmitChanged,))
+        bus.subscribe(self._on_violation, (ProtocolViolated,))
+        bus.subscribe(self._on_sched, (SchedulerDecision,))
+
+    # -- handlers ----------------------------------------------------------
+
+    def _on_step(self, event: StepTaken) -> None:
+        self._steps.inc(event.pid)
+
+    def _on_fd(self, event: FDQueried) -> None:
+        self._fd.inc(event.pid)
+
+    def _on_memory(self, event: MemoryOp) -> None:
+        self._mem.inc(event.kind)
+
+    def _on_sent(self, event: MessageSent) -> None:
+        self._sent.inc(event.sender)
+
+    def _on_delivered(self, event: MessageDelivered) -> None:
+        self._delivered.inc(event.dest)
+        self._latency.observe(event.latency)
+
+    def _on_crash(self, event: ProcessCrashed) -> None:
+        self._crashes.inc(event.pid)
+
+    def _on_decided(self, event: Decided) -> None:
+        self._decisions.inc(event.pid)
+        self._decision_time.set(event.time, event.pid)
+
+    def _on_emit(self, event: EmitChanged) -> None:
+        self._emits.inc(event.pid)
+        if event.changed:
+            self._stab.set(event.time, event.pid)
+            if event.pid in self._emitted_once:
+                self._churn.inc(event.pid)
+        self._emitted_once.add(event.pid)
+
+    def _on_violation(self, event: ProtocolViolated) -> None:
+        self._violations.inc(event.pid)
+
+    def _on_sched(self, event: SchedulerDecision) -> None:
+        self._sched.inc(event.pid)
+
+    # -- results -----------------------------------------------------------
+
+    def stabilization_times(self) -> Dict[Any, float]:
+        """Per-pid time of the last emit-value change (cf.
+        :meth:`repro.runtime.trace.Trace.emit_stabilization_time`)."""
+        return self._stab.items()
+
+    def emit_churn(self) -> Dict[Any, int]:
+        """Per-pid emit-change counts (cf.
+        :meth:`repro.runtime.trace.Trace.emit_change_count`)."""
+        return self._churn.items()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot()
+
+    def render(self) -> str:
+        return self.registry.render()

@@ -16,6 +16,7 @@ import itertools
 import random
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
+from ..obs.events import EventBus, SchedulerDecision
 from .errors import SchedulerError
 
 
@@ -112,6 +113,26 @@ class ScriptedScheduler(Scheduler):
         if self._fallback is None:
             raise SchedulerError(f"script exhausted at t={t} with no fallback")
         return self._fallback.choose(t, eligible)
+
+
+class ObservedScheduler(Scheduler):
+    """Wrap any scheduler, publishing each pick to an event bus.
+
+    The published :class:`~repro.obs.events.SchedulerDecision` carries the
+    chosen pid and the eligible-set size — enough to audit fairness (every
+    correct process keeps getting picked) from the event stream alone.
+    """
+
+    def __init__(self, inner: Scheduler, bus: EventBus):
+        self._inner = inner
+        self._bus = bus
+
+    def choose(self, t: int, eligible: Sequence[int]) -> int:
+        pid = self._inner.choose(t, eligible)
+        bus = self._bus
+        if bus.active:
+            bus.publish(SchedulerDecision(t, pid, len(eligible)))
+        return pid
 
 
 class FunctionScheduler(Scheduler):

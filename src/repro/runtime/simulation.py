@@ -26,6 +26,15 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence
 from ..detectors.base import History
 from ..failures.pattern import FailurePattern
 from ..memory.base import Memory
+from ..obs.events import (
+    Decided,
+    EmitChanged,
+    EventBus,
+    FDQueried,
+    ProcessCrashed,
+    ProtocolViolated,
+    StepTaken,
+)
 from .errors import ProtocolError, SimulationLimitError
 from .ops import (
     SHARED_OBJECT_OPS,
@@ -72,6 +81,11 @@ class Simulation:
     memory:
         Optionally a pre-populated memory (for typed objects such as
         ``m``-process consensus objects).
+    bus:
+        Optionally an :class:`~repro.obs.events.EventBus`; the engine (and
+        the run's memory and network) publish typed events to it.  With no
+        bus — or an idle one — instrumentation costs a single attribute
+        test per step.
     """
 
     def __init__(
@@ -83,12 +97,18 @@ class Simulation:
         history: Optional[History] = None,
         memory: Optional[Memory] = None,
         network=None,
+        bus: Optional[EventBus] = None,
     ):
         self.system = system
         self.pattern = pattern or FailurePattern.failure_free(system)
         self.history = history
         self.memory = memory if memory is not None else Memory(system)
         self.network = network
+        self.bus = bus
+        if bus is not None:
+            self.memory.bus = bus
+            if network is not None:
+                network.bus = bus
         self.trace = Trace()
         self.time = 0
         inputs = dict(inputs or {})
@@ -108,6 +128,12 @@ class Simulation:
 
     # -- step execution ------------------------------------------------------
 
+    def _crash(self, runtime: ProcessRuntime) -> None:
+        runtime.crash()
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.publish(ProcessCrashed(self.time, runtime.pid))
+
     def eligible(self) -> list[int]:
         """Processes that may take the next step (alive and not returned)."""
         out = []
@@ -115,7 +141,7 @@ class Simulation:
             if runtime.status is ProcessStatus.RUNNING and not self.pattern.is_alive(
                 pid, self.time
             ):
-                runtime.crash()
+                self._crash(runtime)
             if runtime.schedulable:
                 out.append(pid)
         return sorted(out)
@@ -126,7 +152,7 @@ class Simulation:
         if runtime is None:
             raise ProtocolError(f"pid {pid} is not participating in this run")
         if not self.pattern.is_alive(pid, self.time):
-            runtime.crash()
+            self._crash(runtime)
             raise ProtocolError(f"pid {pid} is crashed at t={self.time}")
         if not runtime.schedulable:
             raise ProtocolError(f"pid {pid} has returned; no steps left")
@@ -135,11 +161,21 @@ class Simulation:
         response = self._execute(op, pid)
         record = StepRecord(self.time, pid, op, response)
         self.trace.record(record)
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.publish(StepTaken(self.time, pid, op, response))
         self.time += 1
         runtime.resume(response)
         return record
 
+    def _violate(self, pid: int, reason: str) -> "ProtocolError":
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.publish(ProtocolViolated(self.time, pid, reason))
+        return ProtocolError(reason)
+
     def _execute(self, op: Operation, pid: int) -> Any:
+        bus = self.bus
         if isinstance(op, SHARED_OBJECT_OPS):
             return self.memory.execute(op, pid)
         if isinstance(op, QueryFD):
@@ -148,12 +184,31 @@ class Simulation:
                     f"pid {pid} queried a failure detector but the run has "
                     "no history"
                 )
-            return self.history.value(pid, self.time)
+            value = self.history.value(pid, self.time)
+            if bus is not None and bus.active:
+                bus.publish(FDQueried(self.time, pid, value))
+            return value
         if isinstance(op, Decide):
-            self.runtimes[pid].record_decision(op.value)
+            runtime = self.runtimes[pid]
+            if runtime.has_decided:
+                raise self._violate(
+                    pid,
+                    f"process {pid} issued a second Decide at t={self.time} "
+                    f"(first decision: {runtime.decision!r})",
+                )
+            runtime.record_decision(op.value)
+            if bus is not None and bus.active:
+                bus.publish(Decided(self.time, pid, op.value))
             return None
         if isinstance(op, Emit):
-            self.runtimes[pid].record_emit(op.value)
+            runtime = self.runtimes[pid]
+            if bus is not None and bus.active:
+                previous = runtime.emitted if runtime.has_emitted else None
+                changed = not runtime.has_emitted or previous != op.value
+                bus.publish(
+                    EmitChanged(self.time, pid, op.value, previous, changed)
+                )
+            runtime.record_emit(op.value)
             return None
         if isinstance(op, Nop):
             return None

@@ -71,12 +71,14 @@ class Trace:
         return set(self.decisions().values())
 
     def decision_times(self) -> Dict[int, int]:
-        """Time of each process's decision."""
-        return {
-            r.pid: r.time
-            for r in self.outputs
-            if r.kind == "decide"
-        }
+        """Time of each process's decision (first decide, matching
+        :meth:`decisions`; later decides are a contract breach the
+        simulation rejects, but a hand-built trace may contain them)."""
+        out: Dict[int, int] = {}
+        for record in self.outputs:
+            if record.kind == "decide" and record.pid not in out:
+                out[record.pid] = record.time
+        return out
 
     def emits(self, pid: int) -> List[OutputRecord]:
         """The emit timeline of one process (emulated detector output)."""

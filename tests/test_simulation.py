@@ -218,3 +218,50 @@ class TestHistoryIntegration:
         )
         sim.run_until(Simulation.all_correct_decided, 100)
         assert set(sim.decisions().values()) == {"d"}
+
+
+class TestDoubleDecide:
+    """A second Decide from the same process is a protocol contract breach
+    the simulation itself must reject (not just the per-process runtime)."""
+
+    def _double_decider(self, ctx, v):
+        yield Decide(v)
+        yield Decide(v)
+
+    def test_second_decide_raises(self, system3):
+        sim = Simulation(
+            system3, self._double_decider,
+            inputs={p: p for p in system3.pids},
+        )
+        sim.step(0)  # first decide is fine
+        with pytest.raises(ProtocolError, match="second Decide"):
+            sim.step(0)
+
+    def test_first_decision_survives(self, system3):
+        sim = Simulation(
+            system3, self._double_decider,
+            inputs={p: "v" for p in system3.pids},
+        )
+        sim.step(0)
+        with pytest.raises(ProtocolError):
+            sim.step(0)
+        assert sim.decisions()[0] == "v"
+        assert sim.trace.decisions() == {0: "v"}
+
+    def test_violation_event_published(self, system3):
+        from repro.obs import EventBus
+        from repro.obs.events import ProtocolViolated
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=[ProtocolViolated])
+        sim = Simulation(
+            system3, self._double_decider,
+            inputs={p: "v" for p in system3.pids}, bus=bus,
+        )
+        sim.step(0)
+        with pytest.raises(ProtocolError):
+            sim.step(0)
+        assert len(seen) == 1
+        assert seen[0].pid == 0
+        assert "second Decide" in seen[0].reason

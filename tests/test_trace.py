@@ -112,3 +112,30 @@ class TestEndToEndTrace:
         assert sim.trace.decided_values() == {"d"}
         assert sim.trace.final_emit(0) == "d"
         assert sim.trace.io_sequence() == sim.trace.outputs
+
+
+class TestDoubleDecideTrace:
+    """decisions() and decision_times() must agree on which decide wins.
+
+    The simulation rejects a second Decide, but hand-built or deserialized
+    traces may contain one — both queries keep the FIRST decide per pid.
+    """
+
+    def _double(self):
+        return _trace_with([
+            StepRecord(2, 0, Decide("first"), None),
+            StepRecord(5, 1, Decide("other"), None),
+            StepRecord(8, 0, Decide("second"), None),
+        ])
+
+    def test_first_decide_wins(self):
+        trace = self._double()
+        assert trace.decisions() == {0: "first", 1: "other"}
+        assert trace.decision_times() == {0: 2, 1: 5}
+
+    def test_decisions_and_times_share_keys(self):
+        trace = self._double()
+        assert trace.decisions().keys() == trace.decision_times().keys()
+
+    def test_decided_values_ignore_second_decide(self):
+        assert self._double().decided_values() == {"first", "other"}

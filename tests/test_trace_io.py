@@ -23,12 +23,20 @@ from repro.detectors import UpsilonSpec
 from repro.failures import FailurePattern
 from repro.runtime import (
     BOT,
+    Broadcast,
+    ConsensusPropose,
     Decide,
+    Emit,
+    ImmediateWriteScan,
+    Nop,
     QueryFD,
     RandomScheduler,
     Read,
+    Receive,
+    Send,
     Simulation,
     SnapshotScan,
+    SnapshotUpdate,
     System,
     Write,
 )
@@ -75,6 +83,60 @@ class TestStepCodec:
     ])
     def test_roundtrip(self, step):
         assert step_from_dict(step_to_dict(step)) == step
+
+    # one representative step per operation kind the engine knows —
+    # every entry of trace_io._OP_CODES must survive the round trip
+    ALL_KINDS = [
+        StepRecord(0, 0, Read(("R", 1)), BOT),
+        StepRecord(1, 1, Write(("R", 1), frozenset({2, 3})), None),
+        StepRecord(2, 2, SnapshotUpdate("S", 2, ("lvl", BOT)), None),
+        StepRecord(3, 0, SnapshotScan("S"), (BOT, "x", BOT)),
+        StepRecord(4, 1, ImmediateWriteScan("I", 1, "w"),
+                   (("w", 1), (BOT, BOT))),
+        StepRecord(5, 2, ConsensusPropose(("cons", 4), "val"), "val"),
+        StepRecord(6, 0, QueryFD(), frozenset({1})),
+        StepRecord(7, 1, Decide(("pair", 9)), None),
+        StepRecord(8, 2, Emit(frozenset({0, 2})), None),
+        StepRecord(9, 0, Send(2, ("msg", BOT)), None),
+        StepRecord(10, 1, Broadcast({"k": (1, 2)}), None),
+        StepRecord(11, 2, Receive(), [(0, "payload")]),
+        StepRecord(12, 0, Nop(), None),
+    ]
+
+    @pytest.mark.parametrize(
+        "step", ALL_KINDS, ids=[type(s.op).__name__ for s in ALL_KINDS]
+    )
+    def test_every_op_kind_roundtrips(self, step):
+        body = step_to_dict(step)
+        json.dumps(body)  # each step must be JSON-serializable as-is
+        assert step_from_dict(body) == step
+
+    def test_all_op_codes_exercised(self):
+        from repro.analysis.trace_io import _OP_CODES
+
+        covered = {type(s.op) for s in self.ALL_KINDS}
+        assert covered == set(_OP_CODES)
+
+    def test_opaque_payload_degrades_to_repr(self):
+        class Token:
+            def __repr__(self):
+                return "<token#7>"
+
+        step = StepRecord(4, 1, Emit(Token()), None)
+        rebuilt = step_from_dict(step_to_dict(step))
+        assert rebuilt.op == Emit("<token#7>")
+
+    def test_jsonl_of_every_kind(self):
+        from repro.runtime.trace import Trace
+
+        trace = Trace()
+        for step in self.ALL_KINDS:
+            trace.record(step)
+        buffer = io.StringIO()
+        assert dump_jsonl(trace, buffer) == len(self.ALL_KINDS)
+        buffer.seek(0)
+        rebuilt = load_jsonl(buffer)
+        assert rebuilt.steps == trace.steps
 
 
 class TestTraceRoundTrip:
