@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Record sweep-executor timings as the ``BENCH_sweep.json`` artifact.
+
+Runs the EXPERIMENTS.md F1 set-agreement grid (3 system sizes × 3
+stabilization times × 20 seeds = 180 trials) and — unless
+``--skip-extraction`` — the F3 extraction grid (3 detectors × 2 sizes ×
+10 seeds = 60 trials, the compute-heavy one), each four ways:
+
+1. serial, no cache        (the pre-executor baseline)
+2. ``--jobs N``, no cache  (process-pool fan-out)
+3. ``--jobs N``, cold cache
+4. ``--jobs N``, warm cache (every trial served from disk)
+
+and asserts the determinism contract along the way: the parallel CSV is
+byte-identical to the serial one, and the warm-cache results equal the
+cold-cache ones.  The timings, speedups, and host facts land in
+``benchmarks/artifacts/BENCH_sweep.json`` (``--output`` to override).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.analysis.sweeps import (  # noqa: E402
+    extraction_grid,
+    set_agreement_grid,
+    to_csv,
+)
+from repro.perf import (  # noqa: E402
+    ENGINE_VERSION,
+    TrialCache,
+    run_trials,
+)
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "artifacts" / "BENCH_sweep.json"
+
+
+def _parse_ints(text: str) -> list:
+    out = []
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part[1:]:
+            lo, _, hi = part.partition("-")
+            out.extend(range(int(lo), int(hi) + 1))
+        elif part:
+            out.append(int(part))
+    return out
+
+
+def _timed(label: str, fn):
+    start = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - start
+    print(f"  {label:<26} {wall:>8.2f}s")
+    return result, wall
+
+
+def _bench_grid(name: str, specs, jobs: int) -> dict:
+    """Serial, parallel, cold-cache, warm-cache timings for one grid."""
+    print(f"{name}: {len(specs)} trials, jobs={jobs}")
+    serial, serial_s = _timed(
+        "serial (jobs=1)", lambda: run_trials(specs, jobs=1)
+    )
+    parallel, parallel_s = _timed(
+        f"parallel (jobs={jobs})", lambda: run_trials(specs, jobs=jobs)
+    )
+    serial_csv = to_csv(serial)
+    if to_csv(parallel) != serial_csv:
+        raise AssertionError("parallel CSV differs from serial CSV")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = TrialCache(tmp)
+        cold, cold_s = _timed(
+            "cold cache", lambda: run_trials(specs, jobs=jobs, cache=cache)
+        )
+        warm, warm_s = _timed(
+            "warm cache", lambda: run_trials(specs, jobs=jobs, cache=cache)
+        )
+        if warm != cold:
+            raise AssertionError("warm-cache results differ from cold-cache")
+        if to_csv(warm) != serial_csv:
+            raise AssertionError("cached CSV differs from serial CSV")
+        cache_entries = len(cache)
+
+    return {
+        "trials": len(specs),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "parallel_jobs": jobs,
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "cold_cache_seconds": round(cold_s, 3),
+        "warm_cache_seconds": round(warm_s, 3),
+        "cache_speedup": round(cold_s / warm_s, 1),
+        "cache_entries": cache_entries,
+        "csv_identical": True,
+        "trials_per_second_serial": round(len(specs) / serial_s, 1),
+        "trials_per_second_warm": round(len(specs) / warm_s, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--sizes", default="3,4,5")
+    parser.add_argument("--stabilizations", default="0,100,300")
+    parser.add_argument("--seeds", default="0-19")
+    parser.add_argument("--skip-extraction", action="store_true",
+                        help="only bench the set-agreement grid")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
+    args = parser.parse_args(argv)
+
+    sa_specs = set_agreement_grid(
+        system_sizes=_parse_ints(args.sizes),
+        seeds=_parse_ints(args.seeds),
+        stabilization_times=_parse_ints(args.stabilizations),
+    )
+    payload = {
+        "engine_version": ENGINE_VERSION,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "set_agreement": {
+            "grid": {
+                "system_sizes": _parse_ints(args.sizes),
+                "stabilization_times": _parse_ints(args.stabilizations),
+                "seeds": len(_parse_ints(args.seeds)),
+            },
+            **_bench_grid("set-agreement (F1)", sa_specs, args.jobs),
+        },
+    }
+
+    if not args.skip_extraction:
+        # The F3 grid carries real per-trial compute (40k-step budget per
+        # extraction), so it is where process-pool fan-out pays off.
+        ex_specs = extraction_grid(
+            detectors=["omega", "omega_n", "diamond_p"],
+            system_sizes=[3, 4],
+            seeds=list(range(10)),
+        )
+        payload["extraction"] = {
+            "grid": {
+                "detectors": ["omega", "omega_n", "diamond_p"],
+                "system_sizes": [3, 4],
+                "seeds": 10,
+            },
+            **_bench_grid("extraction (F3)", ex_specs, args.jobs),
+        }
+
+    output = pathlib.Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for section in ("set_agreement", "extraction"):
+        if section in payload:
+            data = payload[section]
+            print(f"{section}: parallel {data['parallel_speedup']}x, "
+                  f"warm cache {data['cache_speedup']}x")
+    print(f"-> {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

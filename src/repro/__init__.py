@@ -22,7 +22,9 @@ shared-memory system:
   on traces;
 * :mod:`repro.analysis` — experiment drivers behind the benchmarks;
 * :mod:`repro.obs` — run-level observability: the engine's event bus,
-  metrics registry, run profiler and JSONL/report exporters.
+  metrics registry, run profiler and JSONL/report exporters;
+* :mod:`repro.perf` — the parallel sweep executor (process-pool fan-out
+  over picklable trial specs) and the disk-backed trial result cache.
 
 Quickstart::
 
@@ -99,6 +101,14 @@ from .obs import (
     RunReport,
     profile_engine,
 )
+from .perf import (
+    ExtractionTrialSpec,
+    SetAgreementTrialSpec,
+    TrialCache,
+    execute_trial,
+    run_trials,
+    spec_key,
+)
 from .runtime import (
     BOT,
     NON_PARTICIPANT,
@@ -123,6 +133,7 @@ __all__ = [
     "DetectorHierarchy",
     "AbdRegisters",
     "EventuallySynchronousScheduler",
+    "ExtractionTrialSpec",
     "GrowingDelayScheduler",
     "DummySpec",
     "Environment",
@@ -146,10 +157,12 @@ __all__ = [
     "RunReport",
     "ScriptedScheduler",
     "SetAgreementSpec",
+    "SetAgreementTrialSpec",
     "ShiftedPhiMap",
     "Simulation",
     "StableHistory",
     "System",
+    "TrialCache",
     "TrivialDetectorError",
     "UpsilonFSpec",
     "UpsilonSpec",
@@ -168,11 +181,14 @@ __all__ = [
     "make_upsilon_to_omega_two_processes",
     "omega_n",
     "profile_engine",
+    "execute_trial",
     "run_extraction_trial",
     "run_latency_comparison",
     "run_protocol",
     "run_set_agreement_trial",
     "run_theorem1_adversary",
+    "run_trials",
+    "spec_key",
     "run_theorem5_adversary",
     "stable_emulated_output",
     "summarize",

@@ -27,7 +27,14 @@ from .stress import (
     minimize_schedule,
     run_campaign,
 )
-from .sweeps import sweep_extraction, sweep_set_agreement, to_csv
+from .sweeps import (
+    EmptySweepError,
+    extraction_grid,
+    set_agreement_grid,
+    sweep_extraction,
+    sweep_set_agreement,
+    to_csv,
+)
 from .trace_io import (
     dump_jsonl,
     load_jsonl,
@@ -43,6 +50,7 @@ __all__ = [
     "CampaignReport",
     "ComplementHistory",
     "EmittedHistory",
+    "EmptySweepError",
     "ExtractionResult",
     "LatencyComparison",
     "OperationRecord",
@@ -54,6 +62,7 @@ __all__ = [
     "Summary",
     "describe_step",
     "dump_jsonl",
+    "extraction_grid",
     "is_linearizable",
     "load_jsonl",
     "max_round_reached",
@@ -65,6 +74,7 @@ __all__ = [
     "run_extraction_trial",
     "run_latency_comparison",
     "run_set_agreement_trial",
+    "set_agreement_grid",
     "summarize",
     "sweep_extraction",
     "sweep_set_agreement",

@@ -43,7 +43,7 @@ def max_round_reached(sim: Simulation) -> int:
                 yield from rounds_in(part)
 
     best = 0
-    for key in sim.memory._objects:  # analysis-only peek
+    for key in sim.memory.keys():
         for r in rounds_in(key):
             best = max(best, r)
     return best

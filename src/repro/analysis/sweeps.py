@@ -3,6 +3,15 @@
 The benchmark suite times representative points; these helpers run the
 full grids behind EXPERIMENTS.md and dump flat CSVs for external
 analysis — see ``benchmarks/report.py`` for the Markdown rendering.
+
+Sweeps are two-phase: a *grid builder* (:func:`set_agreement_grid`,
+:func:`extraction_grid`) turns parameter sequences into picklable
+:mod:`repro.perf` trial specs — raising :class:`EmptySweepError` early
+when a parameter filters the grid down to nothing — and the
+:func:`repro.perf.executor.run_trials` executor runs them, serially or
+across a process pool (``jobs``), optionally through a disk-backed
+:class:`~repro.perf.cache.TrialCache`.  Results always come back in
+grid order, so ``jobs=8`` and ``jobs=1`` export identical CSVs.
 """
 
 from __future__ import annotations
@@ -10,17 +19,125 @@ from __future__ import annotations
 import csv
 import dataclasses
 import io
-from typing import Iterable, List, Optional, Sequence, TextIO, Union
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Union,
+)
 
 from ..detectors.base import DetectorSpec
 from ..failures.environment import Environment
+from ..perf.cache import TrialCache
+from ..perf.executor import run_trials
+from ..perf.spec import ExtractionTrialSpec, SetAgreementTrialSpec
 from ..runtime.process import System
 from .runner import (
     ExtractionResult,
     SetAgreementResult,
     run_extraction_trial,
-    run_set_agreement_trial,
 )
+
+
+class EmptySweepError(ValueError):
+    """A sweep parameter produced no trials.
+
+    ``parameter`` names the offending input, so the error surfaces at the
+    sweep boundary with a actionable message instead of a bare
+    ``ValueError("no results to export")`` from ``to_csv`` downstream.
+    """
+
+    def __init__(self, parameter: str, detail: str):
+        self.parameter = parameter
+        super().__init__(
+            f"sweep parameter {parameter!r} produced no trials: {detail}"
+        )
+
+
+def _require_non_empty(name: str, values: Sequence) -> None:
+    if not list(values):
+        raise EmptySweepError(name, "the sequence is empty")
+
+
+# -- grid builders ---------------------------------------------------------
+
+
+def set_agreement_grid(
+    system_sizes: Sequence[int],
+    seeds: Sequence[int],
+    stabilization_times: Sequence[int],
+    fs: Optional[Sequence[int]] = None,
+    adversarial: bool = False,
+    max_steps: int = 2_000_000,
+) -> List[SetAgreementTrialSpec]:
+    """Specs for the Fig. 1 / Fig. 2 grid.
+
+    ``fs = None`` means the wait-free case (f = n) for each system size;
+    an explicit ``fs`` is clamped to ``1 <= f <= n`` per size, and a
+    clamp that leaves nothing raises :class:`EmptySweepError`.
+    """
+    _require_non_empty("system_sizes", system_sizes)
+    _require_non_empty("seeds", seeds)
+    _require_non_empty("stabilization_times", stabilization_times)
+    specs: List[SetAgreementTrialSpec] = []
+    for n_procs in system_sizes:
+        n = System(n_procs).n
+        f_values = [n] if fs is None else [f for f in fs if 1 <= f <= n]
+        for f in f_values:
+            for stab in stabilization_times:
+                for seed in seeds:
+                    specs.append(SetAgreementTrialSpec(
+                        n_processes=n_procs,
+                        f=f,
+                        seed=seed,
+                        stabilization_time=stab,
+                        adversarial=adversarial,
+                        max_steps=max_steps,
+                    ))
+    if not specs:
+        raise EmptySweepError(
+            "fs",
+            f"no f in {list(fs)} satisfies 1 <= f <= n for system sizes "
+            f"{list(system_sizes)}",
+        )
+    return specs
+
+
+def extraction_grid(
+    detectors: Sequence[str],
+    system_sizes: Sequence[int],
+    seeds: Sequence[int],
+    f: Optional[int] = None,
+    stabilization_time: int = 60,
+    max_steps: int = 40_000,
+) -> List[ExtractionTrialSpec]:
+    """Specs for the Fig. 3 grid.
+
+    ``detectors`` are :mod:`repro.detectors.registry` names (the picklable
+    identity of a detector spec); ``f = None`` means wait-free.
+    """
+    _require_non_empty("detectors", detectors)
+    _require_non_empty("system_sizes", system_sizes)
+    _require_non_empty("seeds", seeds)
+    return [
+        ExtractionTrialSpec(
+            detector=name,
+            n_processes=n_procs,
+            seed=seed,
+            f=f,
+            stabilization_time=stabilization_time,
+            max_steps=max_steps,
+        )
+        for n_procs in system_sizes
+        for name in detectors
+        for seed in seeds
+    ]
+
+
+# -- sweep drivers ---------------------------------------------------------
 
 
 def sweep_set_agreement(
@@ -29,40 +146,57 @@ def sweep_set_agreement(
     stabilization_times: Sequence[int],
     fs: Optional[Sequence[int]] = None,
     adversarial: bool = False,
+    jobs: Optional[int] = 1,
+    cache: Optional[TrialCache] = None,
 ) -> List[SetAgreementResult]:
     """Grid of Fig. 1 / Fig. 2 runs.
 
     ``fs = None`` means the wait-free case (f = n) for each system size.
+    ``jobs > 1`` fans the grid out over a process pool; ``cache`` serves
+    already-computed trials from disk.  Output order is the grid order
+    either way.
     """
-    results: List[SetAgreementResult] = []
-    for n_procs in system_sizes:
-        system = System(n_procs)
-        f_values = [system.n] if fs is None else [
-            f for f in fs if 1 <= f <= system.n
-        ]
-        for f in f_values:
-            for stab in stabilization_times:
-                for seed in seeds:
-                    results.append(run_set_agreement_trial(
-                        system, f, seed=seed, stabilization_time=stab,
-                        adversarial=adversarial,
-                    ))
-    return results
+    specs = set_agreement_grid(
+        system_sizes, seeds, stabilization_times,
+        fs=fs, adversarial=adversarial,
+    )
+    return run_trials(specs, jobs=jobs, cache=cache)
 
 
 def sweep_extraction(
-    spec_factories,
+    detectors: Sequence[Union[str, Callable[[System], DetectorSpec]]],
     system_sizes: Sequence[int],
     seeds: Sequence[int],
     f: Optional[int] = None,
     stabilization_time: int = 60,
     max_steps: int = 40_000,
+    jobs: Optional[int] = 1,
+    cache: Optional[TrialCache] = None,
 ) -> List[ExtractionResult]:
     """Grid of Fig. 3 extractions.
 
-    ``spec_factories`` is an iterable of callables ``System -> DetectorSpec``.
+    ``detectors`` is an iterable of registry names (parallelizable and
+    cacheable) or, for backward compatibility, of callables
+    ``System -> DetectorSpec``.  Callables have no picklable identity, so
+    they run serially in-process and cannot use the cache.
     ``f = None`` means wait-free.
     """
+    detectors = list(detectors)
+    if all(isinstance(d, str) for d in detectors):
+        specs = extraction_grid(
+            detectors, system_sizes, seeds,
+            f=f, stabilization_time=stabilization_time, max_steps=max_steps,
+        )
+        return run_trials(specs, jobs=jobs, cache=cache)
+    if (jobs is not None and jobs > 1) or cache is not None:
+        raise ValueError(
+            "parallel or cached extraction sweeps need detector registry "
+            "names (e.g. 'omega'), not spec factories — factories have no "
+            "picklable identity"
+        )
+    _require_non_empty("detectors", detectors)
+    _require_non_empty("system_sizes", system_sizes)
+    _require_non_empty("seeds", seeds)
     results: List[ExtractionResult] = []
     for n_procs in system_sizes:
         system = System(n_procs)
@@ -71,7 +205,7 @@ def sweep_extraction(
             if f is None
             else Environment(system, f)
         )
-        for factory in spec_factories:
+        for factory in detectors:
             spec: DetectorSpec = factory(system)
             for seed in seeds:
                 results.append(run_extraction_trial(
@@ -80,6 +214,9 @@ def sweep_extraction(
                     max_steps=max_steps,
                 ))
     return results
+
+
+# -- CSV export ------------------------------------------------------------
 
 
 def _stringify(value) -> str:

@@ -9,6 +9,7 @@
     python -m repro run --show-trace   # quickstart run with a timeline
     python -m repro stats fig1 --processes 4 --seed 3   # live metrics table
     python -m repro profile            # engine hot-path timing
+    python -m repro sweep set-agreement --jobs 4 --csv f1.csv  # parallel grid
 
 Every subcommand prints a short report and exits non-zero if the
 corresponding paper property failed to hold (they never should).
@@ -149,7 +150,79 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--max-steps", type=int, default=150_000)
     profile.add_argument("--json", action="store_true")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid, in parallel and with trial caching",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sw_sa = sweep_sub.add_parser(
+        "set-agreement",
+        help="Fig. 1 / Fig. 2 grid (defaults = the EXPERIMENTS.md F1 grid)",
+    )
+    sw_sa.add_argument("--sizes", default="3,4,5", metavar="LIST",
+                       help="system sizes, e.g. 3,4,5")
+    sw_sa.add_argument("--stabilizations", default="0,100,300",
+                       metavar="LIST", help="Υ stabilization times")
+    sw_sa.add_argument("--seeds", default="0-19", metavar="LIST",
+                       help="seeds; ranges allowed, e.g. 0-19 or 0,1,7")
+    sw_sa.add_argument("--fs", default=None, metavar="LIST",
+                       help="resilience values f (default: wait-free f=n)")
+    sw_sa.add_argument("--adversarial", action="store_true",
+                       help="lockstep schedule + worst-case noise")
+
+    sw_ex = sweep_sub.add_parser(
+        "extraction",
+        help="Fig. 3 grid over detector registry names",
+    )
+    sw_ex.add_argument("--detectors", default="omega,omega_n,diamond_p",
+                       metavar="LIST",
+                       help="registry names, e.g. omega,diamond_p")
+    sw_ex.add_argument("--sizes", default="3,4", metavar="LIST")
+    sw_ex.add_argument("--seeds", default="0-9", metavar="LIST")
+    sw_ex.add_argument("--resilience", type=int, default=None, metavar="F")
+    sw_ex.add_argument("--stabilization", type=int, default=60)
+    sw_ex.add_argument("--max-steps", type=int, default=40_000)
+
+    for sub_parser in (sw_sa, sw_ex):
+        sub_parser.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (0 = one per CPU; default 1 = serial)",
+        )
+        sub_parser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="trial cache root (default $REPRO_CACHE_DIR or "
+                 "~/.cache/repro/trials)",
+        )
+        sub_parser.add_argument(
+            "--no-cache", action="store_true",
+            help="recompute every trial; neither read nor write the cache",
+        )
+        sub_parser.add_argument(
+            "--csv", metavar="FILE", default=None,
+            help="also export the results as CSV to FILE",
+        )
+        sub_parser.add_argument(
+            "--json", action="store_true",
+            help="print the run summary as JSON",
+        )
+
     return parser
+
+
+def _parse_int_list(text: str) -> list:
+    """``"3,4,5"`` and ``"0-19"`` (inclusive ranges) to a list of ints."""
+    out = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part[1:]:
+            lo, _, hi = part.partition("-")
+            out.extend(range(int(lo), int(hi) + 1))
+        else:
+            out.append(int(part))
+    return out
 
 
 def _cmd_fig1(args) -> int:
@@ -354,6 +427,87 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import json
+    import time
+
+    from .analysis.sweeps import (
+        EmptySweepError,
+        extraction_grid,
+        set_agreement_grid,
+        to_csv,
+    )
+    from .perf import TrialCache, resolve_jobs, run_trials
+
+    try:
+        if args.sweep_command == "set-agreement":
+            specs = set_agreement_grid(
+                system_sizes=_parse_int_list(args.sizes),
+                seeds=_parse_int_list(args.seeds),
+                stabilization_times=_parse_int_list(args.stabilizations),
+                fs=_parse_int_list(args.fs) if args.fs else None,
+                adversarial=args.adversarial,
+            )
+        else:
+            specs = extraction_grid(
+                detectors=[
+                    d.strip() for d in args.detectors.split(",") if d.strip()
+                ],
+                system_sizes=_parse_int_list(args.sizes),
+                seeds=_parse_int_list(args.seeds),
+                f=args.resilience,
+                stabilization_time=args.stabilization,
+                max_steps=args.max_steps,
+            )
+    except EmptySweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else TrialCache(args.cache_dir)
+    jobs = resolve_jobs(args.jobs)
+    start = time.perf_counter()
+    results = run_trials(specs, jobs=jobs, cache=cache)
+    wall = time.perf_counter() - start
+
+    if args.sweep_command == "set-agreement":
+        ok_flags = [r.ok for r in results]
+    else:
+        ok_flags = [r.stabilized and r.legal for r in results]
+    all_ok = all(ok_flags)
+
+    if args.csv:
+        to_csv(results, args.csv)
+
+    summary = {
+        "kind": args.sweep_command,
+        "trials": len(results),
+        "ok": sum(ok_flags),
+        "violations": len(ok_flags) - sum(ok_flags),
+        "jobs": jobs,
+        "wall_seconds": round(wall, 3),
+        "trials_per_second": round(len(results) / wall, 1) if wall else None,
+        "cache": None if cache is None else {
+            "dir": str(cache.root),
+            "hits": cache.hits,
+            "misses": cache.misses,
+        },
+        "csv": args.csv,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"{args.sweep_command} sweep: {len(results)} trials  "
+              f"jobs={jobs}  wall={wall:.2f}s")
+        if cache is not None:
+            print(f"cache: {cache.hits} hits, {cache.misses} misses "
+                  f"({cache.root})")
+        if args.csv:
+            print(f"csv -> {args.csv}")
+        print("properties:", "OK" if all_ok else
+              f"VIOLATED in {len(ok_flags) - sum(ok_flags)} trials")
+    return 0 if all_ok else 1
+
+
 def _cmd_hierarchy(args) -> int:
     from .core import DetectorHierarchy
 
@@ -410,6 +564,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "stats": _cmd_stats,
     "profile": _cmd_profile,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -13,7 +13,7 @@ step's time.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable
+from typing import Any, Dict, Hashable, Tuple
 
 from ..obs.events import MemoryOp
 from ..runtime.errors import MemoryError_
@@ -184,6 +184,15 @@ class Memory:
         """Peek at an object without creating it (testing/analysis only)."""
         return self._objects.get(key)
 
+    def keys(self) -> Tuple[Hashable, ...]:
+        """The keys of every object created so far (read-only snapshot).
+
+        Analysis code that needs to walk the footprint of a run (e.g. the
+        round counter of :func:`repro.analysis.runner.max_round_reached`)
+        should use this instead of reaching into private state.
+        """
+        return tuple(self._objects)
+
     def peek_register(self, key: Hashable) -> Any:
         """Read a register's value outside the run (analysis only)."""
         obj = self._objects.get(key)
@@ -209,6 +218,64 @@ class Memory:
         return obj
 
     # -- dispatch ----------------------------------------------------------
+    #
+    # ``execute`` is on the engine's hot path (one call per shared-object
+    # step), so operations dispatch through a per-type table instead of an
+    # ``isinstance`` chain.  Unknown concrete types fall back to an MRO walk
+    # once and are then memoized, so ``Operation`` subclasses keep working.
+
+    def _exec_read(self, op: Read, pid: int) -> Any:
+        return self._lookup(op.key, AtomicRegister, AtomicRegister).read()
+
+    def _exec_write(self, op: Write, pid: int) -> None:
+        reg = self._lookup(op.key, AtomicRegister, AtomicRegister)
+        reg.check_writer(pid)
+        reg.write(op.value)
+        return None
+
+    def _exec_snapshot_update(self, op: SnapshotUpdate, pid: int) -> None:
+        snap = self._lookup(
+            op.key,
+            PrimitiveSnapshot,
+            lambda: PrimitiveSnapshot(self.system.n_processes),
+        )
+        snap.update(op.index, op.value)
+        return None
+
+    def _exec_snapshot_scan(self, op: SnapshotScan, pid: int) -> tuple:
+        snap = self._lookup(
+            op.key,
+            PrimitiveSnapshot,
+            lambda: PrimitiveSnapshot(self.system.n_processes),
+        )
+        return snap.scan()
+
+    def _exec_immediate(self, op: ImmediateWriteScan, pid: int) -> Any:
+        from .immediate import ImmediateSnapshotObject
+
+        obj = self._lookup(
+            op.key,
+            ImmediateSnapshotObject,
+            lambda: ImmediateSnapshotObject(self.system.n_processes),
+        )
+        return obj.write_and_scan(op.index, op.value)
+
+    def _exec_consensus(self, op: ConsensusPropose, pid: int) -> Any:
+        cons = self._lookup(
+            op.key,
+            ConsensusObject,
+            lambda: ConsensusObject(self._default_consensus_m),
+        )
+        return cons.propose(pid, op.value)
+
+    _HANDLERS = {
+        Read: _exec_read,
+        Write: _exec_write,
+        SnapshotUpdate: _exec_snapshot_update,
+        SnapshotScan: _exec_snapshot_scan,
+        ImmediateWriteScan: _exec_immediate,
+        ConsensusPropose: _exec_consensus,
+    }
 
     def execute(self, op: Operation, pid: int) -> Any:
         """Apply one shared-object operation; returns its response."""
@@ -218,43 +285,14 @@ class Memory:
             bus.publish(
                 MemoryOp(-1, pid, type(op).__name__, getattr(op, "key", None))
             )
-        if isinstance(op, Read):
-            reg = self._lookup(op.key, AtomicRegister, AtomicRegister)
-            return reg.read()
-        if isinstance(op, Write):
-            reg = self._lookup(op.key, AtomicRegister, AtomicRegister)
-            reg.check_writer(pid)
-            reg.write(op.value)
-            return None
-        if isinstance(op, SnapshotUpdate):
-            snap = self._lookup(
-                op.key,
-                PrimitiveSnapshot,
-                lambda: PrimitiveSnapshot(self.system.n_processes),
-            )
-            snap.update(op.index, op.value)
-            return None
-        if isinstance(op, SnapshotScan):
-            snap = self._lookup(
-                op.key,
-                PrimitiveSnapshot,
-                lambda: PrimitiveSnapshot(self.system.n_processes),
-            )
-            return snap.scan()
-        if isinstance(op, ImmediateWriteScan):
-            from .immediate import ImmediateSnapshotObject
-
-            obj = self._lookup(
-                op.key,
-                ImmediateSnapshotObject,
-                lambda: ImmediateSnapshotObject(self.system.n_processes),
-            )
-            return obj.write_and_scan(op.index, op.value)
-        if isinstance(op, ConsensusPropose):
-            cons = self._lookup(
-                op.key,
-                ConsensusObject,
-                lambda: ConsensusObject(self._default_consensus_m),
-            )
-            return cons.propose(pid, op.value)
-        raise MemoryError_(f"not a shared-object operation: {op!r}")
+        handlers = self._HANDLERS
+        handler = handlers.get(type(op))
+        if handler is None:
+            for base in type(op).__mro__[1:]:
+                handler = handlers.get(base)
+                if handler is not None:
+                    handlers[type(op)] = handler  # memoize the subclass
+                    break
+            else:
+                raise MemoryError_(f"not a shared-object operation: {op!r}")
+        return handler(self, op, pid)

@@ -1,0 +1,37 @@
+"""Sweep performance layer: parallel trial execution and result caching.
+
+* :mod:`repro.perf.spec` — picklable trial specs, stable content keys,
+  and the engine version salt that invalidates caches on engine changes;
+* :mod:`repro.perf.executor` — :func:`run_trials`, the process-pool
+  sweep executor with deterministic input-order reassembly;
+* :mod:`repro.perf.cache` — :class:`TrialCache`, the disk-backed
+  content-addressed store of trial results.
+
+The grid builders in :mod:`repro.analysis.sweeps` emit specs and
+delegate here; ``python -m repro sweep`` is the CLI front end.
+"""
+
+from .cache import CACHE_DIR_ENV, TrialCache, default_cache_dir
+from .executor import resolve_jobs, run_trials
+from .spec import (
+    ENGINE_VERSION,
+    ExtractionTrialSpec,
+    SetAgreementTrialSpec,
+    TrialSpec,
+    execute_trial,
+    spec_key,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "ENGINE_VERSION",
+    "ExtractionTrialSpec",
+    "SetAgreementTrialSpec",
+    "TrialCache",
+    "TrialSpec",
+    "default_cache_dir",
+    "execute_trial",
+    "resolve_jobs",
+    "run_trials",
+    "spec_key",
+]

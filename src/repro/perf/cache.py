@@ -1,0 +1,112 @@
+"""Disk-backed trial result cache, keyed by :func:`repro.perf.spec.spec_key`.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` — one pickled result dataclass per
+trial, sharded by the first key byte so a large grid doesn't pile tens of
+thousands of entries into one directory.  Writes are atomic (temp file +
+``os.replace``), so a crashed or killed sweep never leaves a truncated
+entry behind; unreadable entries are treated as misses and deleted.
+
+Cache invalidation is by construction: the key covers the full trial spec
+and the engine version salt, so a doc-only change hits, and an engine
+bump (or any spec change) misses.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from .spec import TrialSpec, spec_key
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/trials``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "trials"
+
+
+class TrialCache:
+    """Content-addressed store of trial results.
+
+    ``hits`` / ``misses`` / ``stores`` count this instance's traffic —
+    the sweep CLI reports them after every run.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- spec-level API ----------------------------------------------------
+
+    def get(self, spec: TrialSpec) -> Optional[Any]:
+        """The cached result for ``spec``, or ``None`` on a miss."""
+        path = self._path(spec_key(spec))
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # truncated or stale entry: drop it and recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: TrialSpec, result: Any) -> None:
+        """Store ``result`` for ``spec`` (atomic replace)."""
+        path = self._path(spec_key(spec))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # -- maintenance -------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

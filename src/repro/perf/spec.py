@@ -1,0 +1,121 @@
+"""Picklable trial specifications and their content-addressed keys.
+
+A *trial spec* is the full recipe for one seeded, deterministic trial —
+primitives only (system size, resilience, seed, stabilization time,
+detector registry name), so a spec can cross a process boundary to a
+worker and can be hashed into a stable cache key.
+
+Two invariants matter:
+
+* **Determinism** — executing the same spec twice yields equal result
+  dataclasses (the ``metrics`` snapshot is excluded from comparison);
+  this is what makes both the process-pool fan-out and the disk cache
+  sound.
+* **Stable keys** — :func:`spec_key` hashes the canonical JSON of the
+  spec *plus* the engine version salt, so cached results are invalidated
+  whenever the engine's trial semantics change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional, Union
+
+#: Cache-key salt for the simulation engine.  Bump whenever a change to
+#: the engine, the protocols, or the trial drivers alters what any trial
+#: returns — every previously cached result is then invalidated at once.
+ENGINE_VERSION = "2026.08.0"
+
+
+@dataclasses.dataclass(frozen=True)
+class SetAgreementTrialSpec:
+    """One seeded Fig. 1 / Fig. 2 set-agreement trial (Theorems 2 / 6)."""
+
+    n_processes: int
+    f: int
+    seed: int
+    stabilization_time: int
+    adversarial: bool = False
+    max_steps: int = 2_000_000
+
+    kind = "set_agreement"
+
+
+@dataclasses.dataclass(frozen=True)
+class ExtractionTrialSpec:
+    """One seeded Fig. 3 extraction trial (Theorem 10).
+
+    ``detector`` is a :mod:`repro.detectors.registry` name — the registry
+    is the picklable identity of a detector spec.  ``f = None`` means the
+    wait-free environment.
+    """
+
+    detector: str
+    n_processes: int
+    seed: int
+    f: Optional[int] = None
+    stabilization_time: int = 60
+    max_steps: int = 40_000
+
+    kind = "extraction"
+
+
+TrialSpec = Union[SetAgreementTrialSpec, ExtractionTrialSpec]
+
+
+def spec_key(spec: TrialSpec) -> str:
+    """A stable content hash of ``spec`` (hex sha256).
+
+    The digest covers every spec field, the spec kind, and
+    :data:`ENGINE_VERSION`, so equal specs collide on purpose and any
+    engine bump misses the old cache entries.
+    """
+    payload = dict(dataclasses.asdict(spec))
+    payload["kind"] = spec.kind
+    payload["engine"] = ENGINE_VERSION
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def execute_trial(spec: TrialSpec):
+    """Run one trial spec to its result dataclass (worker entry point).
+
+    Imports are deferred so that pool workers pay them once on first
+    use and so this module stays import-cycle-free.
+    """
+    from ..analysis.runner import (
+        run_extraction_trial,
+        run_set_agreement_trial,
+    )
+    from ..detectors.registry import make_detector
+    from ..failures.environment import Environment
+    from ..runtime.process import System
+
+    if isinstance(spec, SetAgreementTrialSpec):
+        system = System(spec.n_processes)
+        return run_set_agreement_trial(
+            system,
+            spec.f,
+            seed=spec.seed,
+            stabilization_time=spec.stabilization_time,
+            adversarial=spec.adversarial,
+            max_steps=spec.max_steps,
+        )
+    if isinstance(spec, ExtractionTrialSpec):
+        system = System(spec.n_processes)
+        env = (
+            Environment.wait_free(system)
+            if spec.f is None
+            else Environment(system, spec.f)
+        )
+        detector = make_detector(spec.detector, env)
+        return run_extraction_trial(
+            detector,
+            env,
+            seed=spec.seed,
+            stabilization_time=spec.stabilization_time,
+            max_steps=spec.max_steps,
+        )
+    raise TypeError(f"not a trial spec: {spec!r}")

@@ -125,6 +125,36 @@ class Simulation:
                 protocol = protocols
             ctx = ProcessContext(pid=pid, system=system)
             self.runtimes[pid] = ProcessRuntime(ctx, protocol, value)
+        # Hot-path state for :meth:`eligible`: the participating runtimes in
+        # pid order (computed once — the set is fixed after construction)
+        # and the earliest pending crash time, so failure-free stretches of
+        # a run never consult the pattern per process per step.
+        self._ordered_runtimes = [
+            (pid, self.runtimes[pid]) for pid in sorted(self.runtimes)
+        ]
+        self._recompute_next_crash()
+
+    @property
+    def pattern(self) -> FailurePattern:
+        return self._pattern
+
+    @pattern.setter
+    def pattern(self, value: FailurePattern) -> None:
+        # Fault-injection drivers swap the pattern mid-run; the cached
+        # next-crash time must follow it.
+        self._pattern = value
+        if hasattr(self, "_ordered_runtimes"):
+            self._recompute_next_crash()
+
+    def _recompute_next_crash(self) -> None:
+        self._next_crash: Optional[int] = min(
+            (
+                when
+                for pid, when in self._pattern.crash_times.items()
+                if pid in self.runtimes
+            ),
+            default=None,
+        )
 
     # -- step execution ------------------------------------------------------
 
@@ -134,17 +164,31 @@ class Simulation:
         if bus is not None and bus.active:
             bus.publish(ProcessCrashed(self.time, runtime.pid))
 
+    def _apply_due_crashes(self) -> None:
+        """Crash every runtime whose pattern time has arrived; refresh the
+        earliest pending crash time."""
+        t = self.time
+        crash_times = self.pattern.crash_times
+        pending: Optional[int] = None
+        for pid, runtime in self._ordered_runtimes:
+            when = crash_times.get(pid)
+            if when is None:
+                continue
+            if when <= t:
+                if runtime.status is ProcessStatus.RUNNING:
+                    self._crash(runtime)
+            elif pending is None or when < pending:
+                pending = when
+        self._next_crash = pending
+
     def eligible(self) -> list[int]:
         """Processes that may take the next step (alive and not returned)."""
-        out = []
-        for pid, runtime in self.runtimes.items():
-            if runtime.status is ProcessStatus.RUNNING and not self.pattern.is_alive(
-                pid, self.time
-            ):
-                self._crash(runtime)
-            if runtime.schedulable:
-                out.append(pid)
-        return sorted(out)
+        next_crash = self._next_crash
+        if next_crash is not None and self.time >= next_crash:
+            self._apply_due_crashes()
+        return [
+            pid for pid, runtime in self._ordered_runtimes if runtime.schedulable
+        ]
 
     def step(self, pid: int) -> StepRecord:
         """Execute one atomic step of ``pid`` at the current time."""
@@ -174,58 +218,91 @@ class Simulation:
             bus.publish(ProtocolViolated(self.time, pid, reason))
         return ProtocolError(reason)
 
-    def _execute(self, op: Operation, pid: int) -> Any:
+    # ``_execute`` runs once per atomic step; operations dispatch through a
+    # per-type table (two dict lookups: engine, then memory) instead of an
+    # ``isinstance`` chain.  When the bus is inactive no event object is
+    # ever constructed — the gate sits before the constructor call, so an
+    # uninstrumented run allocates nothing beyond its :class:`StepRecord`.
+
+    def _exec_shared(self, op: Operation, pid: int) -> Any:
+        return self.memory.execute(op, pid)
+
+    def _exec_query_fd(self, op: QueryFD, pid: int) -> Any:
+        if self.history is None:
+            raise ProtocolError(
+                f"pid {pid} queried a failure detector but the run has "
+                "no history"
+            )
+        value = self.history.value(pid, self.time)
         bus = self.bus
-        if isinstance(op, SHARED_OBJECT_OPS):
-            return self.memory.execute(op, pid)
-        if isinstance(op, QueryFD):
-            if self.history is None:
-                raise ProtocolError(
-                    f"pid {pid} queried a failure detector but the run has "
-                    "no history"
-                )
-            value = self.history.value(pid, self.time)
-            if bus is not None and bus.active:
-                bus.publish(FDQueried(self.time, pid, value))
-            return value
-        if isinstance(op, Decide):
-            runtime = self.runtimes[pid]
-            if runtime.has_decided:
-                raise self._violate(
-                    pid,
-                    f"process {pid} issued a second Decide at t={self.time} "
-                    f"(first decision: {runtime.decision!r})",
-                )
-            runtime.record_decision(op.value)
-            if bus is not None and bus.active:
-                bus.publish(Decided(self.time, pid, op.value))
-            return None
-        if isinstance(op, Emit):
-            runtime = self.runtimes[pid]
-            if bus is not None and bus.active:
-                previous = runtime.emitted if runtime.has_emitted else None
-                changed = not runtime.has_emitted or previous != op.value
-                bus.publish(
-                    EmitChanged(self.time, pid, op.value, previous, changed)
-                )
-            runtime.record_emit(op.value)
-            return None
-        if isinstance(op, Nop):
-            return None
-        if isinstance(op, (Send, Broadcast, Receive)):
-            if self.network is None:
-                raise ProtocolError(
-                    f"pid {pid} used a messaging operation but the run has "
-                    "no network"
-                )
-            if isinstance(op, Send):
-                self.network.send(pid, op.dest, op.payload, self.time)
-                return None
-            if isinstance(op, Broadcast):
-                self.network.broadcast(pid, op.payload, self.time)
-                return None
-            return self.network.deliver(pid, self.time)
-        raise ProtocolError(f"unknown operation {op!r}")
+        if bus is not None and bus.active:
+            bus.publish(FDQueried(self.time, pid, value))
+        return value
+
+    def _exec_decide(self, op: Decide, pid: int) -> None:
+        runtime = self.runtimes[pid]
+        if runtime.has_decided:
+            raise self._violate(
+                pid,
+                f"process {pid} issued a second Decide at t={self.time} "
+                f"(first decision: {runtime.decision!r})",
+            )
+        runtime.record_decision(op.value)
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.publish(Decided(self.time, pid, op.value))
+        return None
+
+    def _exec_emit(self, op: Emit, pid: int) -> None:
+        runtime = self.runtimes[pid]
+        bus = self.bus
+        if bus is not None and bus.active:
+            previous = runtime.emitted if runtime.has_emitted else None
+            changed = not runtime.has_emitted or previous != op.value
+            bus.publish(
+                EmitChanged(self.time, pid, op.value, previous, changed)
+            )
+        runtime.record_emit(op.value)
+        return None
+
+    def _exec_nop(self, op: Nop, pid: int) -> None:
+        return None
+
+    def _require_network(self, pid: int):
+        if self.network is None:
+            raise ProtocolError(
+                f"pid {pid} used a messaging operation but the run has "
+                "no network"
+            )
+        return self.network
+
+    def _exec_send(self, op: Send, pid: int) -> None:
+        self._require_network(pid).send(pid, op.dest, op.payload, self.time)
+        return None
+
+    def _exec_broadcast(self, op: Broadcast, pid: int) -> None:
+        self._require_network(pid).broadcast(pid, op.payload, self.time)
+        return None
+
+    def _exec_receive(self, op: Receive, pid: int) -> Any:
+        return self._require_network(pid).deliver(pid, self.time)
+
+    #: type -> handler table; populated right after the class body (a dict
+    #: comprehension inside the class body could not see the methods).
+    _OP_HANDLERS: Dict[type, Callable] = {}
+
+    def _execute(self, op: Operation, pid: int) -> Any:
+        handlers = self._OP_HANDLERS
+        handler = handlers.get(type(op))
+        if handler is None:
+            for base in type(op).__mro__[1:]:
+                handler = handlers.get(base)
+                if handler is not None:
+                    handlers[type(op)] = handler  # memoize the subclass
+                    break
+            else:
+                raise ProtocolError(f"unknown operation {op!r}")
+        return handler(self, op, pid)
 
     # -- run loops -----------------------------------------------------------
 
@@ -241,13 +318,16 @@ class Simulation:
         :meth:`run_until` for runs that must reach their stop condition.
         """
         scheduler = scheduler or RandomScheduler()
+        step = self.step
+        pick_eligible = self.eligible
+        choose = scheduler.choose
         for _ in range(max_steps):
             if stop_when is not None and stop_when(self):
                 break
-            eligible = self.eligible()
+            eligible = pick_eligible()
             if not eligible:
                 break
-            self.step(scheduler.choose(self.time, eligible))
+            step(choose(self.time, eligible))
         return self.trace
 
     def run_until(
@@ -302,6 +382,22 @@ class Simulation:
             for pid, r in self.runtimes.items()
             if r.has_emitted
         }
+
+
+Simulation._OP_HANDLERS.update(
+    {op_type: Simulation._exec_shared for op_type in SHARED_OBJECT_OPS}
+)
+Simulation._OP_HANDLERS.update(
+    {
+        QueryFD: Simulation._exec_query_fd,
+        Decide: Simulation._exec_decide,
+        Emit: Simulation._exec_emit,
+        Nop: Simulation._exec_nop,
+        Send: Simulation._exec_send,
+        Broadcast: Simulation._exec_broadcast,
+        Receive: Simulation._exec_receive,
+    }
+)
 
 
 class _NonParticipant:

@@ -1,0 +1,297 @@
+"""Tests for the parallel sweep executor, the trial cache, and spec keys."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.analysis import (
+    EmptySweepError,
+    extraction_grid,
+    set_agreement_grid,
+    sweep_extraction,
+    sweep_set_agreement,
+    to_csv,
+)
+from repro.perf import (
+    ExtractionTrialSpec,
+    SetAgreementTrialSpec,
+    TrialCache,
+    execute_trial,
+    run_trials,
+    spec_key,
+)
+from repro.perf.executor import _chunk_indices, resolve_jobs
+
+
+class TestSpecs:
+    def test_specs_are_picklable(self):
+        spec = SetAgreementTrialSpec(3, 2, seed=0, stabilization_time=40)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        spec = ExtractionTrialSpec("omega", 3, seed=1)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_key_is_stable(self):
+        a = SetAgreementTrialSpec(4, 3, seed=7, stabilization_time=0)
+        b = SetAgreementTrialSpec(4, 3, seed=7, stabilization_time=0)
+        assert spec_key(a) == spec_key(b)
+        assert len(spec_key(a)) == 64
+
+    def test_key_covers_every_field(self):
+        base = SetAgreementTrialSpec(4, 3, seed=7, stabilization_time=0)
+        keys = {spec_key(base)}
+        for change in (
+            {"n_processes": 5}, {"f": 2}, {"seed": 8},
+            {"stabilization_time": 10}, {"adversarial": True},
+            {"max_steps": 99},
+        ):
+            keys.add(spec_key(dataclasses.replace(base, **change)))
+        assert len(keys) == 7
+
+    def test_kinds_do_not_collide(self):
+        # same field values, different trial kind -> different key
+        sa = SetAgreementTrialSpec(3, 2, seed=0, stabilization_time=60)
+        ex = ExtractionTrialSpec("omega", 3, seed=0)
+        assert spec_key(sa) != spec_key(ex)
+
+    def test_key_salted_by_engine_version(self):
+        spec = SetAgreementTrialSpec(3, 2, seed=0, stabilization_time=0)
+        key = spec_key(spec)
+        import repro.perf.spec as spec_mod
+        original = spec_mod.ENGINE_VERSION
+        try:
+            spec_mod.ENGINE_VERSION = original + ".bumped"
+            assert spec_key(spec) != key
+        finally:
+            spec_mod.ENGINE_VERSION = original
+
+    def test_execute_trial_deterministic(self):
+        spec = SetAgreementTrialSpec(3, 2, seed=5, stabilization_time=20)
+        assert execute_trial(spec) == execute_trial(spec)
+
+    def test_execute_extraction_by_registry_name(self):
+        result = execute_trial(
+            ExtractionTrialSpec("omega", 3, seed=0, stabilization_time=40,
+                                max_steps=30_000)
+        )
+        assert result.stabilized and result.legal
+
+    def test_execute_rejects_non_spec(self):
+        with pytest.raises(TypeError):
+            execute_trial({"n_processes": 3})
+
+
+class TestGrids:
+    def test_grid_order_is_deterministic(self):
+        grid = set_agreement_grid([3, 4], [0, 1], [0, 40])
+        assert grid == set_agreement_grid([3, 4], [0, 1], [0, 40])
+        assert len(grid) == 8
+
+    def test_empty_parameter_is_named(self):
+        with pytest.raises(EmptySweepError, match="'seeds'"):
+            set_agreement_grid([3], [], [0])
+        with pytest.raises(EmptySweepError, match="'system_sizes'"):
+            set_agreement_grid([], [0], [0])
+        with pytest.raises(EmptySweepError, match="'stabilization_times'"):
+            set_agreement_grid([3], [0], [])
+        with pytest.raises(EmptySweepError, match="'detectors'"):
+            extraction_grid([], [3], [0])
+
+    def test_fs_filtered_to_nothing_is_named(self):
+        # every f out of 1..n for every size -> the error blames fs
+        with pytest.raises(EmptySweepError, match="'fs'") as excinfo:
+            set_agreement_grid([3], [0], [0], fs=[7, 9])
+        assert excinfo.value.parameter == "fs"
+        assert "7" in str(excinfo.value)
+
+    def test_empty_sweep_error_is_a_value_error(self):
+        assert issubclass(EmptySweepError, ValueError)
+
+
+class TestExecutor:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_chunking_covers_everything_once(self):
+        chunks = _chunk_indices(10, jobs=3, chunk_size=None)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == list(range(10))
+        chunks = _chunk_indices(5, jobs=2, chunk_size=2)
+        assert [list(c) for c in chunks] == [[0, 1], [2, 3], [4]]
+        with pytest.raises(ValueError):
+            _chunk_indices(5, jobs=2, chunk_size=0)
+
+    def test_serial_results_in_grid_order(self):
+        grid = set_agreement_grid([3], [0, 1, 2], [0])
+        results = run_trials(grid, jobs=1)
+        assert [r.seed for r in results] == [0, 1, 2]
+
+    def test_parallel_matches_serial_byte_identical(self):
+        """The determinism contract: a jobs=4 sweep exports byte-identical
+        CSV to a serial sweep over the same grid."""
+        kwargs = dict(
+            system_sizes=[3, 4], seeds=[0, 1, 2, 3],
+            stabilization_times=[0, 40],
+        )
+        serial = sweep_set_agreement(**kwargs, jobs=1)
+        parallel = sweep_set_agreement(**kwargs, jobs=4)
+        assert to_csv(serial) == to_csv(parallel)
+        assert serial == parallel
+
+    def test_parallel_extraction_matches_serial(self):
+        kwargs = dict(
+            detectors=["omega"], system_sizes=[3], seeds=[0, 1, 2],
+            stabilization_time=40, max_steps=30_000,
+        )
+        serial = sweep_extraction(**kwargs, jobs=1)
+        parallel = sweep_extraction(**kwargs, jobs=4)
+        assert to_csv(serial) == to_csv(parallel)
+
+
+class TestCache:
+    def test_roundtrip_equal_result(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        spec = SetAgreementTrialSpec(3, 2, seed=0, stabilization_time=0)
+        assert cache.get(spec) is None
+        result = execute_trial(spec)
+        cache.put(spec, result)
+        hit = cache.get(spec)
+        assert hit == result
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_sweep_warm_cache_equal(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        cold = sweep_set_agreement([3], [0, 1], [0, 20], cache=cache)
+        assert cache.misses == 4 and cache.hits == 0
+        warm = sweep_set_agreement([3], [0, 1], [0, 20], cache=cache)
+        assert cache.hits == 4
+        assert warm == cold
+        assert to_csv(warm) == to_csv(cold)
+
+    def test_parallel_sweep_populates_cache(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        sweep_set_agreement([3], [0, 1, 2, 3], [0], jobs=2, cache=cache)
+        assert len(cache) == 4
+        # a later serial run is served entirely from disk
+        sweep_set_agreement([3], [0, 1, 2, 3], [0], jobs=1, cache=cache)
+        assert cache.hits == 4
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        spec = SetAgreementTrialSpec(3, 2, seed=0, stabilization_time=0)
+        cache.put(spec, execute_trial(spec))
+        path = cache._path(spec_key(spec))
+        path.write_bytes(b"not a pickle")
+        assert cache.get(spec) is None
+        assert not path.exists()  # dropped for recompute
+
+    def test_engine_salt_invalidates(self, tmp_path):
+        import repro.perf.spec as spec_mod
+
+        cache = TrialCache(tmp_path)
+        spec = SetAgreementTrialSpec(3, 2, seed=0, stabilization_time=0)
+        cache.put(spec, execute_trial(spec))
+        original = spec_mod.ENGINE_VERSION
+        try:
+            spec_mod.ENGINE_VERSION = original + ".bumped"
+            assert cache.get(spec) is None
+        finally:
+            spec_mod.ENGINE_VERSION = original
+        assert cache.get(spec) is not None
+
+    def test_clear(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        spec = SetAgreementTrialSpec(3, 2, seed=0, stabilization_time=0)
+        cache.put(spec, execute_trial(spec))
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestLegacyFactories:
+    def test_factories_still_run_serially(self):
+        from repro.detectors import OmegaSpec
+
+        results = sweep_extraction(
+            [OmegaSpec], system_sizes=[3], seeds=[0],
+            stabilization_time=40, max_steps=30_000,
+        )
+        assert len(results) == 1 and results[0].legal
+
+    def test_factories_reject_parallel_and_cache(self, tmp_path):
+        from repro.detectors import OmegaSpec
+
+        with pytest.raises(ValueError, match="registry names"):
+            sweep_extraction([OmegaSpec], [3], [0], jobs=2)
+        with pytest.raises(ValueError, match="registry names"):
+            sweep_extraction([OmegaSpec], [3], [0],
+                             cache=TrialCache(tmp_path))
+
+
+class TestMemoryKeys:
+    def test_keys_accessor(self):
+        from repro.memory import Memory
+        from repro.runtime import System
+
+        memory = Memory(System(3))
+        memory.create_register(("r", 1))
+        memory.create_snapshot("S")
+        assert set(memory.keys()) == {("r", 1), "S"}
+        # read-only snapshot: mutating the return value changes nothing
+        keys = memory.keys()
+        assert isinstance(keys, tuple)
+
+    def test_max_round_uses_public_api(self):
+        from repro.analysis import run_set_agreement_trial
+        from repro.runtime import System
+
+        result = run_set_agreement_trial(
+            System(3), 2, seed=0, stabilization_time=0
+        )
+        assert result.rounds >= 1
+
+
+class TestSweepCli:
+    def test_sweep_cli_parallel_with_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "cache")
+        csv_path = str(tmp_path / "out.csv")
+        argv = ["sweep", "set-agreement", "--sizes", "3", "--seeds", "0,1",
+                "--stabilizations", "0", "--jobs", "2",
+                "--cache-dir", cache_dir, "--csv", csv_path]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 misses" in out
+        # warm rerun: every trial served from the cache
+        assert main(argv) == 0
+        assert "2 hits" in capsys.readouterr().out
+        with open(csv_path) as handle:
+            assert handle.readline().startswith("n_processes,")
+
+    def test_sweep_cli_extraction(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "extraction", "--detectors", "omega",
+                     "--sizes", "3", "--seeds", "0", "--no-cache"]) == 0
+        assert "properties: OK" in capsys.readouterr().out
+
+    def test_sweep_cli_names_empty_parameter(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "set-agreement", "--sizes", "3",
+                     "--seeds", "0", "--stabilizations", "0",
+                     "--fs", "9", "--no-cache"])
+        assert code == 2
+        assert "'fs'" in capsys.readouterr().err
+
+    def test_seed_ranges(self):
+        from repro.cli import _parse_int_list
+
+        assert _parse_int_list("0-3") == [0, 1, 2, 3]
+        assert _parse_int_list("3,4,5") == [3, 4, 5]
+        assert _parse_int_list("0,2-4") == [0, 2, 3, 4]
