@@ -24,7 +24,10 @@ shared-memory system:
 * :mod:`repro.obs` — run-level observability: the engine's event bus,
   metrics registry, run profiler and JSONL/report exporters;
 * :mod:`repro.perf` — the parallel sweep executor (process-pool fan-out
-  over picklable trial specs) and the disk-backed trial result cache.
+  over picklable trial specs) and the disk-backed trial result cache;
+* :mod:`repro.mc` — systematic model checking: bounded exhaustive
+  exploration with state fingerprinting, sleep-set partial-order
+  reduction, crash-pattern sweeping, and replayable counterexamples.
 
 Quickstart::
 
@@ -91,6 +94,16 @@ from .detectors import (
     omega_n,
 )
 from .failures import Environment, FailurePattern
+from .mc import (
+    CheckReport,
+    Counterexample,
+    CrashSweep,
+    ExploreConfig,
+    Explorer,
+    McInstance,
+    check,
+    explore_instance,
+)
 from .memory import Memory, RegisterSnapshotAPI
 from .obs import (
     EventBus,
@@ -127,9 +140,15 @@ __version__ = "1.0.0"
 __all__ = [
     "AntiOmegaSpec",
     "BOT",
+    "CheckReport",
     "ConsensusSpec",
     "ConstantHistory",
+    "Counterexample",
     "ConvergeInstance",
+    "CrashSweep",
+    "ExploreConfig",
+    "Explorer",
+    "McInstance",
     "DetectorHierarchy",
     "AbdRegisters",
     "EventuallySynchronousScheduler",
@@ -193,5 +212,7 @@ __all__ = [
     "stable_emulated_output",
     "summarize",
     "abd_snapshot_api",
+    "check",
+    "explore_instance",
     "with_fd_transform",
 ]

@@ -165,8 +165,24 @@ def minimize_schedule(
 
     Repeatedly removes chunks (halving chunk size down to single steps)
     while the replayed run still satisfies ``failure_predicate``.
-    Schedules whose replay raises (e.g. stepping a finished process after
-    a deletion) are treated as not reproducing the failure.
+
+    Invariants:
+
+    * The result is a **subsequence** of ``schedule`` (steps are only
+      deleted, never reordered or added).
+    * The result **still reproduces**: replaying it satisfies
+      ``failure_predicate``.
+    * The result is **1-minimal**: deleting any single remaining step
+      stops it from reproducing.
+    * A replay that raises (e.g. stepping a finished process after a
+      deletion) and a predicate that raises both count as *not
+      reproducing* — candidates are discarded, never propagated.
+    * The result is **never empty** unless ``schedule`` was empty; an
+      empty input is returned unchanged iff the predicate holds on the
+      freshly built simulation (else ``ValueError``).
+
+    Raises ``ValueError`` when the input schedule itself does not
+    reproduce the failure.
     """
 
     def reproduces(candidate: Sequence[int]) -> bool:
@@ -174,9 +190,9 @@ def minimize_schedule(
         try:
             for pid in candidate:
                 sim.step(pid)
+            return bool(failure_predicate(sim))
         except Exception:
             return False
-        return failure_predicate(sim)
 
     current = list(schedule)
     if not reproduces(current):

@@ -10,6 +10,7 @@
     python -m repro stats fig1 --processes 4 --seed 3   # live metrics table
     python -m repro profile            # engine hot-path timing
     python -m repro sweep set-agreement --jobs 4 --csv f1.csv  # parallel grid
+    python -m repro check --protocol fig1 --processes 2 --depth 14  # model check
 
 Every subcommand prints a short report and exits non-zero if the
 corresponding paper property failed to hold (they never should).
@@ -206,6 +207,43 @@ def _build_parser() -> argparse.ArgumentParser:
             "--json", action="store_true",
             help="print the run summary as JSON",
         )
+
+    from .mc.instances import FAMILIES
+
+    mc_check = sub.add_parser(
+        "check",
+        help="model-check a small instance: every schedule × crash pattern",
+    )
+    mc_check.add_argument("--protocol", choices=sorted(FAMILIES),
+                          default="fig1")
+    mc_check.add_argument("--processes", type=int, default=2)
+    mc_check.add_argument("--resilience", type=int, default=None, metavar="F")
+    mc_check.add_argument("--depth", type=int, default=14,
+                          help="schedule-length bound (exploration horizon)")
+    mc_check.add_argument("--por", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="sleep-set partial-order reduction")
+    mc_check.add_argument("--dedup", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="fingerprint-based visited-state pruning")
+    mc_check.add_argument("--strategy", choices=("dfs", "bfs"), default="dfs")
+    mc_check.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (parallel root sharding)")
+    mc_check.add_argument("--max-crashes", type=int, default=0,
+                          help="also sweep crash subsets up to this size")
+    mc_check.add_argument("--crash-times", default="0", metavar="LIST",
+                          help="crash times to sweep, e.g. 0,2,4")
+    mc_check.add_argument("--stabilization", type=int, default=0,
+                          help="detector stabilization time (0 = stable "
+                               "from the start)")
+    mc_check.add_argument("--max-states", type=int, default=None)
+    mc_check.add_argument("--require-progress", action="store_true",
+                          help="treat depth exhaustion as a violation")
+    mc_check.add_argument("--json", action="store_true")
+    mc_check.add_argument("--save-counterexample", metavar="FILE",
+                          default=None,
+                          help="write the first counterexample to FILE "
+                               "as JSON")
 
     return parser
 
@@ -508,6 +546,67 @@ def _cmd_sweep(args) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_check(args) -> int:
+    import json
+
+    from .mc import CrashSweep, ExploreConfig, McInstance, check
+    from .obs import MetricsRegistry
+
+    instance = McInstance(
+        args.protocol,
+        n_processes=args.processes,
+        f=args.resilience,
+        stabilization_time=args.stabilization,
+    )
+    config = ExploreConfig(
+        max_depth=args.depth,
+        por=args.por,
+        dedup=args.dedup,
+        strategy=args.strategy,
+        require_progress=args.require_progress,
+        max_states=args.max_states,
+    )
+    sweep = None
+    if args.max_crashes > 0:
+        sweep = CrashSweep(
+            max_crashes=args.max_crashes,
+            crash_times=tuple(_parse_int_list(args.crash_times)),
+        )
+    report = check(instance, config, sweep=sweep, jobs=args.jobs)
+    if args.save_counterexample and report.counterexamples:
+        report.counterexamples[0].save(args.save_counterexample)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    stats = report.total_stats()
+    reduction = report.total_reduction()
+    print(f"check  protocol={args.protocol}  n+1={args.processes}  "
+          f"depth={args.depth}  por={'on' if args.por else 'off'}  "
+          f"instances={report.instances_checked}")
+    registry = MetricsRegistry()
+    report.record_metrics(registry)
+    print()
+    print(registry.render())
+    print()
+    print(f"explored {stats.states_visited} states "
+          f"({stats.states_distinct} distinct, "
+          f"{stats.pruned_visited} pruned as visited) in "
+          f"{stats.wall_seconds:.2f}s — "
+          f"{stats.states_per_second:,.0f} states/s; "
+          f"reduction ratio {reduction.ratio:.3f}")
+    if not report.ok:
+        for ce in report.counterexamples:
+            print(f"COUNTEREXAMPLE: {ce.describe()}")
+            print(f"  schedule: {list(ce.schedule)}")
+        if args.save_counterexample:
+            print(f"first counterexample -> {args.save_counterexample}")
+    if stats.truncated:
+        print("warning: exploration truncated by --max-states; "
+              "the verdict is not exhaustive")
+    print("properties:", "OK" if report.ok else "VIOLATED")
+    return 0 if report.ok else 1
+
+
 def _cmd_hierarchy(args) -> int:
     from .core import DetectorHierarchy
 
@@ -565,6 +664,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "profile": _cmd_profile,
     "sweep": _cmd_sweep,
+    "check": _cmd_check,
 }
 
 

@@ -1,0 +1,182 @@
+"""Deterministic state fingerprints for the model checker.
+
+A fingerprint is a stable hash of everything that determines a run's
+*future* behaviour, so that two exploration branches reaching the same
+fingerprint may share their subtrees:
+
+* **Per-process control state.**  Protocols are deterministic generators:
+  a process's local state is a function of its input and the sequence of
+  ``(operation, response)`` pairs it has observed.  We therefore hash each
+  process's step history (plus its runtime status) instead of its Python
+  frame — frames carry address-bearing objects that differ across replays
+  of the *same* run.
+* **Shared-memory contents**, canonically encoded per object kind via
+  :meth:`repro.memory.base.Memory.keys`.  Write/update counters are
+  deliberately excluded: no operation observes them.
+* **Time, the detector-history position, and the pending crash set** —
+  but only when the state is *time-sensitive* (:func:`time_sensitive`).
+  Once a :class:`~repro.detectors.base.StableHistory` has stabilized and
+  no crash is pending, the detector answers and the failure pattern are
+  invariant under time shifts, so states reached at different clock values
+  may merge.
+
+Soundness caveats (see docs/API.md):
+
+* Protocols must be deterministic in their observations.  Randomized
+  protocols would need their RNG state folded into the process history.
+* Unknown shared-object types cannot be canonically encoded;
+  :func:`fingerprint` raises :class:`FingerprintError` rather than hash a
+  ``repr`` containing a memory address.  The explorer falls back to
+  exploration without merging in that case.
+* Message-passing runs (a non-``None`` network) are not fingerprinted —
+  mailbox delivery times are absolute, so almost no merging would be
+  sound; the explorer disables deduplication instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis.trace_io import _encode_op, encode_value
+from ..detectors.base import (
+    ConstantHistory,
+    History,
+    LocallyStableHistory,
+    ScriptedHistory,
+    StableHistory,
+)
+from ..memory.base import (
+    AtomicRegister,
+    ConsensusObject,
+    PrimitiveSnapshot,
+    SWMRRegister,
+)
+from ..memory.immediate import ImmediateSnapshotObject
+from ..runtime.errors import ReproError
+from ..runtime.simulation import Simulation
+
+
+class FingerprintError(ReproError):
+    """A state holds something the fingerprint cannot canonically encode."""
+
+
+# -- time sensitivity ---------------------------------------------------------
+
+
+def pending_crashes(sim: Simulation) -> List[Tuple[int, int]]:
+    """Crashes of participating processes still in the future, sorted."""
+    t = sim.time
+    return sorted(
+        (pid, when)
+        for pid, when in sim.pattern.crash_times.items()
+        if pid in sim.runtimes and when > t
+    )
+
+
+def history_time_sensitive(history: Optional[History], t: int) -> bool:
+    """Can the history's answers still change at or after time ``t``?
+
+    ``False`` is only returned when provably constant from ``t`` on:
+    no history, a :class:`ConstantHistory`, or a (locally) stable history
+    past its stabilization time (or with no noise at all).  Unknown
+    history classes are conservatively sensitive.
+    """
+    if history is None or isinstance(history, ConstantHistory):
+        return False
+    if isinstance(history, (StableHistory, LocallyStableHistory)):
+        return history._noise is not None and t < history.stabilization_time
+    if isinstance(history, ScriptedHistory):
+        return any(when >= t for (_, when) in history._table)
+    return True
+
+
+def time_sensitive(sim: Simulation) -> bool:
+    """Does the absolute clock value still matter for this state's future?
+
+    True when a network is attached (delivery times are absolute), when a
+    participating process has a crash scheduled in the future, or when the
+    detector history has not provably stabilized yet.  Time-insensitivity
+    is monotone: once a state is insensitive, all its successors are.
+    """
+    if sim.network is not None:
+        return True
+    if pending_crashes(sim):
+        return True
+    return history_time_sensitive(sim.history, sim.time)
+
+
+# -- canonical encoding -------------------------------------------------------
+
+
+def _encode_object(key: Any, obj: Any) -> list:
+    kind = type(obj)
+    if kind is SWMRRegister:
+        return ["swmr", obj.writer, encode_value(obj.value)]
+    if kind is AtomicRegister:
+        return ["reg", encode_value(obj.value)]
+    if kind is PrimitiveSnapshot:
+        return ["snap", [encode_value(c) for c in obj.cells]]
+    if kind is ImmediateSnapshotObject:
+        return [
+            "imm",
+            [encode_value(c) for c in obj.cells],
+            sorted(obj.called),
+        ]
+    if isinstance(obj, ConsensusObject):
+        return [
+            "cons",
+            obj.m,
+            bool(obj.decided),
+            encode_value(obj.decision),
+            sorted(obj.accessors),
+        ]
+    raise FingerprintError(
+        f"cannot canonically encode shared object {obj.describe()} at "
+        f"key {key!r}"
+    )
+
+
+def _canonical_json(value: Any) -> str:
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
+def canonical_state(sim: Simulation) -> Dict[str, Any]:
+    """The state as a JSON-safe structure (the fingerprint's preimage).
+
+    Exposed separately from :func:`fingerprint` so tests can inspect *why*
+    two states hash equal or different.
+    """
+    per_pid: Dict[int, list] = {pid: [] for pid in sim.runtimes}
+    for step in sim.trace.steps:
+        per_pid[step.pid].append(
+            [_encode_op(step.op), encode_value(step.response)]
+        )
+    procs: Dict[str, Any] = {}
+    for pid in sorted(sim.runtimes):
+        runtime = sim.runtimes[pid]
+        procs[str(pid)] = {"st": runtime.status.name, "h": per_pid[pid]}
+    memory = [
+        [encode_value(key), _encode_object(key, sim.memory.get(key))]
+        for key in sorted(
+            sim.memory.keys(), key=lambda k: _canonical_json(encode_value(k))
+        )
+    ]
+    state: Dict[str, Any] = {"p": procs, "m": memory}
+    if time_sensitive(sim):
+        state["t"] = sim.time
+        state["crash"] = [[pid, when] for pid, when in pending_crashes(sim)]
+    return state
+
+
+def fingerprint(sim: Simulation) -> str:
+    """A stable 128-bit hex digest of :func:`canonical_state`.
+
+    Deterministic across replays and across processes (the encoding never
+    touches object identities or hash randomization).
+    """
+    blob = _canonical_json(canonical_state(sim))
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()

@@ -1,0 +1,200 @@
+"""Parallel exploration — sharding the scheduling tree over perf workers.
+
+A model-checking *shard* is an instance plus a schedule prefix: the
+worker replays the prefix and exhaustively explores the subtree below
+it.  Sharding the root branching factor (one shard per length-``d``
+prefix) makes the shards independent, so they fan out over the existing
+:func:`repro.perf.executor.run_trials` process pool and land in the same
+content-addressed :class:`~repro.perf.cache.TrialCache` as bench trials
+(:class:`McShardSpec` carries the instance and config as canonical JSON
+strings precisely so ``spec_key`` hashes them unchanged).
+
+Two deliberate approximations versus a serial run:
+
+* Sibling shards don't share sleep sets or visited-state tables, so a
+  parallel exploration may visit *more* states than the serial one —
+  verdicts and counterexamples are identical, the stats are an upper
+  bound.
+* Each shard re-checks its prefix, so a violation inside a shared prefix
+  is reported by every shard below it; :func:`merge_shard_results`
+  deduplicates counterexamples by (schedule, kind, prop, reason).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import List, Optional, Sequence, Tuple
+
+from ..runtime.errors import ReproError
+from .explorer import CheckResult, ExploreConfig, explore_instance
+from .instances import McInstance, build_simulation, resolve_instance
+
+
+@dataclasses.dataclass(frozen=True)
+class McShardSpec:
+    """One shard of a model-checking run (picklable, cache-keyable).
+
+    The instance and configuration travel as canonical JSON strings so
+    that :func:`repro.perf.spec.spec_key` — which hashes the sorted JSON
+    of ``dataclasses.asdict(spec)`` — keys shards with zero changes to
+    the perf layer.
+    """
+
+    instance_json: str
+    config_json: str
+    prefix: Tuple[int, ...] = ()
+
+    kind = "mc_shard"
+
+    def instance(self) -> McInstance:
+        return McInstance.from_dict(json.loads(self.instance_json))
+
+    def config(self) -> ExploreConfig:
+        return ExploreConfig(**json.loads(self.config_json))
+
+
+def make_shard_spec(
+    instance: McInstance,
+    config: ExploreConfig,
+    prefix: Sequence[int] = (),
+) -> McShardSpec:
+    instance = resolve_instance(instance)
+    return McShardSpec(
+        instance_json=json.dumps(
+            instance.to_dict(), sort_keys=True, separators=(",", ":")
+        ),
+        config_json=json.dumps(
+            config.to_dict(), sort_keys=True, separators=(",", ":")
+        ),
+        prefix=tuple(prefix),
+    )
+
+
+def execute_mc_shard(spec: McShardSpec) -> CheckResult:
+    """Worker entry point (dispatched from ``perf.spec.execute_trial``)."""
+    return explore_instance(
+        spec.instance(), spec.config(), prefix=spec.prefix
+    )
+
+
+def shard_prefixes(
+    instance: McInstance,
+    config: ExploreConfig,
+    depth: int = 1,
+) -> List[Tuple[int, ...]]:
+    """All schedule prefixes of length ``depth`` (shorter when a branch
+    terminates or errors first — those stay as leaf shards)."""
+    instance = resolve_instance(instance)
+    depth = min(depth, config.max_depth)
+    frontier: List[Tuple[int, ...]] = [()]
+    for _ in range(depth):
+        next_frontier: List[Tuple[int, ...]] = []
+        for prefix in frontier:
+            sim = build_simulation(instance)
+            try:
+                sim.run_script(prefix)
+            except ReproError:
+                next_frontier.append(prefix)  # error leaf: keep as shard
+                continue
+            eligible = sim.eligible()
+            if not eligible:
+                next_frontier.append(prefix)  # terminal leaf
+            else:
+                next_frontier.extend(prefix + (pid,) for pid in eligible)
+        frontier = next_frontier
+    return frontier
+
+
+def merge_shard_results(
+    instance: McInstance,
+    config: ExploreConfig,
+    shards: Sequence[Optional[CheckResult]],
+) -> CheckResult:
+    """Combine shard results into one instance-level :class:`CheckResult`."""
+    merged = CheckResult(
+        instance=resolve_instance(instance),
+        config=config,
+        stats=None,  # type: ignore[arg-type]  # filled below
+        reduction=None,  # type: ignore[arg-type]
+        counterexamples=[],
+    )
+    from .explorer import ExploreStats
+    from .reduction import ReductionStats
+
+    stats = ExploreStats()
+    reduction = ReductionStats()
+    seen = set()
+    for shard in shards:
+        if shard is None:
+            continue
+        stats.merge(shard.stats)
+        reduction.merge(shard.reduction)
+        for ce in shard.counterexamples:
+            key = (ce.schedule, ce.kind, ce.prop, ce.reason)
+            if key in seen:
+                continue  # same prefix violation, reported by a sibling
+            seen.add(key)
+            merged.counterexamples.append(ce)
+    merged.stats = stats
+    merged.reduction = reduction
+    return merged
+
+
+class ParallelExplorer:
+    """Shard one instance's root branching across perf workers.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (``None`` lets ``run_trials`` pick).
+    shard_depth:
+        Prefix length to shard on; depth 1 gives at most ``n`` shards,
+        depth 2 up to ``n²`` — raise it when cores outnumber processes.
+    cache:
+        Optional :class:`~repro.perf.cache.TrialCache`; shards of an
+        unchanged instance/config are content-addressed hits.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, shard_depth: int = 1,
+                 cache=None):
+        self.jobs = jobs
+        self.shard_depth = shard_depth
+        self.cache = cache
+
+    def explore(
+        self,
+        instance: McInstance,
+        config: Optional[ExploreConfig] = None,
+    ) -> CheckResult:
+        from ..perf.executor import run_trials
+
+        config = config if config is not None else ExploreConfig()
+        instance = resolve_instance(instance)
+        prefixes = shard_prefixes(instance, config, self.shard_depth)
+        specs = [
+            make_shard_spec(instance, config, prefix) for prefix in prefixes
+        ]
+        results = run_trials(specs, jobs=self.jobs, cache=self.cache)
+        return merge_shard_results(instance, config, results)
+
+
+def run_check_shards(
+    instances: Sequence[McInstance],
+    config: ExploreConfig,
+    jobs: Optional[int] = None,
+    cache=None,
+) -> List[CheckResult]:
+    """The ``check(jobs > 1)`` backend.
+
+    A single instance is sharded at its root branching; a crash sweep
+    already has natural parallelism, so each swept instance becomes one
+    shard.
+    """
+    if len(instances) == 1:
+        explorer = ParallelExplorer(jobs=jobs, cache=cache)
+        return [explorer.explore(instances[0], config)]
+    from ..perf.executor import run_trials
+
+    specs = [make_shard_spec(instance, config) for instance in instances]
+    return run_trials(specs, jobs=jobs, cache=cache)

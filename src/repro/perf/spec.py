@@ -118,4 +118,8 @@ def execute_trial(spec: TrialSpec):
             stabilization_time=spec.stabilization_time,
             max_steps=spec.max_steps,
         )
+    from ..mc.parallel import McShardSpec, execute_mc_shard
+
+    if isinstance(spec, McShardSpec):
+        return execute_mc_shard(spec)
     raise TypeError(f"not a trial spec: {spec!r}")

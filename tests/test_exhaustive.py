@@ -1,54 +1,47 @@
 """Exhaustive model checking on small instances.
 
 Random and property-based schedules sample the interleaving space; these
-tests *enumerate* it.  For two-process protocols the full schedule tree is
-small enough to check every interleaving; crash times are additionally
-swept exhaustively for three processes.
+tests *enumerate* it through :class:`repro.mc.Explorer`.  For two-process
+protocols the full schedule tree is small enough to check every
+interleaving (``dedup=False, por=False`` keeps the historical complete-
+schedule counts as anchors); crash times are additionally swept
+exhaustively for three processes.
 """
-
-from typing import Callable, List
 
 import pytest
 
 from repro.core import ConvergeInstance, make_upsilon_set_agreement
 from repro.detectors import ConstantHistory
 from repro.failures import FailurePattern
+from repro.mc import CallbackProperty, ExploreConfig, Explorer
 from repro.memory import check_immediacy, make_immediate_api
 from repro.runtime import Decide, RoundRobinScheduler, Simulation, System
 from repro.tasks import SetAgreementSpec
 
+#: Full-tree enumeration: no pruning of any kind, so the complete-schedule
+#: count is exactly the number of interleavings.
+_FULL_TREE = dict(dedup=False, por=False, first_violation=False)
 
-def explore_all_schedules(
-    make_sim: Callable[[], Simulation],
-    check: Callable[[Simulation], None],
-    max_depth: int = 64,
-) -> int:
-    """DFS over every scheduling choice; re-executes runs from scratch.
 
-    For each maximal schedule (no process left to run) the ``check``
-    callback is invoked with the finished simulation.  Returns the number
-    of complete schedules explored.
+def explore_all_schedules(make_sim, check, max_depth=64):
+    """Enumerate every maximal schedule, calling ``check`` on each run.
+
+    Returns the number of complete schedules.  Depth exhaustion fails the
+    test — these instances are wait-free, so every branch must terminate
+    within the bound.
     """
-    complete = 0
-    stack: List[List[int]] = [[]]
-    while stack:
-        prefix = stack.pop()
-        sim = make_sim()
-        for pid in prefix:
-            sim.step(pid)
-        eligible = sim.eligible()
-        if not eligible:
-            complete += 1
-            check(sim)
-            continue
-        if len(prefix) >= max_depth:
-            raise AssertionError(
-                f"schedule exceeded depth {max_depth}: protocol not "
-                "wait-free on this instance?"
-            )
-        for pid in eligible:
-            stack.append(prefix + [pid])
-    return complete
+    explorer = Explorer(
+        make_sim,
+        [CallbackProperty(check)],
+        ExploreConfig(max_depth=max_depth, **_FULL_TREE),
+    )
+    result = explorer.explore()
+    assert result.stats.depth_exhausted == 0, (
+        f"schedule exceeded depth {max_depth}: protocol not wait-free "
+        "on this instance?"
+    )
+    assert result.ok, result.violations[0]
+    return result.stats.complete_schedules
 
 
 class TestConvergeExhaustive:
@@ -82,6 +75,32 @@ class TestConvergeExhaustive:
         count = explore_all_schedules(make_sim, check)
         assert count == 252
 
+    def test_dedup_explores_fewer_states_same_verdict(self):
+        """Fingerprint sharing covers the same tree with far fewer runs."""
+        system = System(2)
+        inputs = {0: "a", 1: "b"}
+
+        def protocol(ctx, value):
+            instance = ConvergeInstance("x", 1, system.n_processes)
+            result = yield from instance.converge(ctx, value)
+            yield Decide(result)
+
+        def check(sim):
+            decisions = sim.decisions()
+            picks = {p for (p, _) in decisions.values()}
+            if any(c for (_, c) in decisions.values()):
+                assert len(picks) <= 1
+
+        def make_sim():
+            return Simulation(system, protocol, inputs=inputs)
+
+        full = Explorer(make_sim, [CallbackProperty(check)],
+                        ExploreConfig(max_depth=64, **_FULL_TREE)).explore()
+        merged = Explorer(make_sim, [CallbackProperty(check)],
+                          ExploreConfig(max_depth=64)).explore()
+        assert full.ok and merged.ok
+        assert merged.stats.states_visited < full.stats.states_visited
+
 
 class TestImmediateSnapshotExhaustive:
     def test_all_two_process_interleavings(self):
@@ -109,7 +128,6 @@ class TestCrashTimeSweep:
 
     def test_fig1_single_crash_sweep(self):
         system = System(3)
-        task = SetAgreementSpec(system.n)
         inputs = {p: f"v{p}" for p in system.pids}
         checked = 0
         for victim in system.pids:

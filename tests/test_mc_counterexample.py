@@ -1,0 +1,127 @@
+"""Counterexample bundles: round-trip, deterministic replay, shrinking."""
+
+import io
+
+import pytest
+
+from repro.mc import (
+    Counterexample,
+    ExploreConfig,
+    McInstance,
+    build_simulation,
+    explore_instance,
+    resolve_instance,
+)
+from repro.mc.explorer import RawViolation
+from repro.runtime.errors import ProtocolError
+
+
+def _roundtrip(ce: Counterexample) -> Counterexample:
+    buffer = io.StringIO()
+    ce.save(buffer)
+    buffer.seek(0)
+    return Counterexample.load(buffer)
+
+
+def _error_counterexample(instance: McInstance) -> Counterexample:
+    """Manufacture an "error"-kind violation: step a crashed process.
+
+    The explorer never schedules crashed pids (``eligible`` filters
+    them), so engine-guard errors are produced by an explicit script.
+    """
+    instance = resolve_instance(instance)
+    sim = build_simulation(instance)
+    sim.step(1)
+    sim.step(1)
+    with pytest.raises(ProtocolError) as excinfo:
+        sim.step(0)  # pid 0 crashed at t=2
+    return Counterexample.from_violation(
+        instance,
+        RawViolation("error", None, str(excinfo.value), (1, 1, 0), 3),
+    )
+
+
+class TestErrorKindAcrossFamilies:
+    """Same step, same ProtocolError reason, for all three paper protocols."""
+
+    @pytest.mark.parametrize("instance", [
+        McInstance("fig1", n_processes=2, f=1, crashes=((0, 2),)),
+        McInstance("fig2", n_processes=3, f=1, crashes=((0, 2),)),
+        McInstance("extraction", n_processes=2, f=1, crashes=((0, 2),)),
+    ], ids=["fig1", "fig2", "extraction"])
+    def test_roundtrip_replays_identical_violation(self, instance):
+        ce = _error_counterexample(instance)
+        assert ce.kind == "error"
+        assert "crashed at t=2" in ce.reason
+        assert ce.verify()
+        loaded = _roundtrip(ce)
+        assert loaded.to_dict() == ce.to_dict()
+        outcome = loaded.replay()
+        assert outcome.kind == "error"
+        assert outcome.reason == ce.reason  # same ProtocolError message
+        assert outcome.step == ce.step      # same failing step
+        assert loaded.verify()
+
+
+class TestPropertyKind:
+    def test_explorer_counterexample_roundtrips_and_replays(self):
+        result = explore_instance(McInstance("naive-converge", n_processes=2),
+                                  ExploreConfig(max_depth=20))
+        assert not result.ok
+        ce = result.counterexamples[0]
+        loaded = _roundtrip(ce)
+        assert loaded.to_dict() == ce.to_dict()
+        outcome = loaded.replay()
+        assert (outcome.kind, outcome.prop, outcome.reason, outcome.step) \
+            == (ce.kind, ce.prop, ce.reason, ce.step)
+        assert loaded.verify()
+
+    def test_trace_captured_and_roundtripped(self):
+        result = explore_instance(McInstance("naive-converge", n_processes=2),
+                                  ExploreConfig(max_depth=20))
+        ce = result.counterexamples[0]
+        assert ce.trace is not None
+        loaded = _roundtrip(ce)
+        # verify() compares the replayed trace byte-for-byte against the
+        # deserialized one — ⊥ responses and frozensets included.
+        assert loaded.verify()
+
+    def test_file_roundtrip(self, tmp_path):
+        result = explore_instance(McInstance("naive-converge", n_processes=2),
+                                  ExploreConfig(max_depth=20))
+        path = str(tmp_path / "ce.json")
+        result.counterexamples[0].save(path)
+        assert Counterexample.load(path).verify()
+
+
+class TestShrinking:
+    def test_padded_property_schedule_shrinks(self):
+        instance = resolve_instance(McInstance("naive-converge",
+                                               n_processes=2))
+        # The minimal violation with padding: p1's first update is dead
+        # weight — p0 solo-commits, then p1 re-runs from scratch.
+        padded = (1, 0, 0, 0, 1, 1, 1)
+        ce = Counterexample.from_schedule(instance, padded)
+        shrunk = ce.shrink()
+        assert len(shrunk.schedule) < len(padded)
+        assert shrunk.prop == ce.prop
+        assert shrunk.verify()
+
+    def test_already_minimal_schedule_unchanged(self):
+        result = explore_instance(McInstance("naive-converge", n_processes=2),
+                                  ExploreConfig(max_depth=20))
+        ce = result.counterexamples[0]  # explorer already shrinks
+        assert ce.shrink().schedule == ce.schedule
+
+    def test_error_kind_shrink_preserves_reason(self):
+        ce = _error_counterexample(
+            McInstance("fig1", n_processes=2, f=1, crashes=((0, 2),)))
+        shrunk = ce.shrink()
+        # The reason names t=2, so both filler steps are load-bearing:
+        assert shrunk.schedule == ce.schedule
+        assert shrunk.verify()
+
+    def test_clean_schedule_is_not_a_counterexample(self):
+        instance = McInstance("converge", n_processes=2)
+        with pytest.raises(ValueError, match="replays cleanly"):
+            Counterexample.from_schedule(instance, (0, 1, 0, 1))

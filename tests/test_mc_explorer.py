@@ -1,0 +1,138 @@
+"""The bounded explorer: reduction soundness, ablation bugs, sweeps."""
+
+import pytest
+
+from repro.mc import (
+    CrashSweep,
+    ExploreConfig,
+    McInstance,
+    check,
+    explore_instance,
+)
+
+
+class TestPartialOrderReduction:
+    def test_por_explores_strictly_fewer_states_same_verdict(self):
+        """The acceptance metric: POR on < POR off on Fig. 1, n+1 = 2."""
+        instance = McInstance("fig1", n_processes=2)
+        on = explore_instance(instance, ExploreConfig(max_depth=14, por=True))
+        off = explore_instance(instance, ExploreConfig(max_depth=14, por=False))
+        assert on.ok and off.ok
+        assert on.stats.states_visited < off.stats.states_visited
+        assert on.reduction.ratio < 1.0
+        assert on.reduction.slept > 0
+        assert off.reduction.ratio == 1.0
+
+    @pytest.mark.parametrize("por", [True, False])
+    def test_planted_bug_found_regardless_of_por(self, por):
+        """POR must not prune the ablation's C-Agreement violation."""
+        instance = McInstance("naive-converge", n_processes=2)
+        result = explore_instance(instance, ExploreConfig(max_depth=20,
+                                                          por=por))
+        assert not result.ok
+        ce = result.counterexamples[0]
+        assert ce.prop == "c-agreement(k=1)"
+        assert ce.verify()
+
+    @pytest.mark.parametrize("por", [True, False])
+    def test_sound_converge_passes_regardless_of_por(self, por):
+        instance = McInstance("converge", n_processes=2)
+        result = explore_instance(instance, ExploreConfig(max_depth=20,
+                                                          por=por))
+        assert result.ok
+        assert result.stats.complete_schedules > 0
+
+    @pytest.mark.parametrize("family", ["gladiators-only",
+                                        "no-stability-flag"])
+    @pytest.mark.parametrize("por", [True, False])
+    def test_livelock_ablations_caught(self, family, por):
+        """Depth exhaustion + require_progress flags the livelocks."""
+        result = explore_instance(
+            McInstance(family, n_processes=2),
+            ExploreConfig(max_depth=16, require_progress=True, por=por),
+        )
+        assert not result.ok
+        assert any(ce.kind == "no-termination"
+                   for ce in result.counterexamples)
+
+    def test_wait_free_protocol_survives_require_progress(self):
+        """converge terminates on every branch — no spurious violations."""
+        result = explore_instance(
+            McInstance("converge", n_processes=2),
+            ExploreConfig(max_depth=24, require_progress=True),
+        )
+        assert result.ok
+        assert result.stats.depth_exhausted == 0
+
+
+class TestDeduplication:
+    def test_dedup_prunes_converging_branches(self):
+        instance = McInstance("fig1", n_processes=2)
+        merged = explore_instance(
+            instance, ExploreConfig(max_depth=14, por=False, dedup=True))
+        full = explore_instance(
+            instance, ExploreConfig(max_depth=14, por=False, dedup=False))
+        assert merged.ok and full.ok
+        assert merged.stats.pruned_visited > 0
+        assert merged.stats.states_visited < full.stats.states_visited
+
+
+class TestStrategies:
+    def test_bfs_finds_the_planted_bug(self):
+        result = explore_instance(
+            McInstance("naive-converge", n_processes=2),
+            ExploreConfig(max_depth=20, strategy="bfs"),
+        )
+        assert not result.ok
+        ce = result.counterexamples[0]
+        assert ce.prop == "c-agreement(k=1)"
+        assert ce.verify()
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            explore_instance(McInstance("converge", n_processes=2),
+                             ExploreConfig(strategy="ids"))
+
+    def test_max_states_truncates(self):
+        result = explore_instance(
+            McInstance("fig1", n_processes=2),
+            ExploreConfig(max_depth=14, max_states=50),
+        )
+        assert result.stats.truncated
+        assert result.stats.states_visited <= 51
+
+
+class TestCrashSweep:
+    def test_one_check_covers_schedules_and_crash_patterns(self):
+        report = check(
+            McInstance("fig1", n_processes=2, f=1),
+            ExploreConfig(max_depth=12),
+            sweep=CrashSweep(max_crashes=1, crash_times=(0, 2)),
+        )
+        # base + 2 victims x 2 crash times
+        assert report.instances_checked == 5
+        assert report.ok
+        crashes = {result.instance.crashes for result in report.results}
+        assert () in crashes and len(crashes) == 5
+
+    def test_report_metrics_registry(self):
+        from repro.obs import MetricsRegistry
+
+        report = check(McInstance("converge", n_processes=2),
+                       ExploreConfig(max_depth=20))
+        registry = MetricsRegistry()
+        report.record_metrics(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["mc_states"]["visited"] > 0
+        assert "mc_reduction_ratio" in snapshot["gauges"]
+
+
+class TestExtraction:
+    def test_bounded_horizon_extraction_holds_range_condition(self):
+        result = explore_instance(
+            McInstance("extraction", n_processes=2, f=1),
+            ExploreConfig(max_depth=8),
+        )
+        assert result.ok
+        assert result.stats.depth_exhausted > 0  # never terminates
+        assert result.stats.complete_schedules == 0

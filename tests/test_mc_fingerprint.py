@@ -1,0 +1,92 @@
+"""State fingerprinting: determinism, merging, and time sensitivity."""
+
+import pytest
+
+from repro.mc import McInstance, build_simulation, resolve_instance
+from repro.mc.fingerprint import (
+    FingerprintError,
+    _encode_object,
+    canonical_state,
+    fingerprint,
+    pending_crashes,
+    time_sensitive,
+)
+
+
+def _sim(instance):
+    return build_simulation(resolve_instance(instance))
+
+
+class TestDeterminism:
+    def test_same_schedule_same_fingerprint(self):
+        instance = McInstance("converge", n_processes=2)
+        a, b = _sim(instance), _sim(instance)
+        for sim in (a, b):
+            sim.run_script([0, 1, 0, 1])
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_fingerprint_survives_process_boundary(self):
+        """The digest must be stable across interpreter hash seeds; at
+        minimum it cannot depend on object identity within one process."""
+        instance = McInstance("fig1", n_processes=2)
+        digests = set()
+        for _ in range(3):
+            sim = _sim(instance)
+            sim.run_script([0, 1])
+            digests.add(fingerprint(sim))
+        assert len(digests) == 1
+
+    def test_different_states_differ(self):
+        instance = McInstance("converge", n_processes=2)
+        a, b = _sim(instance), _sim(instance)
+        a.run_script([0, 1])
+        b.run_script([0, 0])
+        assert fingerprint(a) != fingerprint(b)
+
+
+class TestMerging:
+    def test_commuting_steps_merge(self):
+        """Two orders of independent first steps reach the same state."""
+        instance = McInstance("converge", n_processes=2)
+        a, b = _sim(instance), _sim(instance)
+        a.run_script([0, 1])  # p0's update, then p1's update
+        b.run_script([1, 0])  # the opposite order
+        assert canonical_state(a) == canonical_state(b)
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestTimeSensitivity:
+    def test_insensitive_without_crashes_or_noise(self):
+        sim = _sim(McInstance("fig1", n_processes=2))
+        assert not time_sensitive(sim)
+        assert "t" not in canonical_state(sim)
+
+    def test_pending_crash_is_sensitive_until_it_fires(self):
+        instance = McInstance("fig1", n_processes=2, f=1, crashes=((0, 2),))
+        sim = _sim(instance)
+        assert pending_crashes(sim) == [(0, 2)]
+        assert time_sensitive(sim)
+        assert canonical_state(sim)["t"] == 0
+        sim.run_script([1, 1])  # t reaches 2: the crash is due, not pending
+        assert pending_crashes(sim) == []
+        assert not time_sensitive(sim)
+
+    def test_unstabilized_history_is_sensitive(self):
+        instance = McInstance("fig1", n_processes=2, stabilization_time=6,
+                              noise_seed=1)
+        sim = _sim(instance)
+        assert time_sensitive(sim)
+        for _ in range(3):
+            sim.run_script([0, 1])
+        assert sim.time >= 6
+        assert not time_sensitive(sim)
+
+
+class TestEncoding:
+    def test_unknown_object_type_raises(self):
+        class Exotic:
+            def describe(self):
+                return "exotic"
+
+        with pytest.raises(FingerprintError, match="exotic"):
+            _encode_object("key", Exotic())

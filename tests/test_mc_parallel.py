@@ -1,0 +1,107 @@
+"""Parallel exploration: sharding, perf-pool dispatch, caching."""
+
+from repro.mc import (
+    CrashSweep,
+    ExploreConfig,
+    McInstance,
+    ParallelExplorer,
+    check,
+    execute_mc_shard,
+    explore_instance,
+    make_shard_spec,
+    shard_prefixes,
+)
+from repro.perf import TrialCache, execute_trial, spec_key
+
+
+class TestShardSpecs:
+    def test_prefixes_cover_root_branching(self):
+        prefixes = shard_prefixes(McInstance("fig1", n_processes=2),
+                                  ExploreConfig(max_depth=14), depth=1)
+        assert prefixes == [(0,), (1,)]
+
+    def test_depth_two_prefixes(self):
+        prefixes = shard_prefixes(McInstance("fig1", n_processes=2),
+                                  ExploreConfig(max_depth=14), depth=2)
+        assert sorted(prefixes) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_spec_key_is_stable_and_distinct(self):
+        config = ExploreConfig(max_depth=14)
+        a = make_shard_spec(McInstance("fig1", n_processes=2), config, (0,))
+        b = make_shard_spec(McInstance("fig1", n_processes=2), config, (0,))
+        c = make_shard_spec(McInstance("fig1", n_processes=2), config, (1,))
+        assert spec_key(a) == spec_key(b)
+        assert spec_key(a) != spec_key(c)
+
+    def test_execute_trial_dispatches_mc_shards(self):
+        spec = make_shard_spec(McInstance("converge", n_processes=2),
+                               ExploreConfig(max_depth=20), ())
+        result = execute_trial(spec)
+        assert result.ok
+        assert result.stats.complete_schedules > 0
+
+
+class TestParallelParity:
+    def test_same_verdict_and_violation_as_serial(self):
+        instance = McInstance("naive-converge", n_processes=2)
+        config = ExploreConfig(max_depth=20)
+        serial = explore_instance(instance, config)
+        parallel = ParallelExplorer(jobs=2).explore(instance, config)
+        assert serial.ok == parallel.ok is False
+        # Each shard reports its own first violation; the serial one must
+        # be among them (shard (0,) finds exactly the serial witness).
+        serial_keys = {(ce.schedule, ce.prop) for ce in
+                       serial.counterexamples}
+        parallel_keys = {(ce.schedule, ce.prop) for ce in
+                         parallel.counterexamples}
+        assert serial_keys <= parallel_keys
+        assert all(ce.verify() for ce in parallel.counterexamples)
+
+    def test_clean_instance_parity(self):
+        instance = McInstance("converge", n_processes=2)
+        config = ExploreConfig(max_depth=24)
+        serial = explore_instance(instance, config)
+        parallel = ParallelExplorer(jobs=2).explore(instance, config)
+        assert serial.ok and parallel.ok
+        # Shards cover the same tree; without cross-shard sleep sets the
+        # parallel state count is an upper bound on the serial one.
+        assert parallel.stats.states_visited >= serial.stats.states_visited
+        assert parallel.stats.complete_schedules >= \
+            serial.stats.complete_schedules
+
+    def test_swept_check_with_jobs(self):
+        report = check(
+            McInstance("fig1", n_processes=2, f=1),
+            ExploreConfig(max_depth=12),
+            sweep=CrashSweep(max_crashes=1, crash_times=(0,)),
+            jobs=2,
+        )
+        assert report.instances_checked == 3
+        assert report.ok
+
+
+class TestCaching:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        instance = McInstance("converge", n_processes=2)
+        config = ExploreConfig(max_depth=20)
+        cache = TrialCache(tmp_path)
+        first = ParallelExplorer(jobs=1, cache=cache).explore(instance,
+                                                              config)
+        assert cache.misses > 0 and cache.hits == 0
+        cache_again = TrialCache(tmp_path)
+        second = ParallelExplorer(jobs=1, cache=cache_again).explore(
+            instance, config)
+        assert cache_again.hits > 0 and cache_again.misses == 0
+        assert first.stats.states_visited == second.stats.states_visited
+
+    def test_cached_shard_result_replays(self, tmp_path):
+        instance = McInstance("naive-converge", n_processes=2)
+        config = ExploreConfig(max_depth=20)
+        cache = TrialCache(tmp_path)
+        ParallelExplorer(jobs=1, cache=cache).explore(instance, config)
+        reloaded = ParallelExplorer(jobs=1,
+                                    cache=TrialCache(tmp_path)).explore(
+            instance, config)
+        assert not reloaded.ok
+        # Counterexamples that crossed the pickle boundary still replay.
+        assert all(ce.verify() for ce in reloaded.counterexamples)

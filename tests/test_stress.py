@@ -176,3 +176,61 @@ def failed_schedule_ok(make_sim, schedule, predicate) -> bool:
     for pid in schedule:
         sim.step(pid)
     return predicate(sim)
+
+
+class TestMinimizerEdgeCases:
+    """The documented invariants of :func:`minimize_schedule`."""
+
+    def _nop_setup(self):
+        system = System(2)
+
+        def protocol(ctx, value):
+            from repro.runtime import Nop
+
+            while True:
+                yield Nop()
+
+        def make_sim():
+            return Simulation(system, protocol,
+                              inputs={p: None for p in system.pids})
+
+        return make_sim
+
+    def test_empty_schedule_reproducing(self):
+        make_sim = self._nop_setup()
+        assert minimize_schedule(make_sim, [], lambda sim: True) == []
+
+    def test_empty_schedule_not_reproducing(self):
+        make_sim = self._nop_setup()
+        with pytest.raises(ValueError, match="does not reproduce"):
+            minimize_schedule(make_sim, [], lambda sim: False)
+
+    def test_single_step_schedule(self):
+        make_sim = self._nop_setup()
+
+        def p0_stepped(sim):
+            return sim.trace.step_counts().get(0, 0) >= 1
+
+        assert minimize_schedule(make_sim, [0], p0_stepped) == [0]
+
+    def test_already_minimal_schedule_unchanged(self):
+        make_sim = self._nop_setup()
+
+        def both_stepped(sim):
+            counts = sim.trace.step_counts()
+            return counts.get(0, 0) >= 1 and counts.get(1, 0) >= 1
+
+        assert minimize_schedule(make_sim, [1, 0], both_stepped) == [1, 0]
+
+    def test_throwing_predicate_counts_as_not_reproducing(self):
+        """A predicate raising on shorter candidates must not leak out."""
+        make_sim = self._nop_setup()
+
+        def third_step_by_p0(sim):
+            return sim.trace.steps[2].pid == 0  # IndexError when < 3 steps
+
+        minimal = minimize_schedule(
+            make_sim, [1, 1, 0, 1, 0, 0, 1], third_step_by_p0
+        )
+        # 1-minimal: exactly three steps survive, the third by p0.
+        assert len(minimal) == 3 and minimal[2] == 0
