@@ -24,10 +24,14 @@ shared-memory system:
 * :mod:`repro.obs` — run-level observability: the engine's event bus,
   metrics registry, run profiler and JSONL/report exporters;
 * :mod:`repro.perf` — the parallel sweep executor (process-pool fan-out
-  over picklable trial specs) and the disk-backed trial result cache;
+  over picklable trial specs, resilient: watchdog, retries, quarantine,
+  checkpoint journal) and the disk-backed trial result cache;
 * :mod:`repro.mc` — systematic model checking: bounded exhaustive
   exploration with state fingerprinting, sleep-set partial-order
-  reduction, crash-pattern sweeping, and replayable counterexamples.
+  reduction, crash-pattern sweeping, and replayable counterexamples;
+* :mod:`repro.chaos` — spec-conformant fault injection: lying-prefix
+  detector histories, a faulty network under the ABD safety envelope,
+  and a fairness-bounded chaos scheduler.
 
 Quickstart::
 
@@ -80,6 +84,14 @@ from .core import (
     stable_emulated_output,
     with_fd_transform,
 )
+from .chaos import (
+    ChaosConfig,
+    ChaosTrialSpec,
+    FaultyNetwork,
+    LyingHistory,
+    run_chaos_trial,
+    spec_from_chaos,
+)
 from .messaging import AbdRegisters, Network, abd_snapshot_api
 from .detectors import (
     AntiOmegaSpec,
@@ -115,7 +127,9 @@ from .obs import (
     profile_engine,
 )
 from .perf import (
+    CheckpointJournal,
     ExtractionTrialSpec,
+    QuarantineReport,
     SetAgreementTrialSpec,
     TrialCache,
     execute_trial,
@@ -125,6 +139,7 @@ from .perf import (
 from .runtime import (
     BOT,
     NON_PARTICIPANT,
+    NonTerminationError,
     ObservedScheduler,
     RandomScheduler,
     RoundRobinScheduler,
@@ -140,7 +155,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AntiOmegaSpec",
     "BOT",
+    "ChaosConfig",
+    "ChaosTrialSpec",
     "CheckReport",
+    "CheckpointJournal",
     "ConsensusSpec",
     "ConstantHistory",
     "Counterexample",
@@ -159,16 +177,20 @@ __all__ = [
     "EventBus",
     "EventuallyPerfectSpec",
     "FailurePattern",
+    "FaultyNetwork",
     "JsonlEventSink",
+    "LyingHistory",
     "Memory",
     "MetricsCollector",
     "MetricsRegistry",
     "Network",
     "NON_PARTICIPANT",
+    "NonTerminationError",
     "ObservedScheduler",
     "OmegaKSpec",
     "OmegaSpec",
     "PhiMap",
+    "QuarantineReport",
     "RandomScheduler",
     "RegisterSnapshotAPI",
     "RoundRobinScheduler",
@@ -205,8 +227,10 @@ __all__ = [
     "run_latency_comparison",
     "run_protocol",
     "run_set_agreement_trial",
+    "run_chaos_trial",
     "run_theorem1_adversary",
     "run_trials",
+    "spec_from_chaos",
     "spec_key",
     "run_theorem5_adversary",
     "stable_emulated_output",

@@ -29,8 +29,10 @@ from .stress import (
 )
 from .sweeps import (
     EmptySweepError,
+    chaos_grid,
     extraction_grid,
     set_agreement_grid,
+    sweep_chaos,
     sweep_extraction,
     sweep_set_agreement,
     to_csv,
@@ -60,6 +62,7 @@ __all__ = [
     "SnapshotRecorder",
     "SnapshotSequentialSpec",
     "Summary",
+    "chaos_grid",
     "describe_step",
     "dump_jsonl",
     "extraction_grid",
@@ -76,6 +79,7 @@ __all__ = [
     "run_set_agreement_trial",
     "set_agreement_grid",
     "summarize",
+    "sweep_chaos",
     "sweep_extraction",
     "sweep_set_agreement",
     "to_csv",

@@ -5,7 +5,8 @@ full grids behind EXPERIMENTS.md and dump flat CSVs for external
 analysis — see ``benchmarks/report.py`` for the Markdown rendering.
 
 Sweeps are two-phase: a *grid builder* (:func:`set_agreement_grid`,
-:func:`extraction_grid`) turns parameter sequences into picklable
+:func:`extraction_grid`, :func:`chaos_grid`) turns parameter sequences
+into picklable
 :mod:`repro.perf` trial specs — raising :class:`EmptySweepError` early
 when a parameter filters the grid down to nothing — and the
 :func:`repro.perf.executor.run_trials` executor runs them, serially or
@@ -29,6 +30,8 @@ from typing import (
     Union,
 )
 
+from ..chaos.config import ChaosConfig
+from ..chaos.trial import PROTOCOLS, ChaosTrialResult, ChaosTrialSpec
 from ..detectors.base import DetectorSpec
 from ..failures.environment import Environment
 from ..perf.cache import TrialCache
@@ -137,6 +140,77 @@ def extraction_grid(
     ]
 
 
+def chaos_grid(
+    protocols: Sequence[str],
+    system_sizes: Sequence[int],
+    seeds: Sequence[int],
+    lying_prefixes: Sequence[int] = (0,),
+    drop_rates: Sequence[float] = (0.0,),
+    duplicate_rate: float = 0.0,
+    reorder_rate: float = 0.0,
+    reorder_jitter: int = 4,
+    burst_length: int = 0,
+    starvation_window: int = 0,
+    fairness_bound: int = 64,
+    f: Optional[int] = None,
+    detector: str = "omega",
+    max_steps: int = 400_000,
+) -> List[ChaosTrialSpec]:
+    """Specs for a chaos grid: protocols × sizes × lies × drops × seeds.
+
+    ``protocols`` are :data:`repro.chaos.trial.PROTOCOLS` names; the
+    lying-prefix and drop-rate axes are swept, the remaining chaos knobs
+    are held constant across the grid.  Each spec's chaos seed is its
+    trial seed, so re-running the grid reproduces the same faults.
+    """
+    _require_non_empty("protocols", protocols)
+    _require_non_empty("system_sizes", system_sizes)
+    _require_non_empty("seeds", seeds)
+    _require_non_empty("lying_prefixes", lying_prefixes)
+    _require_non_empty("drop_rates", drop_rates)
+    unknown = sorted(set(protocols) - set(PROTOCOLS))
+    if unknown:
+        raise EmptySweepError(
+            "protocols",
+            f"unknown protocol names {unknown}; choose from {list(PROTOCOLS)}",
+        )
+    specs: List[ChaosTrialSpec] = []
+    for protocol in protocols:
+        for n_procs in system_sizes:
+            for lying in lying_prefixes:
+                for drop in drop_rates:
+                    for seed in seeds:
+                        # Validate the knob combination once per point.
+                        ChaosConfig(
+                            seed=seed,
+                            lying_prefix=lying,
+                            drop_rate=drop,
+                            duplicate_rate=duplicate_rate,
+                            reorder_rate=reorder_rate,
+                            reorder_jitter=reorder_jitter,
+                            burst_length=burst_length,
+                            starvation_window=starvation_window,
+                            fairness_bound=fairness_bound,
+                        )
+                        specs.append(ChaosTrialSpec(
+                            protocol=protocol,
+                            n_processes=n_procs,
+                            seed=seed,
+                            f=f,
+                            detector=detector,
+                            lying_prefix=lying,
+                            drop_rate=drop,
+                            duplicate_rate=duplicate_rate,
+                            reorder_rate=reorder_rate,
+                            reorder_jitter=reorder_jitter,
+                            burst_length=burst_length,
+                            starvation_window=starvation_window,
+                            fairness_bound=fairness_bound,
+                            max_steps=max_steps,
+                        ))
+    return specs
+
+
 # -- sweep drivers ---------------------------------------------------------
 
 
@@ -214,6 +288,35 @@ def sweep_extraction(
                     max_steps=max_steps,
                 ))
     return results
+
+
+def sweep_chaos(
+    protocols: Sequence[str],
+    system_sizes: Sequence[int],
+    seeds: Sequence[int],
+    lying_prefixes: Sequence[int] = (0,),
+    drop_rates: Sequence[float] = (0.0,),
+    jobs: Optional[int] = 1,
+    cache: Optional[TrialCache] = None,
+    **grid_kwargs,
+) -> List[Optional[ChaosTrialResult]]:
+    """Grid of chaos trials (see :func:`chaos_grid` for the axes).
+
+    Extra keyword arguments — including the resilience knobs ``retries``,
+    ``trial_timeout``, ``journal``, ``quarantine``, ``backoff`` and
+    ``bus`` — are split between the grid builder and
+    :func:`~repro.perf.executor.run_trials`.  Quarantined trials leave
+    ``None`` in their result slots.
+    """
+    run_keys = ("retries", "trial_timeout", "journal", "quarantine",
+                "backoff", "bus")
+    run_kwargs = {k: grid_kwargs.pop(k) for k in run_keys if k in grid_kwargs}
+    specs = chaos_grid(
+        protocols, system_sizes, seeds,
+        lying_prefixes=lying_prefixes, drop_rates=drop_rates,
+        **grid_kwargs,
+    )
+    return run_trials(specs, jobs=jobs, cache=cache, **run_kwargs)
 
 
 # -- CSV export ------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Chaos layer: spec-conformant fault injection for every substrate.
+
+The paper's guarantees are *eventual* (Sect. 3.2, run requirement 5), so
+a finite prefix of arbitrary detector output, message faults within the
+ABD safety envelope, and bounded scheduler unfairness are all inside the
+model — a property violation under chaos is a real bug.  Three injectors,
+one knob set:
+
+* :mod:`repro.chaos.detectors` — :class:`LyingHistory`, worst-case-biased
+  detector prefixes, composable over Υ/Υf/Ω/Ωk via
+  ``DetectorSpec.sample_chaotic_history``;
+* :mod:`repro.chaos.network` — :class:`FaultyNetwork`, seeded
+  drop/duplicate/reorder with an explicit ABD safety envelope;
+* :mod:`repro.chaos.scheduler` — :class:`ChaosScheduler`, adversarial
+  bursts and starvation windows under a hard fairness bound.
+
+:mod:`repro.chaos.trial` packages all three into picklable
+:class:`ChaosTrialSpec` trials that run on the (resilient)
+:func:`repro.perf.executor.run_trials` harness; ``python -m repro sweep
+chaos`` is the CLI front end.
+"""
+
+from .config import ChaosConfig
+from .detectors import LyingHistory, chaotic_history, worst_lie
+from .network import FaultyNetwork, quorum_critical
+from .scheduler import ChaosScheduler
+from .trial import (
+    PROTOCOLS,
+    ChaosTrialResult,
+    ChaosTrialSpec,
+    run_chaos_trial,
+    spec_from_chaos,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosScheduler",
+    "ChaosTrialResult",
+    "ChaosTrialSpec",
+    "FaultyNetwork",
+    "LyingHistory",
+    "PROTOCOLS",
+    "chaotic_history",
+    "quorum_critical",
+    "run_chaos_trial",
+    "spec_from_chaos",
+    "worst_lie",
+]

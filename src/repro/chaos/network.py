@@ -1,0 +1,170 @@
+"""``FaultyNetwork`` — seeded message faults inside an ABD safety envelope.
+
+The base :class:`~repro.messaging.network.Network` is reliable (the
+standard model: every sent message is eventually delivered).  The chaos
+variant drops, duplicates and delays messages — but stays inside an
+explicit *safety envelope* so that the ABD register emulation on top
+remains atomic and live:
+
+* **Delay is always safe.**  The model is asynchronous; reorder jitter
+  only exercises schedules that were already legal.
+* **Quorum-critical messages are never duplicated.**
+  :meth:`repro.messaging.abd.AbdRegisters._await_acks` counts matching
+  acks without deduplicating senders, so a duplicated ack could fake a
+  quorum and break atomicity.  Payloads tagged ``abd-*`` (requests *and*
+  acks) are exempt from duplication entirely; duplication of other
+  traffic is idempotent for every protocol in this repo.
+* **Acks are never dropped and request broadcasts keep a quorum.**
+  Dropping a unicast ack, or dropping broadcast request copies below the
+  quorum count among correct processes, would kill ABD liveness.  The
+  envelope therefore never drops quorum-critical unicasts, and drops
+  quorum-critical broadcast copies only within the budget
+  ``(copies to protected destinations) − quorum`` per broadcast.
+
+``protected`` should be the pattern's correct set when known: copies to
+processes that crash anyway are always fair game.  Chaos draws come from
+an RNG stream separate from the delay RNG, so a zero-severity
+``FaultyNetwork`` reproduces the pristine ``Network`` schedule exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Optional
+
+from ..messaging.network import Network
+from ..obs.events import MessageDelayed, MessageDropped, MessageDuplicated
+from ..runtime.process import System
+from .config import ChaosConfig
+
+
+def quorum_critical(payload: Any) -> bool:
+    """True for ABD protocol traffic (requests and acks)."""
+    return (
+        isinstance(payload, tuple)
+        and bool(payload)
+        and isinstance(payload[0], str)
+        and payload[0].startswith("abd-")
+    )
+
+
+class FaultyNetwork(Network):
+    """A :class:`Network` that drops/duplicates/delays within the envelope.
+
+    Parameters
+    ----------
+    system, seed, max_delay:
+        As for :class:`Network` (the benign delay model underneath).
+    chaos:
+        The :class:`ChaosConfig` knobs; all-zero = behave exactly like
+        the base network.
+    quorum:
+        The quorum size the ABD layer on top uses (default: majority).
+        Bounds how many quorum-critical broadcast copies may be dropped.
+    protected:
+        Pids whose quorum-critical copies count toward the liveness
+        budget — pass the failure pattern's correct set.  Default: all.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        seed: int = 0,
+        max_delay: int = 0,
+        chaos: Optional[ChaosConfig] = None,
+        quorum: Optional[int] = None,
+        protected: Optional[Iterable[int]] = None,
+    ):
+        super().__init__(system, seed=seed, max_delay=max_delay)
+        self.chaos = chaos if chaos is not None else ChaosConfig()
+        self.quorum = (
+            quorum if quorum is not None else system.n_processes // 2 + 1
+        )
+        self.protected = (
+            frozenset(protected) if protected is not None else system.pid_set
+        )
+        self._chaos_rng = random.Random(f"net:{self.chaos.seed}")
+        self.dropped_count = 0
+        self.duplicated_count = 0
+        self.delayed_count = 0
+
+    # -- envelope bookkeeping ----------------------------------------------
+
+    def _drop(self, sender: int, dest: int, now: int) -> None:
+        self.dropped_count += 1
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.publish(MessageDropped(now, sender, dest))
+
+    def _jitter(self) -> int:
+        chaos = self.chaos
+        if chaos.reorder_rate and self._chaos_rng.random() < chaos.reorder_rate:
+            return self._chaos_rng.randint(1, max(1, chaos.reorder_jitter))
+        return 0
+
+    # -- faulted primitives -------------------------------------------------
+
+    def send(
+        self, sender: int, dest: int, payload: Any, now: int,
+        extra_delay: int = 0,
+    ) -> None:
+        chaos = self.chaos
+        critical = quorum_critical(payload)
+        if not critical:
+            # Unicast faults are unconstrained for non-quorum traffic.
+            if chaos.drop_rate and self._chaos_rng.random() < chaos.drop_rate:
+                self._drop(sender, dest, now)
+                return
+            if (
+                chaos.duplicate_rate
+                and self._chaos_rng.random() < chaos.duplicate_rate
+            ):
+                self.duplicated_count += 1
+                bus = self.bus
+                if bus is not None and bus.active:
+                    bus.publish(MessageDuplicated(now, sender, dest))
+                super().send(
+                    sender, dest, payload, now,
+                    extra_delay=extra_delay + self._chaos_rng.randint(1, 3),
+                )
+        # Quorum-critical unicasts (the acks) fall straight through: never
+        # dropped, never duplicated — only jittered.
+        jitter = self._jitter()
+        if jitter:
+            self.delayed_count += 1
+            bus = self.bus
+            if bus is not None and bus.active:
+                bus.publish(MessageDelayed(now, sender, dest, jitter))
+        super().send(
+            sender, dest, payload, now, extra_delay=extra_delay + jitter
+        )
+
+    def broadcast(self, sender: int, payload: Any, now: int) -> None:
+        chaos = self.chaos
+        if not (chaos.drop_rate and quorum_critical(payload)):
+            # Non-critical broadcasts decompose into independent faulty
+            # unicasts; critical ones without dropping need no budget.
+            for dest in self.system.pids:
+                self.send(sender, dest, payload, now)
+            return
+        # Critical broadcast with dropping enabled: spend the liveness
+        # budget — at least `quorum` copies must reach protected pids.
+        protected_copies = sum(
+            1 for dest in self.system.pids if dest in self.protected
+        )
+        budget = max(0, protected_copies - self.quorum)
+        for dest in self.system.pids:
+            in_protected = dest in self.protected
+            droppable = (not in_protected) or budget > 0
+            if droppable and self._chaos_rng.random() < chaos.drop_rate:
+                if in_protected:
+                    budget -= 1
+                self._drop(sender, dest, now)
+                continue
+            jitter = self._jitter()
+            if jitter:
+                self.delayed_count += 1
+                bus = self.bus
+                if bus is not None and bus.active:
+                    bus.publish(MessageDelayed(now, sender, dest, jitter))
+            super().send(sender, dest, payload, now, extra_delay=jitter)

@@ -1,0 +1,105 @@
+"""Scheduler perturbation: adversarial bursts and starvation windows.
+
+The model's only schedule constraint is eventual fairness, so a finite
+simulation may legally contain arbitrarily nasty stretches: one process
+monopolizing the CPU (a *burst* — Theorem 1's ``solo`` blocks, but placed
+randomly) or one process frozen out entirely (a *starvation window* —
+"p is arbitrarily slow for a while").  :class:`ChaosScheduler` injects
+both on top of any inner scheduler, under a hard
+:class:`~repro.runtime.scheduler.FairnessGuard` bound so the perturbed
+schedule still satisfies run requirement 5 in its finite form — no
+eligible process ever waits more than ``chaos.fairness_bound`` steps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..obs.events import ChaosInjected, EventBus
+from ..runtime.scheduler import FairnessGuard, Scheduler
+from .config import ChaosConfig
+
+#: Per-step probability of starting a new burst / starvation window when
+#: none is active (deterministic in the chaos seed).
+_PERTURB_RATE = 0.04
+
+
+class ChaosScheduler(Scheduler):
+    """Wrap ``inner``, injecting bursts and starvation windows.
+
+    With both scheduler knobs at zero this delegates every choice to
+    ``inner`` unchanged (the guard still watches, but a sane inner
+    scheduler never trips it).
+    """
+
+    def __init__(
+        self,
+        inner: Scheduler,
+        chaos: ChaosConfig,
+        bus: Optional[EventBus] = None,
+    ):
+        self._inner = inner
+        self.chaos = chaos
+        self._bus = bus
+        self._rng = random.Random(f"sched:{chaos.seed}")
+        self.guard = FairnessGuard(chaos.fairness_bound)
+        self._burst_pid: Optional[int] = None
+        self._burst_left = 0
+        self._starved_pid: Optional[int] = None
+        self._starve_left = 0
+        self.bursts_started = 0
+        self.starvations_started = 0
+
+    def _publish(self, t: int, kind: str, detail: str) -> None:
+        bus = self._bus
+        if bus is not None and bus.active:
+            bus.publish(ChaosInjected(t, kind, detail))
+
+    def _decide(self, t: int, eligible: Sequence[int]) -> int:
+        # The fairness bound preempts any active mischief.
+        overdue = self.guard.overdue(eligible)
+        if overdue is not None:
+            self._burst_left = 0
+            self._starve_left = 0
+            return overdue
+        chaos = self.chaos
+        # Continue an active burst while its pid stays eligible.
+        if self._burst_left > 0 and self._burst_pid in eligible:
+            self._burst_left -= 1
+            return self._burst_pid  # type: ignore[return-value]
+        self._burst_left = 0
+        # Starvation window: hide the starved pid from the inner scheduler.
+        if self._starve_left > 0:
+            self._starve_left -= 1
+            filtered = [p for p in eligible if p != self._starved_pid]
+            if filtered:
+                return self._inner.choose(t, filtered)
+            self._starve_left = 0  # the starved pid is the only one left
+        # Maybe start a fresh perturbation.
+        if chaos.burst_length and self._rng.random() < _PERTURB_RATE:
+            self._burst_pid = eligible[self._rng.randrange(len(eligible))]
+            self._burst_left = chaos.burst_length - 1
+            self.bursts_started += 1
+            self._publish(
+                t, "burst", f"p{self._burst_pid} x{chaos.burst_length}"
+            )
+            return self._burst_pid
+        if (
+            chaos.starvation_window
+            and len(eligible) > 1
+            and self._rng.random() < _PERTURB_RATE
+        ):
+            self._starved_pid = eligible[self._rng.randrange(len(eligible))]
+            self._starve_left = chaos.starvation_window
+            self.starvations_started += 1
+            self._publish(
+                t, "starvation",
+                f"p{self._starved_pid} for {chaos.starvation_window}",
+            )
+        return self._inner.choose(t, eligible)
+
+    def choose(self, t: int, eligible: Sequence[int]) -> int:
+        pid = self._decide(t, eligible)
+        self.guard.note(pid, eligible)
+        return pid

@@ -11,6 +11,8 @@
     python -m repro profile            # engine hot-path timing
     python -m repro sweep set-agreement --jobs 4 --csv f1.csv  # parallel grid
     python -m repro check --protocol fig1 --processes 2 --depth 14  # model check
+    python -m repro sweep chaos --retries 2 --resume sweep.journal  # chaos grid
+    python -m repro stats chaos --lying-prefix 80 --drop-rate 0.4
 
 Every subcommand prints a short report and exits non-zero if the
 corresponding paper property failed to hold (they never should).
@@ -133,7 +135,34 @@ def _build_parser() -> argparse.ArgumentParser:
     s_extract.add_argument("--stabilization", type=int, default=60)
     s_extract.add_argument("--seed", type=int, default=0)
 
-    for sub_parser in (s_fig1, s_fig2, s_extract):
+    from .chaos.trial import PROTOCOLS as CHAOS_PROTOCOLS
+
+    s_chaos = stats_sub.add_parser(
+        "chaos", help="instrumented chaos trial (what was injected, "
+                      "what survived)"
+    )
+    s_chaos.add_argument("--protocol", choices=CHAOS_PROTOCOLS,
+                         default="fig1")
+    s_chaos.add_argument("--processes", type=int, default=4)
+    s_chaos.add_argument("--resilience", type=int, default=None, metavar="F")
+    s_chaos.add_argument(
+        "--detector",
+        choices=[n for n in detector_names() if n != "dummy"],
+        default="omega",
+    )
+    s_chaos.add_argument("--seed", type=int, default=0)
+    s_chaos.add_argument("--lying-prefix", type=int, default=50,
+                         help="steps of arbitrary detector output")
+    s_chaos.add_argument("--drop-rate", type=float, default=0.2)
+    s_chaos.add_argument("--duplicate-rate", type=float, default=0.2)
+    s_chaos.add_argument("--reorder-rate", type=float, default=0.2)
+    s_chaos.add_argument("--burst", type=int, default=6,
+                         help="adversarial scheduler burst length")
+    s_chaos.add_argument("--starvation", type=int, default=6,
+                         help="scheduler starvation-window length")
+    s_chaos.add_argument("--max-steps", type=int, default=60_000)
+
+    for sub_parser in (s_fig1, s_fig2, s_extract, s_chaos):
         sub_parser.add_argument(
             "--events", metavar="FILE", default=None,
             help="also stream every run event to FILE as JSONL",
@@ -185,7 +214,39 @@ def _build_parser() -> argparse.ArgumentParser:
     sw_ex.add_argument("--stabilization", type=int, default=60)
     sw_ex.add_argument("--max-steps", type=int, default=40_000)
 
-    for sub_parser in (sw_sa, sw_ex):
+    sw_ch = sweep_sub.add_parser(
+        "chaos",
+        help="chaos grid: protocols × sizes × lying prefixes × drop rates",
+    )
+    sw_ch.add_argument("--protocols", default="fig1,fig2,abd-converge",
+                       metavar="LIST",
+                       help=f"chaos protocols ({','.join(CHAOS_PROTOCOLS)})")
+    sw_ch.add_argument("--sizes", default="3,4", metavar="LIST")
+    sw_ch.add_argument("--seeds", default="0-4", metavar="LIST")
+    sw_ch.add_argument("--lying-prefixes", default="0,50", metavar="LIST",
+                       help="lying-prefix axis, e.g. 0,50,150")
+    sw_ch.add_argument("--drop-rates", default="0.0,0.2", metavar="LIST",
+                       help="drop-rate axis, e.g. 0.0,0.2,0.5")
+    sw_ch.add_argument("--duplicate-rate", type=float, default=0.0)
+    sw_ch.add_argument("--reorder-rate", type=float, default=0.0)
+    sw_ch.add_argument("--burst", type=int, default=0,
+                       help="adversarial scheduler burst length")
+    sw_ch.add_argument("--starvation", type=int, default=0,
+                       help="scheduler starvation-window length")
+    sw_ch.add_argument("--resilience", type=int, default=None, metavar="F")
+    sw_ch.add_argument(
+        "--detector",
+        choices=[n for n in detector_names() if n != "dummy"],
+        default="omega",
+    )
+    sw_ch.add_argument("--max-steps", type=int, default=60_000)
+    sw_ch.add_argument(
+        "--inject-worker-crash", type=int, default=None, metavar="I",
+        help="harness self-test: hard-kill the worker running grid "
+             "point I (mod grid size); needs --retries to recover",
+    )
+
+    for sub_parser in (sw_sa, sw_ex, sw_ch):
         sub_parser.add_argument(
             "--jobs", type=int, default=1,
             help="worker processes (0 = one per CPU; default 1 = serial)",
@@ -207,6 +268,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "--json", action="store_true",
             help="print the run summary as JSON",
         )
+        _add_resilience_flags(sub_parser)
 
     from .mc.instances import FAMILIES
 
@@ -244,8 +306,27 @@ def _build_parser() -> argparse.ArgumentParser:
                           default=None,
                           help="write the first counterexample to FILE "
                                "as JSON")
+    _add_resilience_flags(mc_check)
 
     return parser
+
+
+def _add_resilience_flags(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--retries", type=int, default=0,
+        help="re-run a failing/crashing trial up to N extra times "
+             "before quarantining it (default 0)",
+    )
+    sub_parser.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial wall-clock budget, enforced by an in-worker "
+             "watchdog",
+    )
+    sub_parser.add_argument(
+        "--resume", metavar="JOURNAL", default=None,
+        help="JSONL checkpoint journal; completed spec keys are "
+             "skipped on re-run and appended as the run progresses",
+    )
 
 
 def _parse_int_list(text: str) -> list:
@@ -261,6 +342,11 @@ def _parse_int_list(text: str) -> list:
         else:
             out.append(int(part))
     return out
+
+
+def _parse_float_list(text: str) -> list:
+    """``"0.0,0.2,0.5"`` to a list of floats (no ranges)."""
+    return [float(part) for part in text.split(",") if part.strip()]
 
 
 def _cmd_fig1(args) -> int:
@@ -398,6 +484,33 @@ def _cmd_stats(args) -> int:
                 f"distinct decisions={result.distinct_decisions}"
             )
             ok = result.ok
+        elif args.stats_command == "chaos":
+            from .chaos.trial import ChaosTrialSpec, run_chaos_trial
+
+            spec = ChaosTrialSpec(
+                protocol=args.protocol,
+                n_processes=args.processes,
+                seed=args.seed,
+                f=args.resilience,
+                detector=args.detector,
+                lying_prefix=args.lying_prefix,
+                drop_rate=args.drop_rate,
+                duplicate_rate=args.duplicate_rate,
+                reorder_rate=args.reorder_rate,
+                burst_length=args.burst,
+                starvation_window=args.starvation,
+                max_steps=args.max_steps,
+            )
+            result = run_chaos_trial(spec, collector=collector)
+            headline = (
+                f"chaos  protocol={args.protocol}  n+1={args.processes}  "
+                f"seed={args.seed}  lying_prefix={args.lying_prefix}  "
+                f"drop_rate={args.drop_rate:g}  steps={result.total_steps}  "
+                f"dropped={result.messages_dropped}  "
+                f"duplicated={result.messages_duplicated}  "
+                f"delayed={result.messages_delayed}"
+            )
+            ok = result.ok
         else:
             system = System(args.processes)
             env = (
@@ -466,16 +579,18 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    import dataclasses
     import json
     import time
 
     from .analysis.sweeps import (
         EmptySweepError,
+        chaos_grid,
         extraction_grid,
         set_agreement_grid,
         to_csv,
     )
-    from .perf import TrialCache, resolve_jobs, run_trials
+    from .perf import QuarantineReport, TrialCache, resolve_jobs, run_trials
 
     try:
         if args.sweep_command == "set-agreement":
@@ -486,6 +601,28 @@ def _cmd_sweep(args) -> int:
                 fs=_parse_int_list(args.fs) if args.fs else None,
                 adversarial=args.adversarial,
             )
+        elif args.sweep_command == "chaos":
+            specs = chaos_grid(
+                protocols=[
+                    p.strip() for p in args.protocols.split(",") if p.strip()
+                ],
+                system_sizes=_parse_int_list(args.sizes),
+                seeds=_parse_int_list(args.seeds),
+                lying_prefixes=_parse_int_list(args.lying_prefixes),
+                drop_rates=_parse_float_list(args.drop_rates),
+                duplicate_rate=args.duplicate_rate,
+                reorder_rate=args.reorder_rate,
+                burst_length=args.burst,
+                starvation_window=args.starvation,
+                f=args.resilience,
+                detector=args.detector,
+                max_steps=args.max_steps,
+            )
+            if args.inject_worker_crash is not None:
+                victim = args.inject_worker_crash % len(specs)
+                specs[victim] = dataclasses.replace(
+                    specs[victim], sabotage="crash"
+                )
         else:
             specs = extraction_grid(
                 detectors=[
@@ -501,24 +638,39 @@ def _cmd_sweep(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    resilient = bool(
+        args.retries or args.trial_timeout or args.resume
+        or getattr(args, "inject_worker_crash", None) is not None
+    )
+    quarantine = QuarantineReport() if resilient else None
     cache = None if args.no_cache else TrialCache(args.cache_dir)
     jobs = resolve_jobs(args.jobs)
     start = time.perf_counter()
-    results = run_trials(specs, jobs=jobs, cache=cache)
+    results = run_trials(
+        specs, jobs=jobs, cache=cache,
+        retries=args.retries, trial_timeout=args.trial_timeout,
+        journal=args.resume, quarantine=quarantine,
+    )
     wall = time.perf_counter() - start
 
+    survivors = [r for r in results if r is not None]
     if args.sweep_command == "set-agreement":
-        ok_flags = [r.ok for r in results]
+        ok_flags = [r.ok for r in survivors]
+    elif args.sweep_command == "chaos":
+        ok_flags = [r.ok for r in survivors]
     else:
-        ok_flags = [r.stabilized and r.legal for r in results]
+        ok_flags = [r.stabilized and r.legal for r in survivors]
     all_ok = all(ok_flags)
+    quarantined = len(quarantine) if quarantine is not None else 0
 
-    if args.csv:
-        to_csv(results, args.csv)
+    if args.csv and survivors:
+        to_csv(survivors, args.csv)
 
     summary = {
         "kind": args.sweep_command,
         "trials": len(results),
+        "completed": len(survivors),
+        "quarantined": quarantined,
         "ok": sum(ok_flags),
         "violations": len(ok_flags) - sum(ok_flags),
         "jobs": jobs,
@@ -529,9 +681,12 @@ def _cmd_sweep(args) -> int:
             "hits": cache.hits,
             "misses": cache.misses,
         },
-        "csv": args.csv,
+        "journal": args.resume,
+        "csv": args.csv if survivors else None,
     }
     if args.json:
+        if quarantine is not None:
+            summary["quarantine"] = quarantine.to_dict()
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(f"{args.sweep_command} sweep: {len(results)} trials  "
@@ -539,10 +694,19 @@ def _cmd_sweep(args) -> int:
         if cache is not None:
             print(f"cache: {cache.hits} hits, {cache.misses} misses "
                   f"({cache.root})")
-        if args.csv:
+        if args.resume:
+            print(f"journal: {args.resume} "
+                  f"({len(survivors)}/{len(results)} keys done)")
+        if args.csv and survivors:
             print(f"csv -> {args.csv}")
+        if quarantine:
+            print()
+            print(quarantine.render())
+            print()
         print("properties:", "OK" if all_ok else
               f"VIOLATED in {len(ok_flags) - sum(ok_flags)} trials")
+    # Quarantined trials degrade the sweep to partial results; only a
+    # property violation in a completed trial is a failure.
     return 0 if all_ok else 1
 
 
@@ -572,7 +736,15 @@ def _cmd_check(args) -> int:
             max_crashes=args.max_crashes,
             crash_times=tuple(_parse_int_list(args.crash_times)),
         )
-    report = check(instance, config, sweep=sweep, jobs=args.jobs)
+    from .perf import QuarantineReport
+
+    resilient = bool(args.retries or args.trial_timeout or args.resume)
+    quarantine = QuarantineReport() if resilient else None
+    report = check(
+        instance, config, sweep=sweep, jobs=args.jobs,
+        retries=args.retries, trial_timeout=args.trial_timeout,
+        journal=args.resume, quarantine=quarantine,
+    )
     if args.save_counterexample and report.counterexamples:
         report.counterexamples[0].save(args.save_counterexample)
     if args.json:
@@ -600,9 +772,13 @@ def _cmd_check(args) -> int:
             print(f"  schedule: {list(ce.schedule)}")
         if args.save_counterexample:
             print(f"first counterexample -> {args.save_counterexample}")
+    if quarantine:
+        print()
+        print(quarantine.render())
+        print()
     if stats.truncated:
-        print("warning: exploration truncated by --max-states; "
-              "the verdict is not exhaustive")
+        print("warning: exploration truncated (--max-states or "
+              "quarantined shards); the verdict is not exhaustive")
     print("properties:", "OK" if report.ok else "VIOLATED")
     return 0 if report.ok else 1
 
@@ -669,8 +845,17 @@ _COMMANDS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .runtime import NonTerminationError
+
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except NonTerminationError as exc:
+        print(f"error: NonTerminationError: {exc}", file=sys.stderr)
+        print("hint: raise --max-steps, or lower the chaos severity — "
+              "a lying prefix or starvation window delays decisions",
+              file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

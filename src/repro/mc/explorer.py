@@ -584,6 +584,11 @@ def check(
     sweep: Optional[CrashSweep] = None,
     jobs: int = 1,
     cache=None,
+    *,
+    retries: int = 0,
+    trial_timeout: Optional[float] = None,
+    journal=None,
+    quarantine=None,
 ) -> CheckReport:
     """Model-check an instance — schedules × crash subsets × crash times.
 
@@ -591,7 +596,10 @@ def check(
     :func:`~repro.mc.instances.sweep_instances` are each explored in
     full.  With ``jobs > 1`` the work is fanned out over
     :func:`repro.perf.run_trials` workers (sharding the root branching
-    factor when there is only one instance to check).
+    factor when there is only one instance to check); the resilience
+    knobs (``retries``, ``trial_timeout``, ``journal``, ``quarantine``)
+    apply only on that fan-out path and degrade a quarantined shard or
+    swept instance to a truncated/omitted result instead of aborting.
     """
     config = config if config is not None else ExploreConfig()
     instances = (
@@ -601,8 +609,11 @@ def check(
         from .parallel import run_check_shards  # deferred: import cycle
 
         results = run_check_shards(
-            instances, config, jobs=jobs, cache=cache
+            instances, config, jobs=jobs, cache=cache,
+            retries=retries, trial_timeout=trial_timeout,
+            journal=journal, quarantine=quarantine,
         )
+        results = [r for r in results if r is not None]
     else:
         results = [explore_instance(i, config) for i in instances]
     return CheckReport(results)

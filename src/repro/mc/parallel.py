@@ -111,7 +111,12 @@ def merge_shard_results(
     config: ExploreConfig,
     shards: Sequence[Optional[CheckResult]],
 ) -> CheckResult:
-    """Combine shard results into one instance-level :class:`CheckResult`."""
+    """Combine shard results into one instance-level :class:`CheckResult`.
+
+    ``None`` shards (quarantined by a resilient executor) are skipped and
+    mark the merged stats *truncated*: the verdict is still sound for the
+    subtrees that ran, but the exploration no longer covers everything.
+    """
     merged = CheckResult(
         instance=resolve_instance(instance),
         config=config,
@@ -127,6 +132,7 @@ def merge_shard_results(
     seen = set()
     for shard in shards:
         if shard is None:
+            stats.truncated = True
             continue
         stats.merge(shard.stats)
         reduction.merge(shard.reduction)
@@ -154,13 +160,24 @@ class ParallelExplorer:
     cache:
         Optional :class:`~repro.perf.cache.TrialCache`; shards of an
         unchanged instance/config are content-addressed hits.
+    retries / trial_timeout / journal / quarantine:
+        Resilience knobs, forwarded verbatim to
+        :func:`~repro.perf.executor.run_trials`.  A shard that exhausts
+        its retries is quarantined and its subtree marks the merged
+        stats truncated instead of aborting the exploration.
     """
 
     def __init__(self, jobs: Optional[int] = None, shard_depth: int = 1,
-                 cache=None):
+                 cache=None, *, retries: int = 0,
+                 trial_timeout: Optional[float] = None,
+                 journal=None, quarantine=None):
         self.jobs = jobs
         self.shard_depth = shard_depth
         self.cache = cache
+        self.retries = retries
+        self.trial_timeout = trial_timeout
+        self.journal = journal
+        self.quarantine = quarantine
 
     def explore(
         self,
@@ -175,7 +192,11 @@ class ParallelExplorer:
         specs = [
             make_shard_spec(instance, config, prefix) for prefix in prefixes
         ]
-        results = run_trials(specs, jobs=self.jobs, cache=self.cache)
+        results = run_trials(
+            specs, jobs=self.jobs, cache=self.cache,
+            retries=self.retries, trial_timeout=self.trial_timeout,
+            journal=self.journal, quarantine=self.quarantine,
+        )
         return merge_shard_results(instance, config, results)
 
 
@@ -184,17 +205,30 @@ def run_check_shards(
     config: ExploreConfig,
     jobs: Optional[int] = None,
     cache=None,
-) -> List[CheckResult]:
+    *,
+    retries: int = 0,
+    trial_timeout: Optional[float] = None,
+    journal=None,
+    quarantine=None,
+) -> List[Optional[CheckResult]]:
     """The ``check(jobs > 1)`` backend.
 
     A single instance is sharded at its root branching; a crash sweep
     already has natural parallelism, so each swept instance becomes one
-    shard.
+    shard.  With the resilience knobs set, a quarantined swept instance
+    leaves ``None`` in its result slot.
     """
     if len(instances) == 1:
-        explorer = ParallelExplorer(jobs=jobs, cache=cache)
+        explorer = ParallelExplorer(
+            jobs=jobs, cache=cache, retries=retries,
+            trial_timeout=trial_timeout, journal=journal,
+            quarantine=quarantine,
+        )
         return [explorer.explore(instances[0], config)]
     from ..perf.executor import run_trials
 
     specs = [make_shard_spec(instance, config) for instance in instances]
-    return run_trials(specs, jobs=jobs, cache=cache)
+    return run_trials(
+        specs, jobs=jobs, cache=cache, retries=retries,
+        trial_timeout=trial_timeout, journal=journal, quarantine=quarantine,
+    )

@@ -64,10 +64,19 @@ class Network:
         #: attaches its own bus here so sends/deliveries are published.
         self.bus = None
 
-    def send(self, sender: int, dest: int, payload: Any, now: int) -> None:
-        """Enqueue a message; it becomes receivable at its delivery time."""
+    def send(
+        self, sender: int, dest: int, payload: Any, now: int,
+        extra_delay: int = 0,
+    ) -> None:
+        """Enqueue a message; it becomes receivable at its delivery time.
+
+        ``extra_delay`` adds deterministic steps on top of the seeded
+        draw — the hook :class:`repro.chaos.network.FaultyNetwork` uses
+        for reorder jitter (extra delay is always safe in an asynchronous
+        model, so the base network accepts it unconditionally).
+        """
         self.system.validate_pid(dest)
-        deliver_at = now + 1 + self._rng.randint(0, self.max_delay)
+        deliver_at = now + 1 + extra_delay + self._rng.randint(0, self.max_delay)
         floor = self._last_delivery.get((sender, dest), 0)
         deliver_at = max(deliver_at, floor)  # FIFO per channel
         self._last_delivery[(sender, dest)] = deliver_at

@@ -26,18 +26,25 @@ Quickstart::
 """
 
 from .events import (
+    ChaosInjected,
     Decided,
     EmitChanged,
     Event,
     EventBus,
     FDQueried,
     MemoryOp,
+    MessageDelayed,
     MessageDelivered,
+    MessageDropped,
+    MessageDuplicated,
     MessageSent,
     ProcessCrashed,
     ProtocolViolated,
     SchedulerDecision,
     StepTaken,
+    TrialQuarantined,
+    TrialRetried,
+    TrialTimedOut,
 )
 from .export import JsonlEventSink, RunReport, event_to_dict
 from .metrics import (
@@ -50,6 +57,7 @@ from .metrics import (
 from .profile import EngineProfile, PhaseRecord, RunProfiler, profile_engine
 
 __all__ = [
+    "ChaosInjected",
     "CounterMetric",
     "Decided",
     "EmitChanged",
@@ -61,7 +69,10 @@ __all__ = [
     "HistogramMetric",
     "JsonlEventSink",
     "MemoryOp",
+    "MessageDelayed",
     "MessageDelivered",
+    "MessageDropped",
+    "MessageDuplicated",
     "MessageSent",
     "MetricsCollector",
     "MetricsRegistry",
@@ -72,6 +83,9 @@ __all__ = [
     "RunReport",
     "SchedulerDecision",
     "StepTaken",
+    "TrialQuarantined",
+    "TrialRetried",
+    "TrialTimedOut",
     "event_to_dict",
     "profile_engine",
 ]

@@ -132,6 +132,78 @@ class SchedulerDecision(Event):
     eligible_count: int
 
 
+# -- chaos-layer events ------------------------------------------------------
+#
+# Published by :mod:`repro.chaos` (fault injection) and by the resilient
+# executor in :mod:`repro.perf.resilience`.  Harness-level events have no
+# simulation clock, so — like :class:`MemoryOp` outside a run — they carry
+# ``time = -1``.
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosInjected(Event):
+    """A chaos knob became active for this run (one event per knob).
+
+    ``kind`` is the knob (``"lying-prefix"``, ``"drop"``, ``"duplicate"``,
+    ``"reorder"``, ``"burst"``, ``"starvation"``); ``detail`` carries its
+    setting.
+    """
+
+    kind: str
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageDropped(Event):
+    """The faulty network discarded a message copy."""
+
+    sender: int
+    dest: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageDuplicated(Event):
+    """The faulty network enqueued an extra copy of a message."""
+
+    sender: int
+    dest: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageDelayed(Event):
+    """The faulty network added ``extra`` steps of reorder jitter."""
+
+    sender: int
+    dest: int
+    extra: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialRetried(Event):
+    """The resilient executor is re-running a failed trial (``time = -1``)."""
+
+    key: str
+    attempt: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialQuarantined(Event):
+    """A trial spec exhausted its retries and was set aside (``time = -1``)."""
+
+    key: str
+    attempts: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialTimedOut(Event):
+    """A trial hit its wall-clock watchdog (``time = -1``)."""
+
+    key: str
+    seconds: float
+
+
 #: Signature of a subscriber: receives each published event.
 Subscriber = Callable[[Event], None]
 

@@ -19,17 +19,24 @@ import json
 from typing import Any, Dict, Hashable, List, Optional, Union
 
 from .events import (
+    ChaosInjected,
     Decided,
     EmitChanged,
     EventBus,
     FDQueried,
     MemoryOp,
+    MessageDelayed,
     MessageDelivered,
+    MessageDropped,
+    MessageDuplicated,
     MessageSent,
     ProcessCrashed,
     ProtocolViolated,
     SchedulerDecision,
     StepTaken,
+    TrialQuarantined,
+    TrialRetried,
+    TrialTimedOut,
 )
 
 #: The default label for unlabelled observations.
@@ -256,6 +263,20 @@ class MetricsCollector:
         self._violations = r.counter("protocol_violations", "contract breaches")
         self._sched = r.counter("scheduler_choices",
                                 "ObservedScheduler picks per process")
+        self._chaos = r.counter("chaos_injections",
+                                "active chaos knobs / perturbations by kind")
+        self._dropped = r.counter("messages_dropped",
+                                  "chaos-discarded message copies")
+        self._duplicated = r.counter("messages_duplicated",
+                                     "chaos-added message copies")
+        self._delayed = r.counter("messages_delayed",
+                                  "chaos reorder-jittered messages")
+        self._retries = r.counter("trial_retries",
+                                  "harness re-runs of failed trials")
+        self._quarantines = r.counter("trial_quarantines",
+                                      "trials given up on after retries")
+        self._timeouts = r.counter("trial_timeouts",
+                                   "trials cut short by the watchdog")
         self._emitted_once: set = set()
         self._wire(self.bus)
 
@@ -270,6 +291,13 @@ class MetricsCollector:
         bus.subscribe(self._on_emit, (EmitChanged,))
         bus.subscribe(self._on_violation, (ProtocolViolated,))
         bus.subscribe(self._on_sched, (SchedulerDecision,))
+        bus.subscribe(self._on_chaos, (ChaosInjected,))
+        bus.subscribe(self._on_dropped, (MessageDropped,))
+        bus.subscribe(self._on_duplicated, (MessageDuplicated,))
+        bus.subscribe(self._on_delayed, (MessageDelayed,))
+        bus.subscribe(self._on_retry, (TrialRetried,))
+        bus.subscribe(self._on_quarantine, (TrialQuarantined,))
+        bus.subscribe(self._on_timeout, (TrialTimedOut,))
 
     # -- handlers ----------------------------------------------------------
 
@@ -309,6 +337,27 @@ class MetricsCollector:
 
     def _on_sched(self, event: SchedulerDecision) -> None:
         self._sched.inc(event.pid)
+
+    def _on_chaos(self, event: ChaosInjected) -> None:
+        self._chaos.inc(event.kind)
+
+    def _on_dropped(self, event: MessageDropped) -> None:
+        self._dropped.inc(event.sender)
+
+    def _on_duplicated(self, event: MessageDuplicated) -> None:
+        self._duplicated.inc(event.sender)
+
+    def _on_delayed(self, event: MessageDelayed) -> None:
+        self._delayed.inc(event.sender)
+
+    def _on_retry(self, event: TrialRetried) -> None:
+        self._retries.inc(event.key[:12])
+
+    def _on_quarantine(self, event: TrialQuarantined) -> None:
+        self._quarantines.inc(event.key[:12])
+
+    def _on_timeout(self, event: TrialTimedOut) -> None:
+        self._timeouts.inc(event.key[:12])
 
     # -- results -----------------------------------------------------------
 

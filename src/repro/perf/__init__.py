@@ -5,7 +5,9 @@
 * :mod:`repro.perf.executor` — :func:`run_trials`, the process-pool
   sweep executor with deterministic input-order reassembly;
 * :mod:`repro.perf.cache` — :class:`TrialCache`, the disk-backed
-  content-addressed store of trial results.
+  content-addressed store of trial results;
+* :mod:`repro.perf.resilience` — the watchdog, retry/quarantine, and
+  checkpoint-journal primitives behind the executor's resilient mode.
 
 The grid builders in :mod:`repro.analysis.sweeps` emit specs and
 delegate here; ``python -m repro sweep`` is the CLI front end.
@@ -13,6 +15,12 @@ delegate here; ``python -m repro sweep`` is the CLI front end.
 
 from .cache import CACHE_DIR_ENV, TrialCache, default_cache_dir
 from .executor import resolve_jobs, run_trials
+from .resilience import (
+    CheckpointJournal,
+    QuarantineReport,
+    TrialFailure,
+    guarded_execute,
+)
 from .spec import (
     ENGINE_VERSION,
     ExtractionTrialSpec,
@@ -24,13 +32,17 @@ from .spec import (
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "CheckpointJournal",
     "ENGINE_VERSION",
     "ExtractionTrialSpec",
+    "QuarantineReport",
     "SetAgreementTrialSpec",
+    "TrialFailure",
     "TrialCache",
     "TrialSpec",
     "default_cache_dir",
     "execute_trial",
+    "guarded_execute",
     "resolve_jobs",
     "run_trials",
     "spec_key",

@@ -13,6 +13,7 @@ bump (or any spec change) misses.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -20,6 +21,8 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from .spec import TrialSpec, spec_key
+
+log = logging.getLogger("repro.perf.cache")
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -39,7 +42,9 @@ class TrialCache:
     """Content-addressed store of trial results.
 
     ``hits`` / ``misses`` / ``stores`` count this instance's traffic —
-    the sweep CLI reports them after every run.
+    the sweep CLI reports them after every run.  ``corrupt`` counts the
+    subset of misses caused by unreadable entries (each is logged,
+    deleted, and rewritten when the recomputed result is stored).
     """
 
     def __init__(self, root: Union[str, Path, None] = None):
@@ -47,6 +52,7 @@ class TrialCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -62,14 +68,21 @@ class TrialCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # truncated or stale entry: drop it and recompute
+        except Exception as exc:
+            # Truncated, corrupted, or stale entry (unpickling hostile
+            # bytes can raise nearly anything): a cache must never turn a
+            # bad entry into a sweep failure.  Log, drop, recompute — the
+            # recomputed result is rewritten by the usual ``put``.
+            self.corrupt += 1
+            self.misses += 1
+            log.warning(
+                "dropping corrupt cache entry %s (%s: %s); recomputing",
+                path.name, type(exc).__name__, exc,
+            )
             try:
                 path.unlink()
             except OSError:
                 pass
-            self.misses += 1
             return None
         self.hits += 1
         return result

@@ -10,15 +10,41 @@ With a :class:`~repro.perf.cache.TrialCache`, cached specs are answered
 from disk before any worker is spawned; only the misses fan out, and
 their results are stored on the way back.  A fully warm grid never forks
 at all.
+
+**Resilient mode** (any of ``retries``/``trial_timeout``/``journal``/
+``quarantine`` set) hardens the fan-out against the trials themselves:
+
+* every trial runs under :func:`~repro.perf.resilience.guarded_execute`,
+  so in-worker exceptions and wall-clock timeouts come back as
+  :class:`~repro.perf.resilience.TrialFailure` values;
+* a worker death (``BrokenProcessPool``) poisons every pending future
+  without naming the culprit, so the executor requeues the survivors and
+  switches to *isolation rounds* — one spec per single-worker pool —
+  where a crash is unambiguously attributable;
+* a spec that fails ``retries + 1`` times is quarantined (recorded in
+  the :class:`~repro.perf.resilience.QuarantineReport`, ``None`` in the
+  results) instead of aborting the sweep;
+* completed keys go to the :class:`~repro.perf.resilience.CheckpointJournal`
+  so an interrupted sweep resumes without re-running finished work.
+
+Surviving results keep their input-order slots either way, so partial
+results are deterministic.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any, List, Optional, Sequence
+import time as _time
+from typing import Any, List, Optional, Sequence, Union
 
 from .cache import TrialCache
-from .spec import TrialSpec, execute_trial
+from .resilience import (
+    CheckpointJournal,
+    QuarantineReport,
+    TrialFailure,
+    guarded_execute,
+)
+from .spec import TrialSpec, execute_trial, spec_key
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -51,11 +77,23 @@ def _chunk_indices(n_items: int, jobs: int, chunk_size: Optional[int]) -> List[r
     ]
 
 
+def _publish(bus, event) -> None:
+    if bus is not None and bus.active:
+        bus.publish(event)
+
+
 def run_trials(
     specs: Sequence[TrialSpec],
     jobs: Optional[int] = 1,
     cache: Optional[TrialCache] = None,
     chunk_size: Optional[int] = None,
+    *,
+    retries: int = 0,
+    trial_timeout: Optional[float] = None,
+    journal: Union[CheckpointJournal, str, os.PathLike, None] = None,
+    quarantine: Optional[QuarantineReport] = None,
+    backoff: float = 0.5,
+    bus=None,
 ) -> List[Any]:
     """Execute every spec; results come back in input order.
 
@@ -71,32 +109,105 @@ def run_trials(
         and computed ones stored back.
     chunk_size:
         Specs per worker task; defaults to ~4 chunks per worker.
+    retries:
+        Resilient mode: re-run a failing spec up to this many extra
+        times (with exponential backoff) before quarantining it.
+    trial_timeout:
+        Resilient mode: per-trial wall-clock budget in seconds, enforced
+        by an in-worker watchdog.
+    journal:
+        Resilient mode: a :class:`CheckpointJournal` (or a path to one).
+        Keys already recorded as done are served from the cache and
+        skipped; completed keys are appended as the sweep progresses.
+    quarantine:
+        Resilient mode: a :class:`QuarantineReport` collecting the specs
+        the executor gave up on.  Their result slots hold ``None``.
+    backoff:
+        Base of the exponential retry backoff, in seconds (failure round
+        ``r`` sleeps ``backoff * 2**r``; pass 0 in tests).
+    bus:
+        Optional :class:`~repro.obs.events.EventBus` for
+        ``TrialRetried`` / ``TrialQuarantined`` / ``TrialTimedOut``
+        harness events.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
     results: List[Any] = [None] * len(specs)
 
-    pending: List[int] = []
-    if cache is not None:
-        for index, spec in enumerate(specs):
-            hit = cache.get(spec)
-            if hit is not None:
-                results[index] = hit
-            else:
+    resilient = bool(
+        retries or trial_timeout or journal is not None
+        or quarantine is not None
+    )
+    owns_journal = False
+    if journal is not None and not isinstance(journal, CheckpointJournal):
+        journal = CheckpointJournal(journal)
+        owns_journal = True
+    if resilient and quarantine is None:
+        quarantine = QuarantineReport()
+
+    try:
+        pending: List[int] = []
+        if journal is not None and cache is not None:
+            # Resume triage: journaled keys are done *iff* the cache still
+            # has their result; a cleared cache degrades to a re-run.
+            for index, spec in enumerate(specs):
+                if journal.is_done(spec_key(spec)):
+                    hit = cache.get(spec)
+                    if hit is not None:
+                        results[index] = hit
+                        continue
+                else:
+                    hit = cache.get(spec)
+                    if hit is not None:
+                        results[index] = hit
+                        journal.record_done(spec_key(spec))
+                        continue
                 pending.append(index)
-    else:
-        pending = list(range(len(specs)))
+        elif cache is not None:
+            for index, spec in enumerate(specs):
+                hit = cache.get(spec)
+                if hit is not None:
+                    results[index] = hit
+                else:
+                    pending.append(index)
+        else:
+            pending = list(range(len(specs)))
 
-    if not pending:
+        if not pending:
+            return results
+
+        if not resilient:
+            _run_plain(specs, pending, results, jobs, cache, chunk_size)
+            return results
+
+        _run_resilient(
+            specs, pending, results, jobs, cache,
+            retries=retries, trial_timeout=trial_timeout,
+            journal=journal, quarantine=quarantine,
+            backoff=backoff, bus=bus,
+        )
         return results
+    finally:
+        if owns_journal:
+            journal.close()
 
+
+def _run_plain(
+    specs: List[TrialSpec],
+    pending: List[int],
+    results: List[Any],
+    jobs: int,
+    cache: Optional[TrialCache],
+    chunk_size: Optional[int],
+) -> None:
+    """The original fast path — no watchdog, no retries, no journal."""
     if jobs <= 1 or len(pending) == 1:
         for index in pending:
             result = execute_trial(specs[index])
             results[index] = result
             if cache is not None:
                 cache.put(specs[index], result)
-        return results
+        return
 
     # Fan out only the misses; chunks are submitted up front and results
     # are written back by original position, so completion order (and any
@@ -119,4 +230,140 @@ def run_trials(
                 results[index] = result
                 if cache is not None:
                     cache.put(specs[index], result)
-    return results
+
+
+def _dispatch_batch(
+    indices: List[int],
+    specs: List[TrialSpec],
+    jobs: int,
+    trial_timeout: Optional[float],
+):
+    """Run ``indices`` in a fresh pool; worker deaths surface as absences.
+
+    Returns ``(outcomes, pool_broken)`` where ``outcomes`` maps an index
+    to its result or :class:`TrialFailure`.  Indices missing from
+    ``outcomes`` were in flight when the pool broke.
+    """
+    from concurrent.futures import as_completed
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    outcomes: dict = {}
+    pool_broken = False
+    with ProcessPoolExecutor(max_workers=min(jobs, len(indices))) as pool:
+        futures = {
+            pool.submit(guarded_execute, specs[i], trial_timeout): i
+            for i in indices
+        }
+        for future in as_completed(futures):
+            i = futures[future]
+            try:
+                outcomes[i] = future.result()
+            except BrokenProcessPool:
+                pool_broken = True
+            except Exception as exc:  # e.g. result unpickling errors
+                outcomes[i] = TrialFailure(
+                    "error", f"{type(exc).__name__}: {exc}"
+                )
+    return outcomes, pool_broken
+
+
+def _run_resilient(
+    specs: List[TrialSpec],
+    pending: List[int],
+    results: List[Any],
+    jobs: int,
+    cache: Optional[TrialCache],
+    *,
+    retries: int,
+    trial_timeout: Optional[float],
+    journal: Optional[CheckpointJournal],
+    quarantine: QuarantineReport,
+    backoff: float,
+    bus,
+) -> None:
+    from ..obs.events import TrialQuarantined, TrialRetried, TrialTimedOut
+
+    keys = {i: spec_key(specs[i]) for i in pending}
+    attempts = {i: 0 for i in pending}
+
+    def record_success(i: int, result: Any) -> None:
+        results[i] = result
+        if cache is not None:
+            cache.put(specs[i], result)
+        if journal is not None:
+            journal.record_done(keys[i])
+
+    def give_up(i: int, reason: str) -> None:
+        quarantine.add(i, keys[i], specs[i], attempts[i], reason)
+        if journal is not None:
+            journal.record_quarantined(keys[i], reason)
+        _publish(bus, TrialQuarantined(-1, keys[i], attempts[i], reason))
+
+    if jobs <= 1:
+        # Serial resilient path: the watchdog runs in this process.
+        for i in pending:
+            while True:
+                attempts[i] += 1
+                outcome = guarded_execute(specs[i], trial_timeout)
+                if not isinstance(outcome, TrialFailure):
+                    record_success(i, outcome)
+                    break
+                if outcome.kind == "timeout":
+                    _publish(bus, TrialTimedOut(-1, keys[i], trial_timeout))
+                if attempts[i] > retries:
+                    give_up(i, outcome.detail)
+                    break
+                _publish(
+                    bus, TrialRetried(-1, keys[i], attempts[i], outcome.detail)
+                )
+                if backoff > 0:
+                    _time.sleep(backoff * 2 ** (attempts[i] - 1))
+        return
+
+    todo = sorted(pending)
+    isolate = False
+    failure_rounds = 0
+    while todo:
+        batch = todo[:1] if isolate else todo
+        workers = 1 if isolate else jobs
+        outcomes, pool_broken = _dispatch_batch(
+            batch, specs, workers, trial_timeout
+        )
+        retry_next: List[int] = []
+        any_failed = False
+        for i in batch:
+            outcome = outcomes.get(i, None)
+            if i in outcomes and not isinstance(outcome, TrialFailure):
+                record_success(i, outcome)
+                continue
+            any_failed = True
+            if i not in outcomes:
+                # The pool broke while this spec was in flight.  In a
+                # shared pool the culprit is unknowable — requeue without
+                # charging an attempt; the isolation rounds that follow
+                # will assign blame one spec at a time.
+                if not isolate:
+                    retry_next.append(i)
+                    continue
+                attempts[i] += 1
+                reason = "worker death (process pool broken)"
+            else:
+                attempts[i] += 1
+                reason = outcome.detail
+                if outcome.kind == "timeout":
+                    _publish(bus, TrialTimedOut(-1, keys[i], trial_timeout))
+            if attempts[i] > retries:
+                give_up(i, reason)
+            else:
+                _publish(bus, TrialRetried(-1, keys[i], attempts[i], reason))
+                retry_next.append(i)
+        if pool_broken and not isolate:
+            # From here on, one spec per fresh single-worker pool: slower,
+            # but a second crash now deterministically blames its spec.
+            isolate = True
+        todo = sorted(retry_next + [i for i in todo if i not in set(batch)])
+        if todo and any_failed and backoff > 0:
+            _time.sleep(min(backoff * 2 ** failure_rounds, 30.0))
+        if any_failed:
+            failure_rounds += 1

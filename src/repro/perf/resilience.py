@@ -1,0 +1,223 @@
+"""Resilient execution primitives: watchdog, retry/quarantine, journal.
+
+Three small pieces the executor composes:
+
+* :func:`guarded_execute` — the worker-side entry point.  Runs one spec
+  under a wall-clock watchdog (``SIGALRM``/``setitimer`` where available;
+  pool workers execute tasks on their main thread, so the signal always
+  lands) and converts any in-worker exception or timeout into a
+  :class:`TrialFailure` *value* — failures cross the process boundary as
+  data, not as exceptions, so one bad trial cannot poison a future.
+* :class:`QuarantineReport` — the sweep-level record of specs that
+  exhausted their retries; sweeps degrade to partial results plus this
+  report instead of aborting.
+* :class:`CheckpointJournal` — an append-only JSONL journal of finished
+  spec keys.  ``--resume`` replays it to skip completed work (results
+  are served from the :class:`~repro.perf.cache.TrialCache`); a line is
+  written *after* the cache store, so a crash mid-sweep can lose at most
+  the in-flight trials, never record phantom completions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import signal
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialFailure:
+    """Marker returned (not raised) by :func:`guarded_execute` on failure.
+
+    ``kind`` is ``"timeout"`` or ``"error"``; ``detail`` is human-readable.
+    """
+
+    kind: str
+    detail: str
+
+
+class _TrialTimeout(Exception):
+    """Internal: raised by the watchdog signal handler."""
+
+
+def _watchdog_available() -> bool:
+    # SIGALRM is POSIX-only, and signals are delivered to the main thread.
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def guarded_execute(spec: Any, timeout: Optional[float] = None) -> Any:
+    """Execute one trial spec; failures come back as :class:`TrialFailure`.
+
+    ``timeout`` is a wall-clock budget in seconds (``None`` = no
+    watchdog).  On platforms without ``SIGALRM`` — or off the main
+    thread — the trial simply runs unguarded.
+    """
+    from .spec import execute_trial
+
+    if not timeout or not _watchdog_available():
+        try:
+            return execute_trial(spec)
+        except Exception as exc:
+            return TrialFailure("error", f"{type(exc).__name__}: {exc}")
+
+    def _on_alarm(signum, frame):
+        raise _TrialTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute_trial(spec)
+    except _TrialTimeout:
+        return TrialFailure("timeout", f"exceeded {timeout:g}s wall clock")
+    except Exception as exc:
+        return TrialFailure("error", f"{type(exc).__name__}: {exc}")
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclasses.dataclass(frozen=True)
+class QuarantineEntry:
+    """One spec the executor gave up on."""
+
+    index: int          # position in the input grid
+    key: str            # spec_key (matches cache and journal)
+    spec: Any           # the spec itself, for reproduction
+    attempts: int
+    reason: str
+
+
+class QuarantineReport:
+    """Specs that exhausted their retries, in input order."""
+
+    def __init__(self) -> None:
+        self.entries: List[QuarantineEntry] = []
+
+    def add(self, index: int, key: str, spec: Any, attempts: int,
+            reason: str) -> None:
+        self.entries.append(
+            QuarantineEntry(index, key, spec, attempts, reason)
+        )
+        self.entries.sort(key=lambda e: e.index)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def keys(self) -> List[str]:
+        return [entry.key for entry in self.entries]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "quarantined": len(self.entries),
+            "entries": [
+                {
+                    "index": e.index,
+                    "key": e.key,
+                    "spec": repr(e.spec),
+                    "attempts": e.attempts,
+                    "reason": e.reason,
+                }
+                for e in self.entries
+            ],
+        }
+
+    def render(self) -> str:
+        if not self.entries:
+            return "quarantine: empty"
+        lines = [f"quarantine: {len(self.entries)} spec(s) set aside"]
+        for e in self.entries:
+            lines.append(
+                f"  [{e.index}] {e.key[:12]}…  after {e.attempts} "
+                f"attempt(s): {e.reason}"
+            )
+        return "\n".join(lines)
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed spec keys.
+
+    Each line is ``{"key": <spec_key>, "status": "done"|"quarantined",
+    "reason": ...}``.  Loading tolerates a truncated final line (the
+    harness may have been killed mid-write); replaying records the same
+    key twice is harmless.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._done: Set[str] = set()
+        self._quarantined: Dict[str, str] = {}
+        self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail from a killed run
+                key = record.get("key")
+                if not key:
+                    continue
+                if record.get("status") == "done":
+                    self._done.add(key)
+                    self._quarantined.pop(key, None)
+                elif record.get("status") == "quarantined":
+                    self._quarantined[key] = record.get("reason", "")
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def done_keys(self) -> Set[str]:
+        return set(self._done)
+
+    def is_done(self, key: str) -> bool:
+        return key in self._done
+
+    def quarantined(self) -> Dict[str, str]:
+        return dict(self._quarantined)
+
+    # -- appends -------------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+
+    def record_done(self, key: str) -> None:
+        if key in self._done:
+            return  # resumed runs re-see cached keys; keep the journal lean
+        self._done.add(key)
+        self._quarantined.pop(key, None)
+        self._append({"key": key, "status": "done"})
+
+    def record_quarantined(self, key: str, reason: str) -> None:
+        self._quarantined[key] = reason
+        self._append(
+            {"key": key, "status": "quarantined", "reason": reason}
+        )
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

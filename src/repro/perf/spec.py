@@ -122,4 +122,8 @@ def execute_trial(spec: TrialSpec):
 
     if isinstance(spec, McShardSpec):
         return execute_mc_shard(spec)
+    from ..chaos.trial import ChaosTrialSpec, run_chaos_trial
+
+    if isinstance(spec, ChaosTrialSpec):
+        return run_chaos_trial(spec)
     raise TypeError(f"not a trial spec: {spec!r}")

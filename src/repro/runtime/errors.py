@@ -42,3 +42,19 @@ class SimulationLimitError(ReproError):
     impossibility-side experiments *expect* this error, the algorithm-side
     experiments treat it as failure.
     """
+
+
+class NonTerminationError(SimulationLimitError):
+    """A run exhausted ``max_steps`` without reaching its stop condition.
+
+    The dedicated subclass lets callers (and the CLI) name the failure
+    mode — "the protocol did not terminate within the budget" — instead
+    of reporting a generic stop.  ``max_steps`` and ``time`` carry the
+    budget and the step count actually reached.
+    """
+
+    def __init__(self, message: str, max_steps: int | None = None,
+                 time: int | None = None):
+        super().__init__(message)
+        self.max_steps = max_steps
+        self.time = time

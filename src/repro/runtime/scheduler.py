@@ -166,6 +166,42 @@ class PriorityScheduler(Scheduler):
         return min(eligible, key=lambda p: self._rank.get(p, len(self._rank)))
 
 
+class FairnessGuard:
+    """Bounded-unfairness accounting for perturbing schedulers.
+
+    Run requirement 5 constrains only the limit (every correct process
+    takes infinitely many steps); a *finite* adversarial scheduler keeps
+    itself honest by bounding how long any eligible process may wait.
+    Call :meth:`overdue` before choosing — a non-``None`` return is a pid
+    that must be scheduled now — and :meth:`note` after every choice.
+    """
+
+    def __init__(self, bound: int):
+        if bound < 1:
+            raise SchedulerError(f"fairness bound must be >= 1, got {bound}")
+        self.bound = bound
+        self._waits: dict[int, int] = {}
+
+    def overdue(self, eligible: Sequence[int]) -> Optional[int]:
+        """The most-starved eligible pid at or past the bound, if any."""
+        worst: Optional[int] = None
+        worst_wait = 0
+        for pid in eligible:
+            wait = self._waits.get(pid, 0)
+            if wait >= self.bound and wait > worst_wait:
+                worst, worst_wait = pid, wait
+        return worst
+
+    def note(self, chosen: int, eligible: Sequence[int]) -> None:
+        """Record one scheduling decision."""
+        for pid in eligible:
+            self._waits[pid] = self._waits.get(pid, 0) + 1
+        self._waits[chosen] = 0
+
+    def max_wait(self) -> int:
+        return max(self._waits.values(), default=0)
+
+
 # ----------------------------------------------------------------------
 # Script builders for the adversarial constructions.
 # ----------------------------------------------------------------------

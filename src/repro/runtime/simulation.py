@@ -35,7 +35,7 @@ from ..obs.events import (
     ProtocolViolated,
     StepTaken,
 )
-from .errors import ProtocolError, SimulationLimitError
+from .errors import NonTerminationError, ProtocolError, SimulationLimitError
 from .ops import (
     SHARED_OBJECT_OPS,
     Broadcast,
@@ -339,9 +339,11 @@ class Simulation:
         """Run until ``condition``; raise if the budget is exhausted first."""
         self.run(max_steps=max_steps, scheduler=scheduler, stop_when=condition)
         if not condition(self):
-            raise SimulationLimitError(
+            raise NonTerminationError(
                 f"condition not reached within {max_steps} steps "
-                f"(t={self.time})"
+                f"(t={self.time})",
+                max_steps=max_steps,
+                time=self.time,
             )
         return self.trace
 
