@@ -1,0 +1,34 @@
+# Developer entry points.  Everything runs from a source checkout with
+# PYTHONPATH=src — no install step required.
+
+PYTHON ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+AUDIT_BUDGET ?= 2000
+AUDIT_SEED ?= 7
+AUDIT_JOBS ?= 0
+AUDIT_REPORT ?= audit-report.json
+
+.PHONY: test bench audit audit-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+# Full differential audit.  Exit code contract: 0 = every trial-pair
+# agreed, 4 = an equivalence broke (report path is printed).
+audit:
+	$(PYTHON) -m repro audit --budget $(AUDIT_BUDGET) --seed $(AUDIT_SEED) \
+		--jobs $(AUDIT_JOBS) --report $(AUDIT_REPORT)
+
+# The small fixed-seed slice CI runs: a clean pass over every pair, then
+# a sabotaged run that must exit exactly 4.
+audit-smoke:
+	$(PYTHON) -m repro audit --budget 40 --seed 7 --jobs 2 \
+		--report /tmp/audit-smoke-report.json
+	code=0; $(PYTHON) -m repro audit --budget 2 --seed 7 --pairs substrate \
+		--sabotage abd-ack --report /tmp/audit-sabotaged-report.json \
+		|| code=$$?; test "$$code" -eq 4

@@ -1,0 +1,96 @@
+"""Differential audit — throughput and clean-at-HEAD verification.
+
+Runs a fixed-seed audit slice across all five oracle pairs, times the
+cheapest and the most expensive oracles individually, and records
+trial-pairs/second plus the divergence count (which must be **zero** at
+HEAD — a non-empty count here is a regression, not a measurement) as
+``benchmarks/artifacts/BENCH_audit.json``.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.audit import ORACLE_PAIRS, PAIRS_PER_CASE, run_audit, run_case
+from repro.perf import ENGINE_VERSION
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+BUDGET = 40
+SEED = 7
+
+_RESULTS: dict = {}
+
+
+def test_audit_full_sweep_clean_at_head():
+    """One audit over every oracle pair: zero divergences, and the
+    headline trial-pairs/second figure."""
+    start = time.perf_counter()
+    report = run_audit(budget=BUDGET, seed=SEED)
+    elapsed = time.perf_counter() - start
+    assert report.ok, report.divergences
+    assert report.divergences == []
+    assert set(report.pairs) == set(ORACLE_PAIRS)
+    _RESULTS["sweep"] = {
+        "budget": BUDGET,
+        "seed": SEED,
+        "pairs": sorted(report.pairs),
+        "cases": report.cases,
+        "trial_pairs": report.trial_pairs,
+        "divergences_found": len(report.divergences),
+        "elapsed_seconds": round(elapsed, 2),
+        "trial_pairs_per_second": round(report.trial_pairs / elapsed, 2),
+    }
+
+
+def test_audit_replay_oracle_throughput(benchmark):
+    """Wall time of one replay-oracle case (live run vs run_script,
+    fingerprint compare) — the cheapest oracle."""
+
+    def run():
+        outcome = run_case("replay", 0, SEED)
+        assert outcome.ok, [d.describe() for d in outcome.divergences]
+        return outcome
+
+    outcome = benchmark(run)
+    _RESULTS["replay_case"] = {
+        "trials_per_case": PAIRS_PER_CASE["replay"],
+        "divergences_found": len(outcome.divergences),
+    }
+
+
+def test_audit_substrate_oracle_throughput(benchmark):
+    """Wall time of one substrate-oracle case (shared-memory converge vs
+    the full ABD message-passing emulation) — the deepest oracle."""
+
+    def run():
+        outcome = run_case("substrate", 0, SEED)
+        assert outcome.ok, [d.describe() for d in outcome.divergences]
+        return outcome
+
+    outcome = benchmark(run)
+    _RESULTS["substrate_case"] = {
+        "trials_per_case": PAIRS_PER_CASE["substrate"],
+        "divergences_found": len(outcome.divergences),
+    }
+
+
+def test_write_audit_artifact():
+    """Persist the collected measurements (runs last in file order)."""
+    assert "sweep" in _RESULTS
+    assert _RESULTS["sweep"]["divergences_found"] == 0
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    artifact = ARTIFACTS / "BENCH_audit.json"
+    artifact.write_text(
+        json.dumps(
+            {
+                "experiment": "audit",
+                "engine": ENGINE_VERSION,
+                "pairs_per_case": dict(PAIRS_PER_CASE),
+                **_RESULTS,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

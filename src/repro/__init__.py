@@ -84,6 +84,13 @@ from .core import (
     stable_emulated_output,
     with_fd_transform,
 )
+from .audit import (
+    AuditReport,
+    AuditTrialSpec,
+    Divergence,
+    plan_audit,
+    run_audit,
+)
 from .chaos import (
     ChaosConfig,
     ChaosTrialSpec,
@@ -154,6 +161,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AntiOmegaSpec",
+    "AuditReport",
+    "AuditTrialSpec",
     "BOT",
     "ChaosConfig",
     "ChaosTrialSpec",
@@ -168,6 +177,7 @@ __all__ = [
     "Explorer",
     "McInstance",
     "DetectorHierarchy",
+    "Divergence",
     "AbdRegisters",
     "EventuallySynchronousScheduler",
     "ExtractionTrialSpec",
@@ -227,6 +237,8 @@ __all__ = [
     "run_latency_comparison",
     "run_protocol",
     "run_set_agreement_trial",
+    "plan_audit",
+    "run_audit",
     "run_chaos_trial",
     "run_theorem1_adversary",
     "run_trials",

@@ -1,0 +1,175 @@
+"""Structured divergence reports for the differential audit.
+
+A :class:`Divergence` is the audit's counterexample format: which oracle
+pair broke, on which fuzzed case, *where* the two paths first disagreed
+(field-level diff of the result dataclasses, first differing trace step
+via :mod:`repro.analysis.trace_io`, fingerprints), and — for replay
+divergences — the failing schedule shrunk to a 1-minimal subsequence by
+:func:`repro.mc.counterexample.minimize_schedule`.  Everything is plain
+JSON types so a report round-trips through ``audit-report.json`` and a
+committed regression test can replay it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..analysis.trace_io import step_to_dict
+
+
+@dataclasses.dataclass
+class Divergence:
+    """One equivalence break between two run paths of the same trial.
+
+    ``kind`` classifies the comparison that failed:
+
+    * ``"result"`` — result dataclasses differ (``fields`` has the
+      field-level diff);
+    * ``"trace"`` — step-for-step traces differ (``first_step`` /
+      ``step_a`` / ``step_b`` locate the first disagreement);
+    * ``"fingerprint"`` — canonical state fingerprints differ;
+    * ``"contract"`` — a path violated the output contract both must
+      satisfy (decided / validity / agreement / commit flags);
+    * ``"error"`` — an oracle raised: one of the paths could not even
+      complete (``detail`` carries the exception).
+    """
+
+    pair: str
+    case: int
+    seed: int
+    kind: str
+    detail: str
+    spec: Optional[Dict[str, Any]] = None
+    fields: List[List[str]] = dataclasses.field(default_factory=list)
+    first_step: Optional[int] = None
+    step_a: Optional[Dict[str, Any]] = None
+    step_b: Optional[Dict[str, Any]] = None
+    fingerprint_a: Optional[str] = None
+    fingerprint_b: Optional[str] = None
+    instance: Optional[Dict[str, Any]] = None
+    schedule: Optional[List[int]] = None
+    shrunk_schedule: Optional[List[int]] = None
+
+    def describe(self) -> str:
+        where = ""
+        if self.first_step is not None:
+            where = f" (first differing step: {self.first_step})"
+        return f"[{self.pair}] case {self.case}: {self.kind} — " \
+               f"{self.detail}{where}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, body: Dict[str, Any]) -> "Divergence":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in body.items() if k in known})
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Divergence":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def diff_result_fields(a: Any, b: Any) -> List[List[str]]:
+    """Field-level diff of two result dataclasses, as ``[name, a, b]``
+    rows (reprs).  Fields declared ``compare=False`` (metrics snapshots)
+    are ignored, matching dataclass equality."""
+    if type(a) is not type(b):
+        return [["type", type(a).__name__, type(b).__name__]]
+    if not dataclasses.is_dataclass(a):
+        return [] if a == b else [["value", repr(a), repr(b)]]
+    rows: List[List[str]] = []
+    for field in dataclasses.fields(a):
+        if not field.compare:
+            continue
+        va, vb = getattr(a, field.name), getattr(b, field.name)
+        if va != vb:
+            rows.append([field.name, repr(va), repr(vb)])
+    return rows
+
+
+def first_trace_divergence(
+    trace_a, trace_b
+) -> Optional[Tuple[int, Optional[Dict], Optional[Dict]]]:
+    """``(index, step_a, step_b)`` of the first differing step, or ``None``
+    when the traces are identical.  A missing step (shorter trace) is
+    reported as ``None`` on that side."""
+    steps_a = [step_to_dict(s) for s in trace_a.steps]
+    steps_b = [step_to_dict(s) for s in trace_b.steps]
+    for index, (sa, sb) in enumerate(zip(steps_a, steps_b)):
+        if sa != sb:
+            return index, sa, sb
+    if len(steps_a) != len(steps_b):
+        index = min(len(steps_a), len(steps_b))
+        sa = steps_a[index] if index < len(steps_a) else None
+        sb = steps_b[index] if index < len(steps_b) else None
+        return index, sa, sb
+    return None
+
+
+def replay_disagrees(sim) -> bool:
+    """Does a scheduled live run of ``sim``'s executed schedule disagree
+    with a ``run_script`` replay of it?
+
+    ``sim`` must carry the :class:`~repro.mc.instances.McInstance` it was
+    built from in ``sim.audit_instance`` (the replay oracle attaches it).
+    The live twin is driven through :meth:`Simulation.run` by a
+    :class:`~repro.runtime.scheduler.ScriptedScheduler` — *not* by bare
+    steps — so the comparison reproduces exactly the scheduled-run versus
+    replay asymmetry the oracle checks.  Used as the failure predicate
+    under schedule minimization.
+    """
+    from ..analysis.trace_io import trace_to_dict
+    from ..mc.fingerprint import fingerprint
+    from ..mc.instances import build_simulation
+    from ..runtime.scheduler import ScriptedScheduler
+
+    executed = [step.pid for step in sim.trace.steps]
+    instance = sim.audit_instance
+    live = build_simulation(instance)
+    live.run(
+        max_steps=len(executed), scheduler=ScriptedScheduler(executed)
+    )
+    if [step.pid for step in live.trace.steps] != executed:
+        return False  # the schedule is not live-followable; discard
+    replayed = build_simulation(instance)
+    replayed.run_script(executed)
+    if trace_to_dict(live.trace) != trace_to_dict(replayed.trace):
+        return True
+    return fingerprint(live) != fingerprint(replayed)
+
+
+def shrink_replay_schedule(
+    instance_dict: Dict[str, Any], schedule: List[int]
+) -> Optional[List[int]]:
+    """Shrink a live-vs-replay divergence to a 1-minimal schedule.
+
+    Replays subsequences of ``schedule`` on fresh builds of the instance
+    and keeps deleting steps while the replayed prefix still disagrees
+    with an independent replay of itself (:func:`replay_disagrees`).
+    Returns ``None`` when the divergence does not reproduce from the
+    instance descriptor alone (e.g. nondeterminism outside the schedule).
+    """
+    # Deferred: mc.counterexample pulls in the explorer stack.
+    from ..mc.counterexample import minimize_schedule
+    from ..mc.instances import McInstance, build_simulation
+
+    instance = McInstance.from_dict(instance_dict)
+
+    def make_sim():
+        sim = build_simulation(instance)
+        sim.audit_instance = instance
+        return sim
+
+    try:
+        return minimize_schedule(make_sim, schedule, replay_disagrees)
+    except ValueError:
+        return None

@@ -1,0 +1,93 @@
+"""Picklable audit trial specs — the audit's unit of sharded work.
+
+An :class:`AuditTrialSpec` names one fuzzed oracle case by primitives
+only (``pair``, ``case``, ``seed``, optional ``sabotage``); the case's
+actual parameters are re-derived deterministically inside the worker by
+:func:`repro.audit.oracles.run_case`.  That makes audit cases first-class
+citizens of the perf layer: they shard through
+:func:`repro.perf.executor.run_trials` (including the resilient path),
+pickle across process boundaries, and key into the trial cache.
+
+``sabotage`` is deliberately part of the spec (and hence the cache key):
+a sabotaged audit must never be served a clean cached outcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditTrialSpec:
+    """One fuzzed oracle case (picklable, cache-keyable).
+
+    ``pair`` is an entry of :data:`repro.audit.oracles.ORACLE_PAIRS`;
+    ``case`` indexes the fuzzer's case stream for that pair; ``seed``
+    seeds the whole stream.  ``sabotage`` (self-test only): ``"cache"``
+    poisons a stored cache entry, ``"abd-ack"`` corrupts an ABD
+    acknowledgement — both must surface as divergences.
+    """
+
+    pair: str
+    case: int
+    seed: int
+    sabotage: str = ""
+
+    kind = "audit"
+
+
+@dataclasses.dataclass
+class AuditOutcome:
+    """Flat, comparable result of one audit case."""
+
+    pair: str
+    case: int
+    seed: int
+    trials: int
+    divergences: List[Dict[str, Any]] = dataclasses.field(
+        default_factory=list
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def run_audit_trial(spec: AuditTrialSpec) -> AuditOutcome:
+    """Execute one audit case (worker entry point).
+
+    An exception inside an oracle is itself an audit failure — one of the
+    two paths could not even complete — so it is reported as a divergence
+    of kind ``"error"`` rather than allowed to abort the whole audit.
+    """
+    from .diff import Divergence
+    from .oracles import PAIRS_PER_CASE, run_case
+
+    try:
+        outcome = run_case(
+            spec.pair, spec.case, spec.seed, sabotage=spec.sabotage
+        )
+    except Exception as exc:
+        return AuditOutcome(
+            pair=spec.pair,
+            case=spec.case,
+            seed=spec.seed,
+            trials=PAIRS_PER_CASE.get(spec.pair, 0),
+            divergences=[
+                Divergence(
+                    pair=spec.pair,
+                    case=spec.case,
+                    seed=spec.seed,
+                    kind="error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                ).to_dict()
+            ],
+        )
+    return AuditOutcome(
+        pair=spec.pair,
+        case=spec.case,
+        seed=spec.seed,
+        trials=outcome.trials,
+        divergences=[d.to_dict() for d in outcome.divergences],
+    )

@@ -174,7 +174,13 @@ def _announce(bus, chaos: ChaosConfig) -> None:
             bus.publish(ChaosInjected(0, kind, str(setting)))
 
 
-def run_chaos_trial(spec: ChaosTrialSpec, collector=None) -> ChaosTrialResult:
+def run_chaos_trial(
+    spec: ChaosTrialSpec,
+    collector=None,
+    *,
+    pristine: bool = False,
+    sim_out: Optional[list] = None,
+) -> ChaosTrialResult:
     """Execute one chaos trial and check its properties.
 
     Termination is checked explicitly (``all_correct_decided`` for the
@@ -182,6 +188,16 @@ def run_chaos_trial(spec: ChaosTrialSpec, collector=None) -> ChaosTrialResult:
     adapters' :class:`~repro.mc.properties.TerminationProperty` is
     vacuous on non-quiescent runs, and a chaotic run that stalls is
     precisely what we must not miss.
+
+    ``pristine`` (zero-severity specs only) bypasses the chaos machinery
+    entirely: the inner :class:`~repro.runtime.scheduler.RandomScheduler`
+    runs unwrapped and ``abd-converge`` uses the plain reliable
+    :class:`~repro.messaging.network.Network`.  A zero-severity chaos run
+    and its pristine twin must be step-for-step identical — that claim is
+    what the ``chaos-zero`` oracle of :mod:`repro.audit` checks.
+
+    ``sim_out``, when a list, receives the finished
+    :class:`~repro.runtime.simulation.Simulation` (for trace-level diffs).
     """
     _apply_sabotage(spec.sabotage)
     if spec.protocol not in PROTOCOLS:
@@ -196,6 +212,11 @@ def run_chaos_trial(spec: ChaosTrialSpec, collector=None) -> ChaosTrialResult:
     from .scheduler import ChaosScheduler
 
     chaos = spec.chaos_config()
+    if pristine and chaos.any_active:
+        raise ValueError(
+            "pristine execution requires a zero-severity chaos spec; "
+            f"got active knobs in {chaos!r}"
+        )
     system = System(spec.n_processes)
     rng = random.Random(
         f"chaos:{spec.protocol}:{spec.n_processes}:{spec.f}:{spec.seed}"
@@ -204,11 +225,14 @@ def run_chaos_trial(spec: ChaosTrialSpec, collector=None) -> ChaosTrialResult:
         collector = MetricsCollector()
     bus = collector.bus
     _announce(bus, chaos)
-    scheduler = ChaosScheduler(RandomScheduler(spec.seed), chaos, bus=bus)
+    if pristine:
+        scheduler = RandomScheduler(spec.seed)
+    else:
+        scheduler = ChaosScheduler(RandomScheduler(spec.seed), chaos, bus=bus)
 
     if spec.protocol == "abd-converge":
         sim, network, f_eff, violations, decided = _run_abd_converge(
-            spec, system, chaos, rng, scheduler, bus
+            spec, system, chaos, rng, scheduler, bus, pristine=pristine
         )
     elif spec.protocol == "extraction":
         sim, f_eff, violations, decided = _run_extraction(
@@ -221,6 +245,8 @@ def run_chaos_trial(spec: ChaosTrialSpec, collector=None) -> ChaosTrialResult:
         )
         network = None
 
+    if sim_out is not None:
+        sim_out.append(sim)
     times = sim.trace.decision_times()
     return ChaosTrialResult(
         protocol=spec.protocol,
@@ -235,11 +261,11 @@ def run_chaos_trial(spec: ChaosTrialSpec, collector=None) -> ChaosTrialResult:
         violations="; ".join(violations),
         total_steps=sim.time,
         last_decision_time=max(times.values()) if times else -1,
-        messages_dropped=network.dropped_count if network else 0,
-        messages_duplicated=network.duplicated_count if network else 0,
-        messages_delayed=network.delayed_count if network else 0,
-        bursts=scheduler.bursts_started,
-        starvations=scheduler.starvations_started,
+        messages_dropped=getattr(network, "dropped_count", 0),
+        messages_duplicated=getattr(network, "duplicated_count", 0),
+        messages_delayed=getattr(network, "delayed_count", 0),
+        bursts=getattr(scheduler, "bursts_started", 0),
+        starvations=getattr(scheduler, "starvations_started", 0),
         metrics=collector.snapshot(),
     )
 
@@ -338,7 +364,8 @@ def _run_extraction(spec, system, chaos, rng, scheduler, bus):
     return sim, env.f, violations, decided
 
 
-def _run_abd_converge(spec, system, chaos, rng, scheduler, bus):
+def _run_abd_converge(spec, system, chaos, rng, scheduler, bus,
+                      pristine=False):
     from ..core.converge import ConvergeInstance
     from ..failures.environment import Environment
     from ..failures.pattern import FailurePattern
@@ -347,6 +374,7 @@ def _run_abd_converge(spec, system, chaos, rng, scheduler, bus):
         ConvergeValidityProperty,
     )
     from ..messaging.abd import AbdRegisters, abd_snapshot_api
+    from ..messaging.network import Network
     from ..runtime.ops import Decide
     from ..runtime.simulation import Simulation
     from .network import FaultyNetwork
@@ -377,14 +405,17 @@ def _run_abd_converge(spec, system, chaos, rng, scheduler, bus):
         yield Decide((picked, committed))
         yield from abd.serve()
 
-    network = FaultyNetwork(
-        system,
-        seed=spec.seed + 101,
-        max_delay=3,
-        chaos=chaos,
-        quorum=quorum,
-        protected=pattern.correct,
-    )
+    if pristine:
+        network = Network(system, seed=spec.seed + 101, max_delay=3)
+    else:
+        network = FaultyNetwork(
+            system,
+            seed=spec.seed + 101,
+            max_delay=3,
+            chaos=chaos,
+            quorum=quorum,
+            protected=pattern.correct,
+        )
     sim = Simulation(
         system, protocol, inputs=inputs, pattern=pattern, network=network,
         bus=bus,
@@ -403,7 +434,7 @@ def _run_abd_converge(spec, system, chaos, rng, scheduler, bus):
         violations.append(
             f"termination: correct processes undecided after "
             f"{sim.time} steps (quorum={quorum}, "
-            f"dropped={network.dropped_count})"
+            f"dropped={getattr(network, 'dropped_count', 0)})"
         )
     return sim, network, f_eff, violations, decided
 

@@ -13,9 +13,13 @@
     python -m repro check --protocol fig1 --processes 2 --depth 14  # model check
     python -m repro sweep chaos --retries 2 --resume sweep.journal  # chaos grid
     python -m repro stats chaos --lying-prefix 80 --drop-rate 0.4
+    python -m repro audit --budget 2000 --seed 7   # differential audit
 
 Every subcommand prints a short report and exits non-zero if the
 corresponding paper property failed to hold (they never should).
+Exit codes: 0 = clean, 1 = property violation, 2 = usage error,
+3 = non-termination, 4 = the differential audit found an equivalence
+break (its report path is printed).
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from typing import Optional, Sequence
 
 from .analysis import run_extraction_trial, run_set_agreement_trial
 from .analysis.render import render_summary, render_timeline
+from .audit.oracles import ORACLE_PAIRS
 from .core import (
     candidate_complement_extractor,
     candidate_heartbeat_extractor,
@@ -307,6 +312,35 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write the first counterexample to FILE "
                                "as JSON")
     _add_resilience_flags(mc_check)
+
+    audit = sub.add_parser(
+        "audit",
+        help="differential audit: the same trial via different paths "
+             "must agree (exit 4 on divergence)",
+    )
+    audit.add_argument(
+        "--pairs", default=None, metavar="LIST",
+        help="comma-separated oracle pairs to run (default: all); "
+             "known: " + ", ".join(ORACLE_PAIRS),
+    )
+    audit.add_argument("--budget", type=int, default=200,
+                       help="approximate trial-pair budget, split across "
+                            "the selected oracle pairs (default 200)")
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for sharding audit cases "
+                            "(default 1 = in-process)")
+    audit.add_argument("--report", metavar="FILE",
+                       default="audit-report.json",
+                       help="where to write the JSON report "
+                            "(default audit-report.json)")
+    audit.add_argument("--sabotage", choices=("cache", "abd-ack"),
+                       default="",
+                       help="self-test: inject a known equivalence break "
+                            "(a poisoned cache entry / a corrupted ABD "
+                            "ack) — the audit must then exit 4")
+    audit.add_argument("--json", action="store_true",
+                       help="print the full report as JSON to stdout")
 
     return parser
 
@@ -829,7 +863,43 @@ def _cmd_campaign(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_audit(args) -> int:
+    import json as json_module
+
+    from .audit import run_audit
+    from .obs.metrics import MetricsCollector
+
+    pairs = None
+    if args.pairs:
+        pairs = [p.strip() for p in args.pairs.split(",") if p.strip()]
+    collector = MetricsCollector()
+    report = run_audit(
+        budget=args.budget,
+        seed=args.seed,
+        pairs=pairs,
+        jobs=args.jobs,
+        sabotage=args.sabotage,
+        bus=collector.bus,
+        progress=None if args.json else print,
+    )
+    report_path = report.save(args.report)
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        rate = (
+            report.trial_pairs / report.elapsed_seconds
+            if report.elapsed_seconds else 0.0
+        )
+        print(f"{report.summary()}  ({rate:.1f} trial-pairs/s)")
+        for body in report.divergences:
+            print(f"  DIVERGENCE [{body.get('pair')}] case "
+                  f"{body.get('case')}: {body.get('detail')}")
+    print(f"report: {report_path}")
+    return 0 if report.ok else 4
+
+
 _COMMANDS = {
+    "audit": _cmd_audit,
     "fig1": _cmd_fig1,
     "hierarchy": _cmd_hierarchy,
     "campaign": _cmd_campaign,

@@ -26,6 +26,7 @@ Quickstart::
 """
 
 from .events import (
+    AuditDivergence,
     ChaosInjected,
     Decided,
     EmitChanged,
@@ -57,6 +58,7 @@ from .metrics import (
 from .profile import EngineProfile, PhaseRecord, RunProfiler, profile_engine
 
 __all__ = [
+    "AuditDivergence",
     "ChaosInjected",
     "CounterMetric",
     "Decided",

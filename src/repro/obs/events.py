@@ -204,6 +204,23 @@ class TrialTimedOut(Event):
     seconds: float
 
 
+@dataclasses.dataclass(frozen=True)
+class AuditDivergence(Event):
+    """Two run paths that must be equivalent disagreed (``time = -1``).
+
+    Published by :mod:`repro.audit` when an oracle pair — serial vs
+    parallel executor, cold vs warm cache, live vs replay, zero-severity
+    chaos vs pristine, shared memory vs ABD — produces differing outcomes
+    for the same logical trial.  ``pair`` names the oracle, ``kind`` the
+    comparison that broke (``"result"``, ``"trace"``, ``"fingerprint"``,
+    ``"contract"``), and ``detail`` a one-line description.
+    """
+
+    pair: str
+    kind: str
+    detail: str = ""
+
+
 #: Signature of a subscriber: receives each published event.
 Subscriber = Callable[[Event], None]
 

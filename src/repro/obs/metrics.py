@@ -19,6 +19,7 @@ import json
 from typing import Any, Dict, Hashable, List, Optional, Union
 
 from .events import (
+    AuditDivergence,
     ChaosInjected,
     Decided,
     EmitChanged,
@@ -277,6 +278,9 @@ class MetricsCollector:
                                       "trials given up on after retries")
         self._timeouts = r.counter("trial_timeouts",
                                    "trials cut short by the watchdog")
+        self._audit = r.counter("audit_divergences",
+                                "equivalence breaks found by the "
+                                "differential audit, by oracle pair")
         self._emitted_once: set = set()
         self._wire(self.bus)
 
@@ -298,6 +302,7 @@ class MetricsCollector:
         bus.subscribe(self._on_retry, (TrialRetried,))
         bus.subscribe(self._on_quarantine, (TrialQuarantined,))
         bus.subscribe(self._on_timeout, (TrialTimedOut,))
+        bus.subscribe(self._on_audit, (AuditDivergence,))
 
     # -- handlers ----------------------------------------------------------
 
@@ -358,6 +363,9 @@ class MetricsCollector:
 
     def _on_timeout(self, event: TrialTimedOut) -> None:
         self._timeouts.inc(event.key[:12])
+
+    def _on_audit(self, event: AuditDivergence) -> None:
+        self._audit.inc(event.pair)
 
     # -- results -----------------------------------------------------------
 

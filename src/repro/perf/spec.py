@@ -12,8 +12,10 @@ Two invariants matter:
   this is what makes both the process-pool fan-out and the disk cache
   sound.
 * **Stable keys** — :func:`spec_key` hashes the canonical JSON of the
-  spec *plus* the engine version salt, so cached results are invalidated
-  whenever the engine's trial semantics change.
+  spec *plus* the engine version salt *plus* the environment salt
+  (:func:`environment_salt`: detector-registry wiring and the chaos-knob
+  schema), so cached results are invalidated whenever the engine's trial
+  semantics change — including semantics a spec only names by reference.
 """
 
 from __future__ import annotations
@@ -26,7 +28,46 @@ from typing import Optional, Union
 #: Cache-key salt for the simulation engine.  Bump whenever a change to
 #: the engine, the protocols, or the trial drivers alters what any trial
 #: returns — every previously cached result is then invalidated at once.
-ENGINE_VERSION = "2026.08.0"
+ENGINE_VERSION = "2026.08.1"
+
+#: Lazily computed environment salt (see :func:`environment_salt`).
+_ENV_SALT: Optional[str] = None
+
+
+def environment_salt() -> str:
+    """A digest of trial semantics that live *outside* the spec fields.
+
+    A spec names its detector by registry entry and its chaos knobs by
+    :class:`~repro.chaos.config.ChaosConfig` field — so rewiring a
+    registry name to a different detector class, or changing a chaos
+    knob's default, changes what a cached result means without changing
+    any spec field.  The salt folds both into every cache key: the
+    registry's ``name → detector class`` mapping and the chaos config's
+    ``field → default`` schema.  Computed once per process.
+    """
+    global _ENV_SALT
+    if _ENV_SALT is None:
+        from ..chaos.config import ChaosConfig
+        from ..detectors.registry import detector_names, make_detector
+        from ..failures.environment import Environment
+        from ..runtime.process import System
+
+        env = Environment.wait_free(System(3))
+        detectors = []
+        for name in detector_names():
+            spec = make_detector(name, env)
+            kind = type(spec)
+            detectors.append([name, kind.__module__, kind.__qualname__])
+        chaos_schema = [
+            [field.name, repr(field.default)]
+            for field in dataclasses.fields(ChaosConfig)
+        ]
+        blob = json.dumps(
+            {"detectors": detectors, "chaos": chaos_schema},
+            sort_keys=True, separators=(",", ":"),
+        )
+        _ENV_SALT = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return _ENV_SALT
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,6 +116,7 @@ def spec_key(spec: TrialSpec) -> str:
     payload = dict(dataclasses.asdict(spec))
     payload["kind"] = spec.kind
     payload["engine"] = ENGINE_VERSION
+    payload["salt"] = environment_salt()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -126,4 +168,8 @@ def execute_trial(spec: TrialSpec):
 
     if isinstance(spec, ChaosTrialSpec):
         return run_chaos_trial(spec)
+    from ..audit.runner import AuditTrialSpec, run_audit_trial
+
+    if isinstance(spec, AuditTrialSpec):
+        return run_audit_trial(spec)
     raise TypeError(f"not a trial spec: {spec!r}")

@@ -348,9 +348,20 @@ class Simulation:
         return self.trace
 
     def run_script(self, script: Sequence[int]) -> None:
-        """Execute an explicit pid sequence (adversary driver API)."""
+        """Execute an explicit pid sequence (adversary driver API).
+
+        Due crashes are applied before every step and once after the
+        last, exactly as :meth:`run` applies them through
+        :meth:`eligible` — a replayed schedule must leave the run in the
+        same state as the scheduled run it was recorded from, crashed
+        bystanders included.
+        """
         for pid in script:
+            if self._next_crash is not None and self.time >= self._next_crash:
+                self._apply_due_crashes()
             self.step(pid)
+        if self._next_crash is not None and self.time >= self._next_crash:
+            self._apply_due_crashes()
 
     # -- predicates ----------------------------------------------------------
 

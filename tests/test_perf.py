@@ -295,3 +295,122 @@ class TestSweepCli:
         assert _parse_int_list("0-3") == [0, 1, 2, 3]
         assert _parse_int_list("3,4,5") == [3, 4, 5]
         assert _parse_int_list("0,2-4") == [0, 2, 3, 4]
+
+
+class TestSerialParallelEquivalence:
+    """Audit satellite: jobs=1 and jobs=4 are output-equivalent.
+
+    Property-based when hypothesis is available (it is in CI); the
+    strategies draw small mixed spec grids so each example spins a real
+    four-worker pool over the same grid the serial path ran.
+    """
+
+    hypothesis = pytest.importorskip("hypothesis")
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    def _grid(seeds):
+        specs = []
+        for i, seed in enumerate(seeds):
+            if i % 2 == 0:
+                specs.append(SetAgreementTrialSpec(
+                    3, 2, seed=seed, stabilization_time=0,
+                    max_steps=100_000,
+                ))
+            else:
+                specs.append(ExtractionTrialSpec(
+                    "omega", 3, seed=seed, stabilization_time=20,
+                    max_steps=40_000,
+                ))
+        return specs
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=2, max_size=6))
+    def test_jobs1_equals_jobs4(self, seeds):
+        specs = self._grid(seeds)
+        serial = run_trials(specs, jobs=1)
+        parallel = run_trials(specs, jobs=4)
+        assert serial == parallel  # ordered, elementwise dataclass equality
+
+    def test_quarantined_slots_at_identical_indices(self):
+        """With a deterministically crashing spec in the grid, resilient
+        serial and parallel execution quarantine the *same* input slots
+        (results[i] is None exactly there) and agree elsewhere."""
+        from repro.chaos.trial import ChaosTrialSpec
+        from repro.perf.resilience import QuarantineReport
+
+        specs = [
+            SetAgreementTrialSpec(3, 2, seed=1, stabilization_time=0),
+            ChaosTrialSpec(protocol="fig1", n_processes=3, seed=2,
+                           sabotage="raise"),
+            SetAgreementTrialSpec(3, 2, seed=3, stabilization_time=0),
+            ChaosTrialSpec(protocol="fig1", n_processes=3, seed=4,
+                           sabotage="raise"),
+        ]
+        serial_q = QuarantineReport()
+        serial = run_trials(specs, jobs=1, quarantine=serial_q, backoff=0)
+        parallel_q = QuarantineReport()
+        parallel = run_trials(specs, jobs=4, quarantine=parallel_q,
+                              backoff=0)
+        assert [r is None for r in serial] == [False, True, False, True]
+        assert [r is None for r in parallel] == [False, True, False, True]
+        assert serial == parallel
+        assert (
+            sorted(e.index for e in serial_q.entries)
+            == sorted(e.index for e in parallel_q.entries)
+            == [1, 3]
+        )
+
+
+class TestEnvironmentSalt:
+    """Cache keys cover semantics a spec only names by reference
+    (audit satellite: detector registry + chaos schema salting)."""
+
+    def test_salt_is_stable_and_cached(self):
+        from repro.perf.spec import environment_salt
+
+        first = environment_salt()
+        assert len(first) == 64
+        assert environment_salt() == first
+
+    def test_key_changes_with_environment_salt(self):
+        import repro.perf.spec as spec_mod
+
+        spec = SetAgreementTrialSpec(3, 2, seed=0, stabilization_time=0)
+        key = spec_key(spec)
+        original = spec_mod._ENV_SALT
+        try:
+            spec_mod._ENV_SALT = "0" * 64  # a rewired registry would differ
+            assert spec_key(spec) != key
+        finally:
+            spec_mod._ENV_SALT = original
+
+    def test_salt_covers_registry_and_chaos_schema(self):
+        """The salt digest is a function of the detector registry's
+        name→class wiring and the chaos config's field defaults."""
+        import dataclasses as dc
+        import hashlib
+        import json as json_module
+
+        from repro.chaos.config import ChaosConfig
+        from repro.detectors.registry import detector_names, make_detector
+        from repro.failures.environment import Environment
+        from repro.perf.spec import environment_salt
+        from repro.runtime.process import System
+
+        env = Environment.wait_free(System(3))
+        detectors = []
+        for name in detector_names():
+            kind = type(make_detector(name, env))
+            detectors.append([name, kind.__module__, kind.__qualname__])
+        chaos_schema = [[f.name, repr(f.default)]
+                        for f in dc.fields(ChaosConfig)]
+        blob = json_module.dumps(
+            {"detectors": detectors, "chaos": chaos_schema},
+            sort_keys=True, separators=(",", ":"),
+        )
+        expected = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        assert environment_salt() == expected
