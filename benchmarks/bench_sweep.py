@@ -41,6 +41,9 @@ from repro.analysis.sweeps import (  # noqa: E402
     set_agreement_grid,
     to_csv,
 )
+from repro.obs.campaign import (  # noqa: E402
+    SCHEMA_VERSION as ARTIFACT_SCHEMA_VERSION,
+)
 from repro.perf import (  # noqa: E402
     ENGINE_VERSION,
     TrialCache,
@@ -131,6 +134,7 @@ def main(argv=None) -> int:
     )
     payload = {
         "engine_version": ENGINE_VERSION,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
         "host": {
             "cpu_count": os.cpu_count(),
             "platform": platform.platform(),

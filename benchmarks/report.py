@@ -482,8 +482,13 @@ ARTIFACT_PATH = pathlib.Path(__file__).parent / "artifacts" / "metrics.json"
 def metrics_artifact(path: pathlib.Path = ARTIFACT_PATH):
     """Instrumented representative runs → one metrics JSON artifact."""
     from repro.obs import MetricsCollector
+    from repro.obs.campaign import SCHEMA_VERSION
+    from repro.perf import ENGINE_VERSION
 
-    artifact = {}
+    artifact = {
+        "schema_version": SCHEMA_VERSION,
+        "engine_version": ENGINE_VERSION,
+    }
     for n_procs in (3, 4, 5):
         system = System(n_procs)
         collector = MetricsCollector()
@@ -515,6 +520,26 @@ def metrics_artifact(path: pathlib.Path = ARTIFACT_PATH):
     return path
 
 
+LEDGER_PATH = pathlib.Path(__file__).parent / "artifacts" / "ledger.jsonl"
+
+
+def ledger_artifacts(path: pathlib.Path = LEDGER_PATH):
+    """Append every ``BENCH_*.json`` artifact to the campaign ledger.
+
+    Each artifact lands as one ``bench:<name>`` record carrying its
+    sha256 digest and scalar top-level fields, so ``repro report
+    --ledger benchmarks/artifacts/ledger.jsonl`` charts the bench
+    trajectory across regenerations.
+    """
+    from repro.obs.campaign import CampaignLedger
+
+    ledger = CampaignLedger(path)
+    appended = []
+    for artifact in sorted(path.parent.glob("BENCH_*.json")):
+        appended.append(ledger.append_artifact(artifact))
+    return path, appended
+
+
 def main():
     f1_table()
     f1_adversarial_table()
@@ -533,6 +558,10 @@ def main():
     ablation_table()
     artifact = metrics_artifact()
     print(f"<!-- metrics artifact: {artifact} -->")
+    ledger, appended = ledger_artifacts()
+    if appended:
+        print(f"<!-- campaign ledger: {ledger} "
+              f"(+{len(appended)} artifact records) -->")
 
 
 if __name__ == "__main__":

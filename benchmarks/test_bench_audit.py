@@ -12,6 +12,7 @@ import pathlib
 import time
 
 from repro.audit import ORACLE_PAIRS, PAIRS_PER_CASE, run_audit, run_case
+from repro.obs.campaign import SCHEMA_VERSION as ARTIFACT_SCHEMA_VERSION
 from repro.perf import ENGINE_VERSION
 
 ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
@@ -86,6 +87,8 @@ def test_write_audit_artifact():
             {
                 "experiment": "audit",
                 "engine": ENGINE_VERSION,
+                "engine_version": ENGINE_VERSION,
+                "schema_version": ARTIFACT_SCHEMA_VERSION,
                 "pairs_per_case": dict(PAIRS_PER_CASE),
                 **_RESULTS,
             },

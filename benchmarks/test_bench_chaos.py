@@ -15,6 +15,7 @@ import statistics
 
 from repro.chaos import ChaosConfig, ChaosTrialSpec, run_chaos_trial
 from repro.chaos import spec_from_chaos
+from repro.obs.campaign import SCHEMA_VERSION as ARTIFACT_SCHEMA_VERSION
 from repro.perf import ENGINE_VERSION
 
 ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
@@ -127,6 +128,8 @@ def test_write_chaos_artifact():
             {
                 "experiment": "chaos",
                 "engine": ENGINE_VERSION,
+                "engine_version": ENGINE_VERSION,
+                "schema_version": ARTIFACT_SCHEMA_VERSION,
                 "n_processes": N_PROCESSES,
                 "seeds": len(list(SEEDS)),
                 "max_steps": MAX_STEPS,

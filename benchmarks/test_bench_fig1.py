@@ -13,6 +13,8 @@ import pytest
 
 from repro.analysis import run_set_agreement_trial
 from repro.obs import MetricsCollector
+from repro.obs.campaign import SCHEMA_VERSION as ARTIFACT_SCHEMA_VERSION
+from repro.perf import ENGINE_VERSION
 from repro.runtime import System
 
 ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
@@ -78,6 +80,8 @@ def test_fig1_metrics_artifact(benchmark):
     artifact.write_text(
         json.dumps(
             {"experiment": "fig1", "n_processes": 4,
+             "engine_version": ENGINE_VERSION,
+             "schema_version": ARTIFACT_SCHEMA_VERSION,
              "runs": len(snapshots), "last_run_metrics": snapshots[-1]},
             indent=2, sort_keys=True,
         ),

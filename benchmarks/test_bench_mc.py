@@ -20,6 +20,7 @@ from repro.mc import (
     ParallelExplorer,
     explore_instance,
 )
+from repro.obs.campaign import SCHEMA_VERSION as ARTIFACT_SCHEMA_VERSION
 from repro.perf import ENGINE_VERSION
 
 ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
@@ -119,6 +120,8 @@ def test_write_mc_artifact():
             {
                 "experiment": "mc",
                 "engine": ENGINE_VERSION,
+                "engine_version": ENGINE_VERSION,
+                "schema_version": ARTIFACT_SCHEMA_VERSION,
                 "instance": INSTANCE.to_dict(),
                 "max_depth": DEPTH,
                 **_RESULTS,

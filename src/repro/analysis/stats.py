@@ -9,7 +9,11 @@ from typing import Iterable, List, Sequence
 
 @dataclasses.dataclass(frozen=True)
 class Summary:
-    """Five-number-ish summary of a sample."""
+    """Five-number-ish summary of a sample.
+
+    ``p99`` defaults to the maximum so positional construction from older
+    call sites stays valid; :func:`summarize` always fills it properly.
+    """
 
     count: int
     mean: float
@@ -17,12 +21,19 @@ class Summary:
     p95: float
     minimum: float
     maximum: float
+    p99: float = float("nan")
+
+    @property
+    def p50(self) -> float:
+        """Alias: the median is the 50th percentile."""
+        return self.median
 
     def row(self, label: str) -> str:
+        p99 = self.maximum if math.isnan(self.p99) else self.p99
         return (
             f"{label:<34} n={self.count:<5} mean={self.mean:>10.1f} "
-            f"median={self.median:>9.1f} p95={self.p95:>10.1f} "
-            f"max={self.maximum:>10.1f}"
+            f"p50={self.median:>9.1f} p95={self.p95:>10.1f} "
+            f"p99={p99:>10.1f} max={self.maximum:>10.1f}"
         )
 
 
@@ -53,4 +64,5 @@ def summarize(values: Iterable[float]) -> Summary:
         p95=percentile(data, 0.95),
         minimum=data[0],
         maximum=data[-1],
+        p99=percentile(data, 0.99),
     )

@@ -124,6 +124,7 @@ def run_audit(
     sabotage: str = "",
     bus=None,
     progress=None,
+    collector=None,
 ) -> AuditReport:
     """Plan and execute an audit; return the aggregated report.
 
@@ -137,7 +138,7 @@ def run_audit(
 
     specs = plan_audit(budget, seed, pairs=pairs, sabotage=sabotage)
     started = time.perf_counter()
-    outcomes = run_trials(specs, jobs=jobs)
+    outcomes = run_trials(specs, jobs=jobs, collector=collector)
     elapsed = time.perf_counter() - started
 
     report = _fold(specs, outcomes, seed=seed, budget=budget, bus=bus)

@@ -173,8 +173,13 @@ def _build_parser() -> argparse.ArgumentParser:
             help="also stream every run event to FILE as JSONL",
         )
         sub_parser.add_argument(
+            "--format", choices=("table", "json", "prom"), default="table",
+            help="metrics output: aligned table (default), JSON snapshot, "
+                 "or Prometheus text exposition",
+        )
+        sub_parser.add_argument(
             "--json", action="store_true",
-            help="print the metrics snapshot as JSON instead of a table",
+            help="shorthand for --format json",
         )
 
     profile = sub.add_parser(
@@ -271,7 +276,18 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         sub_parser.add_argument(
             "--json", action="store_true",
-            help="print the run summary as JSON",
+            help="print the run summary as JSON (includes the merged "
+                 "metrics snapshot)",
+        )
+        sub_parser.add_argument(
+            "--events", metavar="FILE", default=None,
+            help="stream harness events (spans, trial completions, "
+                 "retries) to FILE as JSONL — `repro dash` tails this",
+        )
+        sub_parser.add_argument(
+            "--ledger", metavar="FILE", default=None,
+            help="append one campaign-ledger record for this run "
+                 "(default $REPRO_LEDGER; unset = no ledger)",
         )
         _add_resilience_flags(sub_parser)
 
@@ -342,6 +358,40 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--json", action="store_true",
                        help="print the full report as JSON to stdout")
 
+    for sub_parser in (mc_check, audit):
+        sub_parser.add_argument(
+            "--ledger", metavar="FILE", default=None,
+            help="append one campaign-ledger record for this run "
+                 "(default $REPRO_LEDGER; unset = no ledger)",
+        )
+
+    dash = sub.add_parser(
+        "dash",
+        help="live dashboard over a --events stream + campaign ledger "
+             "(stdlib http.server; /api/summary, /api/metrics, /metrics)",
+    )
+    dash.add_argument("--events", metavar="FILE", default=None,
+                      help="JSONL event stream to tail (a sweep's "
+                           "--events file)")
+    dash.add_argument("--ledger", metavar="FILE", default=None,
+                      help="campaign ledger to show (default $REPRO_LEDGER)")
+    dash.add_argument("--host", default="127.0.0.1")
+    dash.add_argument("--port", type=int, default=8787)
+
+    report_cmd = sub.add_parser(
+        "report",
+        help="render the campaign ledger as a static HTML "
+             "perf-trajectory page (no JS, CI-artifact friendly)",
+    )
+    report_cmd.add_argument("--ledger", metavar="FILE", default=None,
+                            help="campaign ledger to render "
+                                 "(default $REPRO_LEDGER)")
+    report_cmd.add_argument("--out", metavar="FILE",
+                            default="campaign-report.html",
+                            help="output HTML path "
+                                 "(default campaign-report.html)")
+    report_cmd.add_argument("--title", default="repro campaign report")
+
     return parser
 
 
@@ -361,6 +411,15 @@ def _add_resilience_flags(sub_parser) -> None:
         help="JSONL checkpoint journal; completed spec keys are "
              "skipped on re-run and appended as the run progresses",
     )
+
+
+def _open_ledger(args):
+    """The :class:`CampaignLedger` selected by ``--ledger``/``$REPRO_LEDGER``,
+    or ``None`` when the ledger is off (the default)."""
+    from .obs.campaign import CampaignLedger, default_ledger_path
+
+    path = getattr(args, "ledger", None) or default_ledger_path()
+    return CampaignLedger(path) if path else None
 
 
 def _parse_int_list(text: str) -> list:
@@ -566,13 +625,19 @@ def _cmd_stats(args) -> int:
     finally:
         if sink is not None:
             sink.close()
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         print(json.dumps(
             {"headline": headline, "ok": ok,
              "events_written": sink.lines if sink is not None else 0,
              "metrics": result.metrics},
             indent=2, sort_keys=True,
         ))
+        return 0 if ok else 1
+    if fmt == "prom":
+        from .obs.prom import render_prometheus
+
+        print(render_prometheus(collector.registry), end="")
         return 0 if ok else 1
     print(headline)
     print()
@@ -672,6 +737,8 @@ def _cmd_sweep(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    from .obs import JsonlEventSink, MetricsCollector
+
     resilient = bool(
         args.retries or args.trial_timeout or args.resume
         or getattr(args, "inject_worker_crash", None) is not None
@@ -679,12 +746,26 @@ def _cmd_sweep(args) -> int:
     quarantine = QuarantineReport() if resilient else None
     cache = None if args.no_cache else TrialCache(args.cache_dir)
     jobs = resolve_jobs(args.jobs)
+    collector = MetricsCollector()
+    try:
+        sink = (
+            JsonlEventSink(args.events, bus=collector.bus, flush=True)
+            if args.events else None
+        )
+    except OSError as exc:
+        print(f"error: cannot open --events file: {exc}", file=sys.stderr)
+        return 2
     start = time.perf_counter()
-    results = run_trials(
-        specs, jobs=jobs, cache=cache,
-        retries=args.retries, trial_timeout=args.trial_timeout,
-        journal=args.resume, quarantine=quarantine,
-    )
+    try:
+        results = run_trials(
+            specs, jobs=jobs, cache=cache,
+            retries=args.retries, trial_timeout=args.trial_timeout,
+            journal=args.resume, quarantine=quarantine,
+            collector=collector,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     wall = time.perf_counter() - start
 
     survivors = [r for r in results if r is not None]
@@ -718,9 +799,24 @@ def _cmd_sweep(args) -> int:
         "journal": args.resume,
         "csv": args.csv if survivors else None,
     }
+    registry = collector.registry
+    retried = registry.counter("trial_retries").total()
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        ledger.append_run(
+            f"sweep:{args.sweep_command}",
+            "ok" if all_ok else "violation",
+            duration=wall, trials=len(results),
+            quarantined=quarantined, retries=retried,
+            jobs=jobs, violations=len(ok_flags) - sum(ok_flags),
+            events=args.events,
+        )
     if args.json:
         if quarantine is not None:
             summary["quarantine"] = quarantine.to_dict()
+        summary["metrics"] = collector.snapshot()
+        summary["events_written"] = sink.lines if sink is not None else 0
+        summary["ledger"] = str(ledger.path) if ledger is not None else None
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(f"{args.sweep_command} sweep: {len(results)} trials  "
@@ -733,6 +829,10 @@ def _cmd_sweep(args) -> int:
                   f"({len(survivors)}/{len(results)} keys done)")
         if args.csv and survivors:
             print(f"csv -> {args.csv}")
+        if sink is not None:
+            print(f"{sink.lines} events -> {args.events}")
+        if ledger is not None:
+            print(f"ledger -> {ledger.path}")
         if quarantine:
             print()
             print(quarantine.render())
@@ -774,13 +874,26 @@ def _cmd_check(args) -> int:
 
     resilient = bool(args.retries or args.trial_timeout or args.resume)
     quarantine = QuarantineReport() if resilient else None
+    import time as time_module
+
+    start = time_module.perf_counter()
     report = check(
         instance, config, sweep=sweep, jobs=args.jobs,
         retries=args.retries, trial_timeout=args.trial_timeout,
         journal=args.resume, quarantine=quarantine,
     )
+    wall = time_module.perf_counter() - start
     if args.save_counterexample and report.counterexamples:
         report.counterexamples[0].save(args.save_counterexample)
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        ledger.append_run(
+            f"check:{args.protocol}", "ok" if report.ok else "violation",
+            duration=wall, trials=report.instances_checked,
+            quarantined=len(quarantine) if quarantine is not None else 0,
+            counterexamples=len(report.counterexamples),
+            depth=args.depth,
+        )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         return 0 if report.ok else 1
@@ -881,8 +994,16 @@ def _cmd_audit(args) -> int:
         sabotage=args.sabotage,
         bus=collector.bus,
         progress=None if args.json else print,
+        collector=collector,
     )
     report_path = report.save(args.report)
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        ledger.append_run(
+            "audit", "ok" if report.ok else "divergence",
+            duration=report.elapsed_seconds, trials=report.trial_pairs,
+            divergences=len(report.divergences), budget=args.budget,
+        )
     if args.json:
         print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -898,8 +1019,41 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 4
 
 
+def _cmd_dash(args) -> int:
+    from .obs.campaign import default_ledger_path
+    from .obs.dash import serve
+
+    ledger = args.ledger or default_ledger_path()
+    if not args.events and not ledger:
+        print("error: nothing to show — pass --events and/or --ledger "
+              "(or set $REPRO_LEDGER)", file=sys.stderr)
+        return 2
+    serve(events_path=args.events, ledger=ledger,
+          host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs.campaign import CampaignLedger, default_ledger_path
+    from .obs.report import render_report_html
+
+    path = args.ledger or default_ledger_path()
+    if not path:
+        print("error: no ledger — pass --ledger FILE or set $REPRO_LEDGER",
+              file=sys.stderr)
+        return 2
+    ledger = CampaignLedger(path)
+    records = ledger.records()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(render_report_html(records, title=args.title))
+    print(f"{len(records)} ledger record(s) -> {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "audit": _cmd_audit,
+    "dash": _cmd_dash,
+    "report": _cmd_report,
     "fig1": _cmd_fig1,
     "hierarchy": _cmd_hierarchy,
     "campaign": _cmd_campaign,

@@ -589,6 +589,7 @@ def check(
     trial_timeout: Optional[float] = None,
     journal=None,
     quarantine=None,
+    collector=None,
 ) -> CheckReport:
     """Model-check an instance — schedules × crash subsets × crash times.
 
@@ -611,7 +612,7 @@ def check(
         results = run_check_shards(
             instances, config, jobs=jobs, cache=cache,
             retries=retries, trial_timeout=trial_timeout,
-            journal=journal, quarantine=quarantine,
+            journal=journal, quarantine=quarantine, collector=collector,
         )
         results = [r for r in results if r is not None]
     else:

@@ -170,7 +170,7 @@ class ParallelExplorer:
     def __init__(self, jobs: Optional[int] = None, shard_depth: int = 1,
                  cache=None, *, retries: int = 0,
                  trial_timeout: Optional[float] = None,
-                 journal=None, quarantine=None):
+                 journal=None, quarantine=None, collector=None):
         self.jobs = jobs
         self.shard_depth = shard_depth
         self.cache = cache
@@ -178,6 +178,7 @@ class ParallelExplorer:
         self.trial_timeout = trial_timeout
         self.journal = journal
         self.quarantine = quarantine
+        self.collector = collector
 
     def explore(
         self,
@@ -196,6 +197,7 @@ class ParallelExplorer:
             specs, jobs=self.jobs, cache=self.cache,
             retries=self.retries, trial_timeout=self.trial_timeout,
             journal=self.journal, quarantine=self.quarantine,
+            collector=self.collector,
         )
         return merge_shard_results(instance, config, results)
 
@@ -210,6 +212,7 @@ def run_check_shards(
     trial_timeout: Optional[float] = None,
     journal=None,
     quarantine=None,
+    collector=None,
 ) -> List[Optional[CheckResult]]:
     """The ``check(jobs > 1)`` backend.
 
@@ -222,7 +225,7 @@ def run_check_shards(
         explorer = ParallelExplorer(
             jobs=jobs, cache=cache, retries=retries,
             trial_timeout=trial_timeout, journal=journal,
-            quarantine=quarantine,
+            quarantine=quarantine, collector=collector,
         )
         return [explorer.explore(instances[0], config)]
     from ..perf.executor import run_trials
@@ -231,4 +234,5 @@ def run_check_shards(
     return run_trials(
         specs, jobs=jobs, cache=cache, retries=retries,
         trial_timeout=trial_timeout, journal=journal, quarantine=quarantine,
+        collector=collector,
     )

@@ -10,10 +10,20 @@ shared memory, network — but pays (almost) nothing when nobody listens:
   :class:`MetricsRegistry`, plus the :class:`MetricsCollector` subscriber
   that turns the event stream into the run-level quantities the paper
   cares about (step mix, FD-query mix, emit churn, stabilization times).
+* :mod:`repro.obs.telemetry` — the cross-process relay: workers ship a
+  :class:`TrialTelemetry` payload per trial, and the parent's
+  :class:`TelemetryRelay` merges them in input order, so ``--jobs 4``
+  reports the same counters as ``--jobs 1``.
 * :mod:`repro.obs.profile` — wall-clock/step profiling of protocol phases
   and of the engine hot path itself (``python -m repro profile``).
 * :mod:`repro.obs.export` — JSONL event streaming (composes with
-  :mod:`repro.analysis.trace_io`) and the :class:`RunReport` bundle.
+  :mod:`repro.analysis.trace_io`, invertible via :func:`event_from_dict`)
+  and the :class:`RunReport` bundle.
+* :mod:`repro.obs.campaign` — the append-only JSONL ledger of every run
+  (:class:`CampaignLedger`); :mod:`repro.obs.report` renders it as a
+  static HTML perf-trajectory page and :mod:`repro.obs.dash` serves a
+  live stdlib-only dashboard over the event stream.
+* :mod:`repro.obs.prom` — Prometheus text exposition of a registry.
 
 Quickstart::
 
@@ -25,6 +35,8 @@ Quickstart::
     print(collector.registry.render())
 """
 
+from .campaign import CampaignLedger, CampaignRecord, default_ledger_path
+from .dash import CampaignDash
 from .events import (
     AuditDivergence,
     ChaosInjected,
@@ -43,11 +55,14 @@ from .events import (
     ProtocolViolated,
     SchedulerDecision,
     StepTaken,
+    TrialCompleted,
     TrialQuarantined,
     TrialRetried,
+    TrialSpanRecorded,
     TrialTimedOut,
+    event_types,
 )
-from .export import JsonlEventSink, RunReport, event_to_dict
+from .export import JsonlEventSink, RunReport, event_from_dict, event_to_dict
 from .metrics import (
     CounterMetric,
     GaugeMetric,
@@ -56,9 +71,15 @@ from .metrics import (
     MetricsRegistry,
 )
 from .profile import EngineProfile, PhaseRecord, RunProfiler, profile_engine
+from .prom import render_prometheus
+from .report import render_report_html
+from .telemetry import TelemetryRelay, TrialTelemetry
 
 __all__ = [
     "AuditDivergence",
+    "CampaignDash",
+    "CampaignLedger",
+    "CampaignRecord",
     "ChaosInjected",
     "CounterMetric",
     "Decided",
@@ -85,9 +106,18 @@ __all__ = [
     "RunReport",
     "SchedulerDecision",
     "StepTaken",
+    "TelemetryRelay",
+    "TrialCompleted",
     "TrialQuarantined",
     "TrialRetried",
+    "TrialSpanRecorded",
+    "TrialTelemetry",
     "TrialTimedOut",
+    "default_ledger_path",
+    "event_from_dict",
     "event_to_dict",
+    "event_types",
     "profile_engine",
+    "render_prometheus",
+    "render_report_html",
 ]

@@ -205,6 +205,43 @@ class TrialTimedOut(Event):
 
 
 @dataclasses.dataclass(frozen=True)
+class TrialSpanRecorded(Event):
+    """One timed phase of a trial's journey through the harness.
+
+    Published by the executor's telemetry relay (``time = -1``).  ``span``
+    is the phase name (``"queue_wait"``, ``"cache_lookup"``, ``"execute"``,
+    ``"retry"``); ``seconds`` its wall-clock duration; ``key`` a short
+    prefix of the trial's spec key (or ``""`` for harness-level spans).
+    """
+
+    span: str
+    seconds: float
+    key: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialCompleted(Event):
+    """A trial finished and its telemetry reached the parent (``time = -1``).
+
+    ``kind`` is the spec kind (``"set_agreement"``, ``"extraction"``,
+    ``"chaos"``, …); ``ok`` the trial's own verdict (true when the spec's
+    properties held, or when the result carries no verdict); ``cached``
+    whether the result was served from the trial cache.  ``stabilization``
+    and ``latency`` carry the trial's stabilization time and last-decision
+    step when the result exposes them (``-1`` otherwise) — the dashboard's
+    latency-vs-stabilization curve is built from these.
+    """
+
+    key: str
+    kind: str
+    seconds: float
+    ok: bool = True
+    cached: bool = False
+    stabilization: int = -1
+    latency: int = -1
+
+
+@dataclasses.dataclass(frozen=True)
 class AuditDivergence(Event):
     """Two run paths that must be equivalent disagreed (``time = -1``).
 
@@ -219,6 +256,22 @@ class AuditDivergence(Event):
     pair: str
     kind: str
     detail: str = ""
+
+
+def event_types() -> Dict[str, Type[Event]]:
+    """Every registered :class:`Event` subclass, by class name.
+
+    Walks the subclass tree so event types declared in other modules (as
+    long as they are imported) are included — the serialization round-trip
+    test uses this to catch new event types that fail to encode.
+    """
+    out: Dict[str, Type[Event]] = {}
+    frontier = list(Event.__subclasses__())
+    while frontier:
+        cls = frontier.pop()
+        out[cls.__name__] = cls
+        frontier.extend(cls.__subclasses__())
+    return out
 
 
 #: Signature of a subscriber: receives each published event.

@@ -17,7 +17,7 @@ import dataclasses
 import json
 from typing import Any, Dict, IO, List, Optional, Union
 
-from .events import Event, EventBus
+from .events import Event, EventBus, event_types
 from .metrics import MetricsRegistry
 from .profile import RunProfiler
 
@@ -40,6 +40,29 @@ def event_to_dict(event: Event) -> Dict[str, Any]:
     return body
 
 
+def event_from_dict(body: Dict[str, Any]) -> Event:
+    """Rebuild a typed :class:`Event` from :func:`event_to_dict` output.
+
+    The inverse of :func:`event_to_dict`: the ``event`` key selects the
+    class (via :func:`repro.obs.events.event_types`), every other field
+    decodes through the :mod:`repro.analysis.trace_io` value codec.
+    Raises ``KeyError`` for an unknown event name — callers that tail
+    foreign streams should catch it and count the line as unknown.
+    """
+    from ..analysis.trace_io import _decode_op, decode_value
+
+    cls = event_types()[body["event"]]
+    kwargs: Dict[str, Any] = {}
+    for key, value in body.items():
+        if key == "event":
+            continue
+        if key == "op" and isinstance(value, dict) and "op" in value:
+            kwargs[key] = _decode_op(value)
+        else:
+            kwargs[key] = decode_value(value)
+    return cls(**kwargs)
+
+
 class JsonlEventSink:
     """A bus subscriber that streams every event as one JSON line.
 
@@ -57,6 +80,7 @@ class JsonlEventSink:
         destination: Union[str, IO[str]],
         bus: Optional[EventBus] = None,
         kinds=None,
+        flush: bool = False,
     ):
         if isinstance(destination, str):
             self._handle: IO[str] = open(destination, "w", encoding="utf-8")
@@ -65,6 +89,7 @@ class JsonlEventSink:
             self._handle = destination
             self._owns_handle = False
         self.lines = 0
+        self._flush = flush
         self._bus = bus
         if bus is not None:
             bus.subscribe(self, kinds)
@@ -74,6 +99,9 @@ class JsonlEventSink:
             json.dumps(event_to_dict(event), ensure_ascii=False) + "\n"
         )
         self.lines += 1
+        if self._flush:
+            # live-tailed streams (repro dash) need every line on disk
+            self._handle.flush()
 
     def close(self) -> None:
         if self._bus is not None:

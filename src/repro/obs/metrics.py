@@ -35,10 +35,16 @@ from .events import (
     ProtocolViolated,
     SchedulerDecision,
     StepTaken,
+    TrialCompleted,
     TrialQuarantined,
     TrialRetried,
+    TrialSpanRecorded,
     TrialTimedOut,
 )
+
+#: Trial-span phases get one histogram each (histograms are unlabeled);
+#: the metric name is ``span_<phase>_seconds``.
+SPAN_METRIC_PREFIX = "span_"
 
 #: The default label for unlabelled observations.
 _NO_LABEL = ""
@@ -183,7 +189,8 @@ class MetricsRegistry:
                     s = metric.summary()
                     histograms[metric.name] = {
                         "count": s.count, "mean": s.mean, "median": s.median,
-                        "p95": s.p95, "min": s.minimum, "max": s.maximum,
+                        "p50": s.p50, "p95": s.p95, "p99": s.p99,
+                        "min": s.minimum, "max": s.maximum,
                     }
                 else:
                     histograms[metric.name] = {"count": 0}
@@ -281,6 +288,12 @@ class MetricsCollector:
         self._audit = r.counter("audit_divergences",
                                 "equivalence breaks found by the "
                                 "differential audit, by oracle pair")
+        self._trials_completed = r.counter(
+            "trials_completed", "finished trials by spec kind")
+        self._trials_cached = r.counter(
+            "trials_cached", "trials served from the disk cache, by kind")
+        self._trial_violations = r.counter(
+            "trial_violations", "completed trials whose verdict failed")
         self._emitted_once: set = set()
         self._wire(self.bus)
 
@@ -303,6 +316,8 @@ class MetricsCollector:
         bus.subscribe(self._on_quarantine, (TrialQuarantined,))
         bus.subscribe(self._on_timeout, (TrialTimedOut,))
         bus.subscribe(self._on_audit, (AuditDivergence,))
+        bus.subscribe(self._on_span, (TrialSpanRecorded,))
+        bus.subscribe(self._on_trial_completed, (TrialCompleted,))
 
     # -- handlers ----------------------------------------------------------
 
@@ -366,6 +381,20 @@ class MetricsCollector:
 
     def _on_audit(self, event: AuditDivergence) -> None:
         self._audit.inc(event.pair)
+
+    def _on_span(self, event: TrialSpanRecorded) -> None:
+        self.registry.histogram(
+            f"{SPAN_METRIC_PREFIX}{event.span}_seconds",
+            "trial wall-clock phase (telemetry relay)",
+        ).observe(event.seconds)
+
+    def _on_trial_completed(self, event: TrialCompleted) -> None:
+        if event.cached:
+            self._trials_cached.inc(event.kind)
+        else:
+            self._trials_completed.inc(event.kind)
+        if not event.ok:
+            self._trial_violations.inc(event.kind)
 
     # -- results -----------------------------------------------------------
 

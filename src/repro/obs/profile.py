@@ -107,6 +107,9 @@ class EngineProfile:
     baseline_sps: float
     idle_bus_sps: float
     metrics_sps: float
+    #: Per-configuration steps/sec of every repeat (not just the best) —
+    #: the sample behind the p50/p95/p99 rows of ``repro profile``.
+    samples: Dict[str, List[float]] = dataclasses.field(default_factory=dict)
 
     @property
     def idle_overhead_pct(self) -> float:
@@ -118,6 +121,20 @@ class EngineProfile:
         """Live-collector slowdown versus the raw engine, in percent."""
         return 100.0 * (1.0 - self.metrics_sps / self.baseline_sps)
 
+    def quantiles(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95/p99 steps/sec per configuration over the repeats."""
+        from ..analysis.stats import summarize
+
+        out: Dict[str, Dict[str, float]] = {}
+        for name, values in self.samples.items():
+            if values:
+                summary = summarize(values)
+                out[name] = {
+                    "p50": summary.p50, "p95": summary.p95,
+                    "p99": summary.p99,
+                }
+        return out
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "n_processes": self.n_processes,
@@ -128,18 +145,30 @@ class EngineProfile:
             "metrics_steps_per_sec": self.metrics_sps,
             "idle_overhead_pct": self.idle_overhead_pct,
             "metrics_overhead_pct": self.metrics_overhead_pct,
+            "steps_per_sec_quantiles": self.quantiles(),
         }
 
     def render(self) -> str:
-        header = f"{'configuration':<28} {'steps/sec':>12} {'overhead':>10}"
+        header = (f"{'configuration':<28} {'steps/sec':>12} {'overhead':>10}"
+                  f" {'p50':>10} {'p95':>10} {'p99':>10}")
+        quantiles = self.quantiles()
+
+        def tail(name: str) -> str:
+            q = quantiles.get(name)
+            if not q:
+                return f" {'—':>10} {'—':>10} {'—':>10}"
+            return (f" {q['p50']:>10.0f} {q['p95']:>10.0f} "
+                    f"{q['p99']:>10.0f}")
+
         return "\n".join([
             header,
             "-" * len(header),
-            f"{'engine, no bus':<28} {self.baseline_sps:>12.0f} {'—':>10}",
+            f"{'engine, no bus':<28} {self.baseline_sps:>12.0f} {'—':>10}"
+            + tail("baseline"),
             f"{'bus attached, idle':<28} {self.idle_bus_sps:>12.0f} "
-            f"{self.idle_overhead_pct:>9.1f}%",
+            f"{self.idle_overhead_pct:>9.1f}%" + tail("idle_bus"),
             f"{'metrics collector live':<28} {self.metrics_sps:>12.0f} "
-            f"{self.metrics_overhead_pct:>9.1f}%",
+            f"{self.metrics_overhead_pct:>9.1f}%" + tail("metrics"),
         ])
 
 
@@ -215,7 +244,9 @@ def profile_engine(
     from .metrics import MetricsCollector
 
     factories = (lambda: None, EventBus, lambda: MetricsCollector().bus)
+    names = ("baseline", "idle_bus", "metrics")
     best = [0.0, 0.0, 0.0]
+    samples: Dict[str, List[float]] = {name: [] for name in names}
     baseline_steps = 0
     # one warm-up run so allocator/caches are comparable, then measure
     _timed_steps_per_sec(n_processes, max_steps, None)
@@ -225,6 +256,7 @@ def profile_engine(
                 n_processes, max_steps, factory()
             )
             best[index] = max(best[index], sps)
+            samples[names[index]].append(sps)
             if index == 0:
                 baseline_steps += steps
     return EngineProfile(
@@ -234,4 +266,5 @@ def profile_engine(
         baseline_sps=best[0],
         idle_bus_sps=best[1],
         metrics_sps=best[2],
+        samples=samples,
     )

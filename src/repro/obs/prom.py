@@ -1,0 +1,121 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+One pure function, :func:`render_prometheus`, emits the classic
+text-based format (version 0.0.4) that every Prometheus-compatible
+scraper understands::
+
+    # HELP repro_steps_total atomic steps per process
+    # TYPE repro_steps_total counter
+    repro_steps_total{label="0"} 117
+
+Counters keep their labels under a single ``label`` key (registry labels
+are free-form hashables, not key/value pairs), histograms are exposed as
+*summaries* — ``quantile="0.5|0.95|0.99"`` series plus ``_count`` and
+``_sum`` — because the registry stores raw samples, so the quantiles are
+exact rather than bucket approximations.
+
+The format is scrapeable but deliberately dependency-free: ``repro stats
+--format prom`` and the dashboard's ``/metrics`` endpoint both render
+through here using only the stdlib.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from .metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    _label_key,
+)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _metric_name(namespace: str, name: str) -> str:
+    """``<namespace>_<name>`` with illegal characters collapsed to ``_``."""
+    full = f"{namespace}_{name}" if namespace else name
+    full = _NAME_OK.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _sample(name: str, labels: str, value) -> str:
+    if labels:
+        return f"{name}{{{labels}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      namespace: str = "repro") -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    Metrics render in name order; counter names gain the conventional
+    ``_total`` suffix when they do not already carry one.
+    """
+    lines: List[str] = []
+    for metric in sorted(registry, key=lambda m: m.name):
+        if isinstance(metric, CounterMetric):
+            name = _metric_name(namespace, metric.name)
+            if not name.endswith("_total"):
+                name += "_total"
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} counter")
+            items = metric.items()
+            for label in sorted(items, key=_label_key):
+                key = _label_key(label)
+                labels = f'label="{_escape_label(key)}"' if key else ""
+                lines.append(_sample(name, labels, items[label]))
+        elif isinstance(metric, GaugeMetric):
+            name = _metric_name(namespace, metric.name)
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} gauge")
+            items = metric.items()
+            for label in sorted(items, key=_label_key):
+                key = _label_key(label)
+                labels = f'label="{_escape_label(key)}"' if key else ""
+                lines.append(_sample(name, labels, items[label]))
+        elif isinstance(metric, HistogramMetric):
+            name = _metric_name(namespace, metric.name)
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} summary")
+            samples = metric.values()
+            if samples:
+                summary = metric.summary()
+                quantiles = {
+                    0.5: summary.p50, 0.95: summary.p95, 0.99: summary.p99,
+                }
+                for q in _QUANTILES:
+                    lines.append(
+                        _sample(name, f'quantile="{q:g}"', quantiles[q])
+                    )
+            lines.append(_sample(name + "_count", "", len(samples)))
+            lines.append(_sample(name + "_sum", "", sum(samples)))
+    return "\n".join(lines) + "\n" if lines else ""

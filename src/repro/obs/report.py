@@ -1,0 +1,174 @@
+"""Static HTML campaign report: the ledger as a perf-trajectory page.
+
+:func:`render_report_html` turns a list of
+:class:`~repro.obs.campaign.CampaignRecord` lines into one
+self-contained HTML document — a run table plus inline SVG trajectory
+charts (duration over time per run kind, trial/quarantine/divergence
+counts).  The SVG is generated in Python; the page carries **zero**
+JavaScript and no external assets, so it renders identically from a CI
+artifact tab, ``file://``, or an air-gapped review machine.
+
+``repro report --ledger runs.jsonl --out report.html`` is the CLI
+entry point; :mod:`repro.obs.dash` serves the same data live.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from .campaign import CampaignRecord
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td { border: 1px solid #d8d8e0; padding: 0.3rem 0.55rem;
+         text-align: left; }
+th { background: #f0f0f6; }
+tr.bad td { background: #fdecec; }
+.verdict-ok { color: #1a7f37; } .verdict-bad { color: #b42318; }
+.chart { margin: 0.5rem 0 1.5rem; }
+.meta { color: #667; font-size: 0.8rem; }
+svg text { font-family: inherit; }
+"""
+
+#: Chart geometry (pixels).
+_W, _H, _PAD = 640, 160, 36
+
+_BAD_VERDICTS = {"violation", "divergence", "error", "failed"}
+
+
+def _polyline(points: Sequence[Tuple[float, float]],
+              ys: Sequence[float]) -> str:
+    """Scale ``points`` into the chart box and emit SVG elements."""
+    if not points:
+        return ""
+    xs = [p[0] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def sx(x: float) -> float:
+        return _PAD + (x - x_lo) / x_span * (_W - 2 * _PAD)
+
+    def sy(y: float) -> float:
+        return _H - _PAD - (y - y_lo) / y_span * (_H - 2 * _PAD)
+
+    coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+    dots = "".join(
+        f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.5" '
+        f'fill="#3b5bdb"/>'
+        for x, y in points
+    )
+    line = (
+        f'<polyline points="{coords}" fill="none" stroke="#3b5bdb" '
+        f'stroke-width="1.5"/>'
+        if len(points) > 1 else ""
+    )
+    axis = (
+        f'<line x1="{_PAD}" y1="{_H - _PAD}" x2="{_W - _PAD}" '
+        f'y2="{_H - _PAD}" stroke="#99a"/>'
+        f'<line x1="{_PAD}" y1="{_PAD}" x2="{_PAD}" y2="{_H - _PAD}" '
+        f'stroke="#99a"/>'
+        f'<text x="{_PAD - 4}" y="{_PAD + 4}" text-anchor="end" '
+        f'font-size="10">{y_hi:g}</text>'
+        f'<text x="{_PAD - 4}" y="{_H - _PAD}" text-anchor="end" '
+        f'font-size="10">{y_lo:g}</text>'
+    )
+    return axis + line + dots
+
+
+def _chart(title: str, points: Sequence[Tuple[float, float]]) -> str:
+    body = _polyline(points, [p[1] for p in points])
+    return (
+        f'<div class="chart"><h2>{html.escape(title)}</h2>'
+        f'<svg width="{_W}" height="{_H}" viewBox="0 0 {_W} {_H}" '
+        f'role="img">{body}</svg></div>'
+    )
+
+
+def _fmt_time(epoch: float) -> str:
+    if not epoch:
+        return "—"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(epoch))
+
+
+def _run_table(records: Sequence[CampaignRecord]) -> str:
+    head = (
+        "<tr><th>started</th><th>kind</th><th>verdict</th>"
+        "<th>duration&nbsp;s</th><th>trials</th><th>quar.</th>"
+        "<th>div.</th><th>retries</th><th>engine</th></tr>"
+    )
+    rows: List[str] = []
+    for record in reversed(records):  # newest first
+        bad = record.verdict in _BAD_VERDICTS
+        cls = ' class="bad"' if bad else ""
+        verdict_cls = "verdict-bad" if bad else "verdict-ok"
+        rows.append(
+            f"<tr{cls}>"
+            f"<td>{_fmt_time(record.started)}</td>"
+            f"<td>{html.escape(record.kind)}</td>"
+            f'<td class="{verdict_cls}">{html.escape(record.verdict)}</td>'
+            f"<td>{record.duration:.3f}</td>"
+            f"<td>{record.trials}</td>"
+            f"<td>{record.quarantined}</td>"
+            f"<td>{record.divergences}</td>"
+            f"<td>{record.retries}</td>"
+            f"<td>{html.escape(record.engine_version)}</td>"
+            "</tr>"
+        )
+    return f"<table>{head}{''.join(rows)}</table>"
+
+
+def render_report_html(records: Sequence[CampaignRecord],
+                       title: str = "repro campaign report") -> str:
+    """The full static report page for one ledger's records."""
+    by_kind: Dict[str, List[CampaignRecord]] = {}
+    for record in records:
+        by_kind.setdefault(record.kind, []).append(record)
+
+    charts: List[str] = []
+    for kind in sorted(by_kind):
+        series = [r for r in by_kind[kind] if r.started]
+        points = [(r.started, r.duration) for r in series]
+        if len(points) >= 2:
+            charts.append(_chart(f"{kind} — duration (s)", points))
+        # bench artifacts carry their headline scalar in extra; chart any
+        # numeric extra field that appears in at least two records
+        numeric_fields: Dict[str, List[Tuple[float, float]]] = {}
+        for r in series:
+            for key, value in r.extra.items():
+                if key in ("sha256", "artifact"):
+                    continue
+                if isinstance(value, bool) or not isinstance(
+                        value, (int, float)):
+                    continue
+                numeric_fields.setdefault(key, []).append(
+                    (r.started, float(value))
+                )
+        for key in sorted(numeric_fields):
+            pts = numeric_fields[key]
+            if len(pts) >= 2:
+                charts.append(_chart(f"{kind} — {key}", pts))
+
+    bad = sum(1 for r in records if r.verdict in _BAD_VERDICTS)
+    summary = (
+        f"{len(records)} run(s), {len(by_kind)} kind(s), "
+        f"{bad} with failing verdicts"
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f'<p class="meta">{html.escape(summary)} · generated '
+        f"{_fmt_time(time.time())}</p>"
+        f"{''.join(charts)}"
+        "<h2>Runs (newest first)</h2>"
+        f"{_run_table(records)}"
+        "</body></html>"
+    )

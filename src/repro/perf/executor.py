@@ -43,6 +43,7 @@ from .resilience import (
     QuarantineReport,
     TrialFailure,
     guarded_execute,
+    guarded_execute_observed,
 )
 from .spec import TrialSpec, execute_trial, spec_key
 
@@ -59,6 +60,35 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 def _run_chunk(specs: List[TrialSpec]) -> List[Any]:
     """Worker entry point: execute a chunk of specs serially."""
     return [execute_trial(spec) for spec in specs]
+
+
+def _execute_observed(spec: TrialSpec, submitted_at: float):
+    """Execute one spec with a private collector; telemetry rides along.
+
+    Unlike :func:`~repro.perf.resilience.guarded_execute_observed`, this
+    is the *plain* path: exceptions propagate (the non-resilient executor
+    has no failure protocol to hide them behind).
+    """
+    from ..obs.metrics import MetricsCollector
+    from ..obs.telemetry import capture_telemetry
+
+    queue_wait = max(0.0, _time.time() - submitted_at)
+    collector = MetricsCollector()
+    started = _time.perf_counter()
+    result = execute_trial(spec, collector=collector)
+    seconds = _time.perf_counter() - started
+    telemetry = capture_telemetry(
+        spec, result, collector.registry,
+        key=spec_key(spec),
+        spans=(("queue_wait", queue_wait), ("execute", seconds)),
+        seconds=seconds,
+    )
+    return result, telemetry
+
+
+def _run_chunk_observed(specs: List[TrialSpec], submitted_at: float):
+    """Worker entry point (observed): ``[(result, telemetry), ...]``."""
+    return [_execute_observed(spec, submitted_at) for spec in specs]
 
 
 def _chunk_indices(n_items: int, jobs: int, chunk_size: Optional[int]) -> List[range]:
@@ -94,6 +124,7 @@ def run_trials(
     quarantine: Optional[QuarantineReport] = None,
     backoff: float = 0.5,
     bus=None,
+    collector=None,
 ) -> List[Any]:
     """Execute every spec; results come back in input order.
 
@@ -129,10 +160,28 @@ def run_trials(
         Optional :class:`~repro.obs.events.EventBus` for
         ``TrialRetried`` / ``TrialQuarantined`` / ``TrialTimedOut``
         harness events.
+    collector:
+        Optional :class:`~repro.obs.metrics.MetricsCollector` — enables
+        the **telemetry relay**: every trial (worker or in-process) runs
+        with a private collector whose registry ships back as a
+        :class:`~repro.obs.telemetry.TrialTelemetry` payload, merged into
+        ``collector.registry`` in input order and summarized as
+        ``TrialSpanRecorded`` / ``TrialCompleted`` events on
+        ``collector.bus``.  A ``jobs=4`` run then reports the same
+        trial-level counters as ``jobs=1``.  When ``bus`` is unset,
+        resilience events go to ``collector.bus`` as well.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
     results: List[Any] = [None] * len(specs)
+
+    relay = None
+    if collector is not None:
+        from ..obs.telemetry import TelemetryRelay
+
+        relay = TelemetryRelay(collector.registry, collector.bus)
+        if bus is None:
+            bus = collector.bus
 
     resilient = bool(
         retries or trial_timeout or journal is not None
@@ -145,47 +194,71 @@ def run_trials(
     if resilient and quarantine is None:
         quarantine = QuarantineReport()
 
+    def cached_hit(index: int, spec: TrialSpec, result: Any,
+                   seconds: float) -> None:
+        results[index] = result
+        if relay is not None:
+            from ..obs.telemetry import (
+                TrialTelemetry,
+                result_curve_point,
+                result_verdict,
+            )
+
+            stabilization, latency = result_curve_point(result)
+            relay.record(index, TrialTelemetry.from_snapshot(
+                spec_key(spec), getattr(spec, "kind", type(spec).__name__),
+                getattr(result, "metrics", None),
+                spans=(("cache_lookup", seconds),),
+                ok=result_verdict(result),
+                stabilization=stabilization, latency=latency,
+            ))
+
     try:
         pending: List[int] = []
         if journal is not None and cache is not None:
             # Resume triage: journaled keys are done *iff* the cache still
             # has their result; a cleared cache degrades to a re-run.
             for index, spec in enumerate(specs):
+                lookup_start = _time.perf_counter()
                 if journal.is_done(spec_key(spec)):
                     hit = cache.get(spec)
                     if hit is not None:
-                        results[index] = hit
+                        cached_hit(index, spec, hit,
+                                   _time.perf_counter() - lookup_start)
                         continue
                 else:
                     hit = cache.get(spec)
                     if hit is not None:
-                        results[index] = hit
+                        cached_hit(index, spec, hit,
+                                   _time.perf_counter() - lookup_start)
                         journal.record_done(spec_key(spec))
                         continue
                 pending.append(index)
         elif cache is not None:
             for index, spec in enumerate(specs):
+                lookup_start = _time.perf_counter()
                 hit = cache.get(spec)
                 if hit is not None:
-                    results[index] = hit
+                    cached_hit(index, spec, hit,
+                               _time.perf_counter() - lookup_start)
                 else:
                     pending.append(index)
         else:
             pending = list(range(len(specs)))
 
-        if not pending:
-            return results
-
-        if not resilient:
-            _run_plain(specs, pending, results, jobs, cache, chunk_size)
-            return results
-
-        _run_resilient(
-            specs, pending, results, jobs, cache,
-            retries=retries, trial_timeout=trial_timeout,
-            journal=journal, quarantine=quarantine,
-            backoff=backoff, bus=bus,
-        )
+        if pending:
+            if not resilient:
+                _run_plain(specs, pending, results, jobs, cache,
+                           chunk_size, relay)
+            else:
+                _run_resilient(
+                    specs, pending, results, jobs, cache,
+                    retries=retries, trial_timeout=trial_timeout,
+                    journal=journal, quarantine=quarantine,
+                    backoff=backoff, bus=bus, relay=relay,
+                )
+        if relay is not None:
+            relay.finish()
         return results
     finally:
         if owns_journal:
@@ -199,11 +272,18 @@ def _run_plain(
     jobs: int,
     cache: Optional[TrialCache],
     chunk_size: Optional[int],
+    relay=None,
 ) -> None:
     """The original fast path — no watchdog, no retries, no journal."""
     if jobs <= 1 or len(pending) == 1:
         for index in pending:
-            result = execute_trial(specs[index])
+            if relay is not None:
+                result, telemetry = _execute_observed(
+                    specs[index], _time.time()
+                )
+                relay.record(index, telemetry)
+            else:
+                result = execute_trial(specs[index])
             results[index] = result
             if cache is not None:
                 cache.put(specs[index], result)
@@ -216,17 +296,32 @@ def _run_plain(
 
     chunks = _chunk_indices(len(pending), jobs, chunk_size)
     with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-        futures = {
-            pool.submit(
-                _run_chunk, [specs[pending[i]] for i in chunk]
-            ): chunk
-            for chunk in chunks
-        }
+        if relay is not None:
+            futures = {
+                pool.submit(
+                    _run_chunk_observed,
+                    [specs[pending[i]] for i in chunk],
+                    _time.time(),
+                ): chunk
+                for chunk in chunks
+            }
+        else:
+            futures = {
+                pool.submit(
+                    _run_chunk, [specs[pending[i]] for i in chunk]
+                ): chunk
+                for chunk in chunks
+            }
         for future in as_completed(futures):
             chunk = futures[future]
             chunk_results = future.result()
-            for i, result in zip(chunk, chunk_results):
+            for i, outcome in zip(chunk, chunk_results):
                 index = pending[i]
+                if relay is not None:
+                    result, telemetry = outcome
+                    relay.record(index, telemetry)
+                else:
+                    result = outcome
                 results[index] = result
                 if cache is not None:
                     cache.put(specs[index], result)
@@ -237,35 +332,54 @@ def _dispatch_batch(
     specs: List[TrialSpec],
     jobs: int,
     trial_timeout: Optional[float],
+    observed: bool = False,
 ):
     """Run ``indices`` in a fresh pool; worker deaths surface as absences.
 
-    Returns ``(outcomes, pool_broken)`` where ``outcomes`` maps an index
-    to its result or :class:`TrialFailure`.  Indices missing from
-    ``outcomes`` were in flight when the pool broke.
+    Returns ``(outcomes, telemetries, pool_broken)`` where ``outcomes``
+    maps an index to its result or :class:`TrialFailure` and
+    ``telemetries`` (populated only when ``observed``) maps an index to
+    its :class:`~repro.obs.telemetry.TrialTelemetry` payload.  Indices
+    missing from ``outcomes`` were in flight when the pool broke.
     """
     from concurrent.futures import as_completed
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
     outcomes: dict = {}
+    telemetries: dict = {}
     pool_broken = False
     with ProcessPoolExecutor(max_workers=min(jobs, len(indices))) as pool:
-        futures = {
-            pool.submit(guarded_execute, specs[i], trial_timeout): i
-            for i in indices
-        }
+        if observed:
+            futures = {
+                pool.submit(
+                    guarded_execute_observed, specs[i], trial_timeout,
+                    _time.time(),
+                ): i
+                for i in indices
+            }
+        else:
+            futures = {
+                pool.submit(guarded_execute, specs[i], trial_timeout): i
+                for i in indices
+            }
         for future in as_completed(futures):
             i = futures[future]
             try:
-                outcomes[i] = future.result()
+                value = future.result()
             except BrokenProcessPool:
                 pool_broken = True
+                continue
             except Exception as exc:  # e.g. result unpickling errors
                 outcomes[i] = TrialFailure(
                     "error", f"{type(exc).__name__}: {exc}"
                 )
-    return outcomes, pool_broken
+                continue
+            if observed:
+                outcomes[i], telemetries[i] = value
+            else:
+                outcomes[i] = value
+    return outcomes, telemetries, pool_broken
 
 
 def _run_resilient(
@@ -281,18 +395,26 @@ def _run_resilient(
     quarantine: QuarantineReport,
     backoff: float,
     bus,
+    relay=None,
 ) -> None:
     from ..obs.events import TrialQuarantined, TrialRetried, TrialTimedOut
 
     keys = {i: spec_key(specs[i]) for i in pending}
     attempts = {i: 0 for i in pending}
 
-    def record_success(i: int, result: Any) -> None:
+    def record_success(i: int, result: Any, telemetry=None) -> None:
         results[i] = result
+        if relay is not None:
+            relay.record(i, telemetry)
         if cache is not None:
             cache.put(specs[i], result)
         if journal is not None:
             journal.record_done(keys[i])
+
+    def backoff_sleep(seconds: float, key: str) -> None:
+        if relay is not None:
+            relay.span("retry_backoff", seconds, key[:12])
+        _time.sleep(seconds)
 
     def give_up(i: int, reason: str) -> None:
         quarantine.add(i, keys[i], specs[i], attempts[i], reason)
@@ -305,9 +427,15 @@ def _run_resilient(
         for i in pending:
             while True:
                 attempts[i] += 1
-                outcome = guarded_execute(specs[i], trial_timeout)
+                if relay is not None:
+                    outcome, telemetry = guarded_execute_observed(
+                        specs[i], trial_timeout, _time.time()
+                    )
+                else:
+                    outcome = guarded_execute(specs[i], trial_timeout)
+                    telemetry = None
                 if not isinstance(outcome, TrialFailure):
-                    record_success(i, outcome)
+                    record_success(i, outcome, telemetry)
                     break
                 if outcome.kind == "timeout":
                     _publish(bus, TrialTimedOut(-1, keys[i], trial_timeout))
@@ -318,7 +446,7 @@ def _run_resilient(
                     bus, TrialRetried(-1, keys[i], attempts[i], outcome.detail)
                 )
                 if backoff > 0:
-                    _time.sleep(backoff * 2 ** (attempts[i] - 1))
+                    backoff_sleep(backoff * 2 ** (attempts[i] - 1), keys[i])
         return
 
     todo = sorted(pending)
@@ -327,15 +455,16 @@ def _run_resilient(
     while todo:
         batch = todo[:1] if isolate else todo
         workers = 1 if isolate else jobs
-        outcomes, pool_broken = _dispatch_batch(
-            batch, specs, workers, trial_timeout
+        outcomes, telemetries, pool_broken = _dispatch_batch(
+            batch, specs, workers, trial_timeout,
+            observed=relay is not None,
         )
         retry_next: List[int] = []
         any_failed = False
         for i in batch:
             outcome = outcomes.get(i, None)
             if i in outcomes and not isinstance(outcome, TrialFailure):
-                record_success(i, outcome)
+                record_success(i, outcome, telemetries.get(i))
                 continue
             any_failed = True
             if i not in outcomes:
@@ -364,6 +493,6 @@ def _run_resilient(
             isolate = True
         todo = sorted(retry_next + [i for i in todo if i not in set(batch)])
         if todo and any_failed and backoff > 0:
-            _time.sleep(min(backoff * 2 ** failure_rounds, 30.0))
+            backoff_sleep(min(backoff * 2 ** failure_rounds, 30.0), "")
         if any_failed:
             failure_rounds += 1

@@ -58,13 +58,52 @@ def guarded_execute(spec: Any, timeout: Optional[float] = None) -> Any:
     watchdog).  On platforms without ``SIGALRM`` — or off the main
     thread — the trial simply runs unguarded.
     """
+    outcome, _ = _guarded(spec, timeout, collector=None)
+    return outcome
+
+
+def guarded_execute_observed(spec: Any, timeout: Optional[float],
+                             submitted_at: float) -> Any:
+    """Like :func:`guarded_execute`, returning ``(outcome, telemetry)``.
+
+    The observed worker entry point of the telemetry relay: the trial
+    runs with a private :class:`~repro.obs.metrics.MetricsCollector`, and
+    a :class:`~repro.obs.telemetry.TrialTelemetry` payload (queue-wait +
+    execute spans, metric deltas) ships back next to the outcome.
+    Failures carry ``telemetry = None`` — a timed-out or crashed trial
+    has no trustworthy registry.
+    """
+    import time
+
+    from ..obs.metrics import MetricsCollector
+    from ..obs.telemetry import capture_telemetry
+    from .spec import spec_key
+
+    queue_wait = max(0.0, time.time() - submitted_at)
+    collector = MetricsCollector()
+    started = time.perf_counter()
+    outcome, result_ok = _guarded(spec, timeout, collector=collector)
+    seconds = time.perf_counter() - started
+    if not result_ok:
+        return outcome, None
+    telemetry = capture_telemetry(
+        spec, outcome, collector.registry,
+        key=spec_key(spec),
+        spans=(("queue_wait", queue_wait), ("execute", seconds)),
+        seconds=seconds,
+    )
+    return outcome, telemetry
+
+
+def _guarded(spec: Any, timeout: Optional[float], collector) -> tuple:
+    """Shared watchdog core; returns ``(outcome, is_result)``."""
     from .spec import execute_trial
 
     if not timeout or not _watchdog_available():
         try:
-            return execute_trial(spec)
+            return execute_trial(spec, collector=collector), True
         except Exception as exc:
-            return TrialFailure("error", f"{type(exc).__name__}: {exc}")
+            return TrialFailure("error", f"{type(exc).__name__}: {exc}"), False
 
     def _on_alarm(signum, frame):
         raise _TrialTimeout()
@@ -72,11 +111,14 @@ def guarded_execute(spec: Any, timeout: Optional[float] = None) -> Any:
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return execute_trial(spec)
+        return execute_trial(spec, collector=collector), True
     except _TrialTimeout:
-        return TrialFailure("timeout", f"exceeded {timeout:g}s wall clock")
+        return (
+            TrialFailure("timeout", f"exceeded {timeout:g}s wall clock"),
+            False,
+        )
     except Exception as exc:
-        return TrialFailure("error", f"{type(exc).__name__}: {exc}")
+        return TrialFailure("error", f"{type(exc).__name__}: {exc}"), False
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)

@@ -121,8 +121,14 @@ def spec_key(spec: TrialSpec) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def execute_trial(spec: TrialSpec):
+def execute_trial(spec: TrialSpec, collector=None):
     """Run one trial spec to its result dataclass (worker entry point).
+
+    ``collector`` (a :class:`~repro.obs.metrics.MetricsCollector`) is
+    threaded into the trial drivers that accept one — the telemetry relay
+    passes a worker-local collector here and ships its registry back to
+    the parent.  Spec kinds without sim-level instrumentation (mc shards,
+    audit cases) ignore it.
 
     Imports are deferred so that pool workers pay them once on first
     use and so this module stays import-cycle-free.
@@ -144,6 +150,7 @@ def execute_trial(spec: TrialSpec):
             stabilization_time=spec.stabilization_time,
             adversarial=spec.adversarial,
             max_steps=spec.max_steps,
+            collector=collector,
         )
     if isinstance(spec, ExtractionTrialSpec):
         system = System(spec.n_processes)
@@ -159,6 +166,7 @@ def execute_trial(spec: TrialSpec):
             seed=spec.seed,
             stabilization_time=spec.stabilization_time,
             max_steps=spec.max_steps,
+            collector=collector,
         )
     from ..mc.parallel import McShardSpec, execute_mc_shard
 
@@ -167,7 +175,7 @@ def execute_trial(spec: TrialSpec):
     from ..chaos.trial import ChaosTrialSpec, run_chaos_trial
 
     if isinstance(spec, ChaosTrialSpec):
-        return run_chaos_trial(spec)
+        return run_chaos_trial(spec, collector=collector)
     from ..audit.runner import AuditTrialSpec, run_audit_trial
 
     if isinstance(spec, AuditTrialSpec):

@@ -1,0 +1,361 @@
+"""Tests for the campaign layer: event round-trips, ledger, report, dash.
+
+The contract under test: the JSONL event stream is a *lossless* wire
+format (every registered event type survives ``event_to_dict`` →
+``event_from_dict``), the campaign ledger is an append-only record that
+tolerates torn writes, and the dashboard rebuilds collector state purely
+by replaying the stream — so its JSON endpoints must agree with a
+collector that watched the run live.
+"""
+
+import dataclasses
+import json
+import threading
+import typing
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import cli
+from repro.obs import (
+    CampaignDash,
+    CampaignLedger,
+    CampaignRecord,
+    JsonlEventSink,
+    MetricsCollector,
+    event_from_dict,
+    event_to_dict,
+    event_types,
+)
+from repro.obs.campaign import SCHEMA_VERSION
+from repro.obs.dash import make_server
+from repro.obs.events import StepTaken, TrialCompleted, TrialSpanRecorded
+from repro.obs.prom import render_prometheus
+from repro.obs.report import render_report_html
+from repro.runtime.ops import Write
+
+
+def _sample_value(name: str, annotation) -> object:
+    """A deterministic sample for one event field, by annotation."""
+    if name == "op":
+        return Write(("r", 1), 42)
+    origin = typing.get_origin(annotation)
+    if origin is typing.Union:  # Optional[...]
+        args = [a for a in typing.get_args(annotation) if a is not type(None)]
+        annotation = args[0]
+        origin = typing.get_origin(annotation)
+    if annotation in (int, "int"):
+        return 7
+    if annotation in (float, "float"):
+        return 1.5
+    if annotation in (bool, "bool"):
+        return True
+    if annotation in (str, "str"):
+        return "x"
+    if origin in (frozenset, set) or annotation in ("FrozenSet[int]",):
+        return frozenset({1, 2})
+    if origin in (tuple, list):
+        return ()
+    # string annotations from `from __future__ import annotations`
+    text = str(annotation)
+    if "int" in text and "frozenset" not in text.lower():
+        return 7
+    if "float" in text:
+        return 1.5
+    if "bool" in text:
+        return True
+    if "str" in text:
+        return "x"
+    if "frozenset" in text.lower() or "set" in text.lower():
+        return frozenset({1, 2})
+    return "x"
+
+
+def _sample_event(cls):
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        kwargs[field.name] = _sample_value(field.name, field.type)
+    return cls(**kwargs)
+
+
+class TestEventRoundTrip:
+    def test_every_registered_event_survives_the_wire(self):
+        """event_to_dict → JSON → event_from_dict is the identity for
+        every concrete Event subclass the registry knows."""
+        names = event_types()
+        assert "StepTaken" in names and "TrialCompleted" in names
+        for name, cls in sorted(names.items()):
+            event = _sample_event(cls)
+            body = json.loads(json.dumps(event_to_dict(event)))
+            assert body["event"] == name
+            rebuilt = event_from_dict(body)
+            assert rebuilt == event, name
+
+    def test_unknown_event_name_raises_key_error(self):
+        with pytest.raises(KeyError):
+            event_from_dict({"event": "NoSuchEventEver", "time": 1})
+
+    def test_round_trip_through_a_jsonl_file(self, tmp_path):
+        """A sink-written stream decodes back to the original events."""
+        bus_events = [
+            StepTaken(3, 1, Write(("r", 0), "v"), None),
+            TrialSpanRecorded(-1, "execute", 0.25, "abc123"),
+            TrialCompleted(-1, key="abc123", kind="set_agreement",
+                           seconds=0.25, ok=True, cached=False,
+                           stabilization=100, latency=240),
+        ]
+        path = tmp_path / "events.jsonl"
+        collector = MetricsCollector()
+        with JsonlEventSink(str(path), bus=collector.bus, flush=True):
+            for event in bus_events:
+                collector.bus.publish(event)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(bus_events)
+        rebuilt = [event_from_dict(json.loads(line)) for line in lines]
+        assert rebuilt == bus_events
+
+
+class TestCampaignLedger:
+    def test_append_and_read_back(self, tmp_path):
+        ledger = CampaignLedger(tmp_path / "runs.jsonl")
+        ledger.append_run("sweep:chaos", "ok", duration=1.5, trials=12)
+        ledger.append_run("audit", "divergence", divergences=2)
+        records = ledger.records()
+        assert [r.kind for r in records] == ["sweep:chaos", "audit"]
+        assert records[0].schema_version == SCHEMA_VERSION
+        assert records[0].engine_version  # stamped from perf.spec
+        assert records[1].verdict == "divergence"
+        assert len(ledger) == 2
+
+    def test_tolerates_a_torn_tail_line(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = CampaignLedger(path)
+        ledger.append_run("check:fig1", "ok")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "trunc')  # killed mid-write
+        assert [r.kind for r in ledger.records()] == ["check:fig1"]
+
+    def test_append_artifact_stamps_digest_and_scalars(self, tmp_path):
+        artifact = tmp_path / "BENCH_demo.json"
+        artifact.write_text(json.dumps({
+            "experiment": "demo", "engine_version": "2026.08.1",
+            "schema_version": 1, "elapsed_seconds": 2.5,
+            "states_per_second": 1234.5, "nested": {"ignored": True},
+        }))
+        ledger = CampaignLedger(tmp_path / "runs.jsonl")
+        record = ledger.append_artifact(artifact)
+        assert record.kind == "bench:demo"
+        assert record.engine_version == "2026.08.1"
+        assert record.extra["artifact"] == "BENCH_demo.json"
+        assert len(record.extra["sha256"]) == 64
+        assert record.extra["states_per_second"] == 1234.5
+        assert "nested" not in record.extra
+        # and it reads back as a plain record
+        assert ledger.records()[0].kind == "bench:demo"
+
+    def test_record_round_trip(self):
+        record = CampaignRecord(kind="sweep:x", verdict="ok",
+                                started=123.0, extra={"jobs": 4})
+        assert CampaignRecord.from_dict(record.to_dict()) == record
+
+
+class TestReportHtml:
+    def test_renders_runs_and_charts(self):
+        records = [
+            CampaignRecord(kind="sweep:chaos", verdict="ok", started=1000.0,
+                           duration=2.0, trials=10),
+            CampaignRecord(kind="sweep:chaos", verdict="violation",
+                           started=2000.0, duration=3.0, trials=10),
+        ]
+        page = render_report_html(records)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "sweep:chaos" in page
+        assert "<svg" in page          # trajectory chart (2+ points)
+        assert "violation" in page
+        assert "<script" not in page   # static: no JS
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_exposition(self):
+        collector = MetricsCollector()
+        registry = collector.registry
+        registry.counter("steps_total").inc(0, 3)
+        registry.gauge("decision_time").set(11.0, 2)
+        for v in (1.0, 2.0, 3.0):
+            registry.histogram("message_latency").observe(v)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_steps_total counter" in text
+        assert 'repro_steps_total{label="0"} 3' in text
+        assert 'repro_decision_time{label="2"} 11.0' in text
+        assert "# TYPE repro_message_latency summary" in text
+        assert 'repro_message_latency{quantile="0.5"} 2.0' in text
+        assert "repro_message_latency_count 3" in text
+        assert "repro_message_latency_sum 6.0" in text
+
+    def test_label_escaping(self):
+        collector = MetricsCollector()
+        collector.registry.counter("memory_ops").inc('we"ird\\', 1)
+        text = render_prometheus(collector.registry)
+        assert 'label="we\\"ird\\\\"' in text
+
+
+class TestDash:
+    def _write_stream(self, path, events):
+        collector = MetricsCollector()
+        with JsonlEventSink(str(path), bus=collector.bus, flush=True):
+            for event in events:
+                collector.bus.publish(event)
+        return collector
+
+    def test_replay_matches_a_live_collector(self, tmp_path):
+        """The dash's registry (rebuilt from the stream) equals one that
+        subscribed to the bus during the run."""
+        events = [
+            StepTaken(1, 0, Write(("r", 0), 1), None),
+            StepTaken(2, 1, Write(("r", 1), 2), None),
+            TrialSpanRecorded(-1, "execute", 0.5, "k1"),
+            TrialCompleted(-1, key="k1", kind="chaos", seconds=0.5,
+                           ok=False, cached=False,
+                           stabilization=50, latency=90),
+        ]
+        path = tmp_path / "events.jsonl"
+        live = self._write_stream(path, events)
+        dash = CampaignDash(path)
+        assert dash.summary()["events"]["total"] == len(events)
+        assert dash.metrics() == live.snapshot()
+
+    def test_summary_is_json_serializable_and_counts(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self._write_stream(path, [
+            TrialCompleted(-1, key="a", kind="set_agreement", seconds=0.1,
+                           ok=True, cached=True, stabilization=0,
+                           latency=10),
+            TrialCompleted(-1, key="b", kind="set_agreement", seconds=0.2,
+                           ok=True, cached=False, stabilization=100,
+                           latency=200),
+        ])
+        ledger = CampaignLedger(tmp_path / "runs.jsonl")
+        ledger.append_run("sweep:set-agreement", "ok", trials=2)
+        dash = CampaignDash(path, ledger)
+        summary = json.loads(json.dumps(dash.summary()))
+        assert summary["trials"]["completed"] == 1
+        assert summary["trials"]["cached"] == 1
+        assert len(summary["curve"]) == 2
+        assert summary["curve"][1] == {
+            "stabilization": 100, "latency": 200,
+            "kind": "set_agreement", "cached": False,
+        }
+        assert summary["ledger"][0]["kind"] == "sweep:set-agreement"
+
+    def test_unknown_events_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"event": "FutureEvent", "time": 1}\n')
+            handle.write("not json at all\n")
+            handle.write(json.dumps(
+                event_to_dict(TrialSpanRecorded(-1, "execute", 0.1, "k"))
+            ) + "\n")
+        dash = CampaignDash(path)
+        summary = dash.summary()
+        assert summary["events"]["unknown"] == 1
+        assert summary["events"]["by_type"]["TrialSpanRecorded"] == 1
+        assert summary["events"]["total"] == 2  # malformed line dropped
+
+    def test_incremental_tail_picks_up_appends(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self._write_stream(path, [StepTaken(1, 0, Write(("r", 0), 1), None)])
+        dash = CampaignDash(path)
+        assert dash.summary()["events"]["total"] == 1
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event_to_dict(
+                StepTaken(2, 1, Write(("r", 1), 2), None))) + "\n")
+        assert dash.summary()["events"]["total"] == 2
+
+    def test_http_endpoints(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self._write_stream(path, [
+            TrialCompleted(-1, key="a", kind="extraction", seconds=0.1,
+                           ok=True, cached=False, stabilization=60,
+                           latency=120),
+        ])
+        server = make_server(CampaignDash(path), port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            def get(route):
+                with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}{route}") as response:
+                    return response.status, response.read()
+
+            status, body = get("/api/summary")
+            assert status == 200
+            assert json.loads(body)["trials"]["completed"] == 1
+            status, body = get("/api/metrics")
+            assert status == 200
+            assert "counters" in json.loads(body)
+            status, body = get("/metrics")
+            assert status == 200
+            assert b"repro_trials_completed_total" in body
+            status, body = get("/api/events?n=1")
+            assert status == 200
+            assert len(json.loads(body)) == 1
+            status, body = get("/")
+            assert status == 200 and b"repro dash" in body
+            with pytest.raises(urllib.error.HTTPError):
+                get("/nope")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestCliIntegration:
+    def test_sweep_events_ledger_report_pipeline(self, tmp_path, capsys):
+        """sweep --events/--ledger → dash replay → report renders."""
+        events = tmp_path / "events.jsonl"
+        ledger_path = tmp_path / "runs.jsonl"
+        rc = cli.main([
+            "sweep", "set-agreement", "--sizes", "3",
+            "--stabilizations", "0", "--seeds", "0-2", "--no-cache",
+            "--events", str(events), "--ledger", str(ledger_path),
+        ])
+        assert rc == 0
+        dash = CampaignDash(events, ledger_path)
+        summary = dash.summary()
+        assert summary["trials"]["completed"] == 3
+        assert summary["ledger"][0]["kind"] == "sweep:set-agreement"
+        assert summary["ledger"][0]["verdict"] == "ok"
+        out = tmp_path / "report.html"
+        rc = cli.main(["report", "--ledger", str(ledger_path),
+                       "--out", str(out)])
+        assert rc == 0
+        assert "sweep:set-agreement" in out.read_text()
+        capsys.readouterr()
+
+    def test_sweep_json_carries_metrics_snapshot(self, tmp_path, capsys):
+        rc = cli.main([
+            "sweep", "set-agreement", "--sizes", "3",
+            "--stabilizations", "0", "--seeds", "0-1", "--no-cache",
+            "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["trials_completed"] == {
+            "set_agreement": 2
+        }
+        assert payload["metrics"]["counters"]["steps_total"]
+
+    def test_stats_format_prom(self, capsys):
+        rc = cli.main(["stats", "fig1", "--processes", "3", "--seed", "0",
+                       "--format", "prom"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_steps_total counter" in out
+
+    def test_report_without_ledger_is_usage_error(self, tmp_path, capsys,
+                                                  monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        assert cli.main(["report", "--out",
+                         str(tmp_path / "r.html")]) == 2
+        capsys.readouterr()
