@@ -4,16 +4,28 @@
 Runs the EXPERIMENTS.md F1 set-agreement grid (3 system sizes × 3
 stabilization times × 20 seeds = 180 trials) and — unless
 ``--skip-extraction`` — the F3 extraction grid (3 detectors × 2 sizes ×
-10 seeds = 60 trials, the compute-heavy one), each four ways:
+10 seeds = 60 trials, the compute-heavy one), each five ways:
 
-1. serial, no cache        (the pre-executor baseline)
-2. ``--jobs N``, no cache  (process-pool fan-out)
-3. ``--jobs N``, cold cache
-4. ``--jobs N``, warm cache (every trial served from disk)
+1. serial, no cache          (the pre-executor baseline)
+2. ``--jobs N``, cold pool   (first parallel sweep: pays the one fork)
+3. ``--jobs N``, warm pool   (steady state: reuses the shared pool)
+4. ``--jobs N``, cold cache
+5. ``--jobs N``, warm cache  (every trial served from disk)
 
 and asserts the determinism contract along the way: the parallel CSV is
 byte-identical to the serial one, and the warm-cache results equal the
-cold-cache ones.  The timings, speedups, and host facts land in
+cold-cache ones.
+
+Dispatch overhead is metered with :class:`repro.perf.DispatchStats`:
+``dispatch_overhead_per_trial.after`` counts the cross-process events
+(pool spawns + batch messages + cache round trips) the pooled executor
+actually performed per trial, and ``.before`` models the same sweep on
+the legacy executor (a fresh pool per call, 4 chunks per worker, one
+cache get + one put per trial).  ``parallel_meaningful`` is honest about
+the host: ``--jobs 4`` on a 1-CPU container cannot speed up compute, it
+can only stop paying dispatch tax.
+
+The timings, speedups, dispatch stats, and host facts land in
 ``benchmarks/artifacts/BENCH_sweep.json`` (``--output`` to override).
 
 Usage::
@@ -25,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import pathlib
 import platform
@@ -45,8 +58,10 @@ from repro.obs.campaign import (  # noqa: E402
     SCHEMA_VERSION as ARTIFACT_SCHEMA_VERSION,
 )
 from repro.perf import (  # noqa: E402
+    DispatchStats,
     ENGINE_VERSION,
     TrialCache,
+    reset_shared_pool,
     run_trials,
 )
 
@@ -73,26 +88,69 @@ def _timed(label: str, fn):
     return result, wall
 
 
+def _legacy_dispatch_events(n: int, jobs: int, cached: bool) -> int:
+    """Cross-process events the pre-pool executor paid for ``n`` trials.
+
+    The legacy executor built a fresh ``multiprocessing.Pool`` per
+    ``run_trials`` call (``jobs`` worker forks), chunked at 4 chunks per
+    worker (2 pickled messages each), and did every cache access from
+    the parent: one ``get`` per trial up front and one ``put`` per
+    computed trial.
+    """
+    chunk = max(1, math.ceil(n / (jobs * 4)))
+    batches = math.ceil(n / chunk)
+    events = jobs + 2 * batches  # worker forks + a send and recv per chunk
+    if cached:
+        events += 2 * n  # one cache.get + one cache.put per trial
+    return events
+
+
 def _bench_grid(name: str, specs, jobs: int) -> dict:
     """Serial, parallel, cold-cache, warm-cache timings for one grid."""
-    print(f"{name}: {len(specs)} trials, jobs={jobs}")
+    n = len(specs)
+    print(f"{name}: {n} trials, jobs={jobs}")
     serial, serial_s = _timed(
         "serial (jobs=1)", lambda: run_trials(specs, jobs=1)
     )
-    parallel, parallel_s = _timed(
-        f"parallel (jobs={jobs})", lambda: run_trials(specs, jobs=jobs)
+
+    # Cold pool: reset the shared pool so this sweep pays the one fork
+    # a fresh process would pay, then a warm run on the reused pool.
+    reset_shared_pool()
+    cold_pool = DispatchStats()
+    parallel, parallel_cold_s = _timed(
+        f"parallel cold pool (jobs={jobs})",
+        lambda: run_trials(specs, jobs=jobs, dispatch=cold_pool),
     )
+    warm_pool = DispatchStats()
+    parallel2, parallel_s = _timed(
+        f"parallel warm pool (jobs={jobs})",
+        lambda: run_trials(specs, jobs=jobs, dispatch=warm_pool),
+    )
+    if cold_pool.pool_spawns != 1:
+        raise AssertionError(
+            f"cold sweep spawned {cold_pool.pool_spawns} pools, expected 1"
+        )
+    if warm_pool.pool_spawns != 0 or warm_pool.pool_reuses < 1:
+        raise AssertionError("warm sweep failed to reuse the shared pool")
     serial_csv = to_csv(serial)
-    if to_csv(parallel) != serial_csv:
+    if to_csv(parallel) != serial_csv or to_csv(parallel2) != serial_csv:
         raise AssertionError("parallel CSV differs from serial CSV")
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         cache = TrialCache(tmp)
+        cold_cache = DispatchStats()
         cold, cold_s = _timed(
-            "cold cache", lambda: run_trials(specs, jobs=jobs, cache=cache)
+            "cold cache",
+            lambda: run_trials(
+                specs, jobs=jobs, cache=cache, dispatch=cold_cache
+            ),
         )
+        warm_cache = DispatchStats()
         warm, warm_s = _timed(
-            "warm cache", lambda: run_trials(specs, jobs=jobs, cache=cache)
+            "warm cache",
+            lambda: run_trials(
+                specs, jobs=jobs, cache=cache, dispatch=warm_cache
+            ),
         )
         if warm != cold:
             raise AssertionError("warm-cache results differ from cold-cache")
@@ -100,19 +158,40 @@ def _bench_grid(name: str, specs, jobs: int) -> dict:
             raise AssertionError("cached CSV differs from serial CSV")
         cache_entries = len(cache)
 
+    # Dispatch overhead per trial: measured "after" (one pool spawn per
+    # sweep amortized over the cold-cache run, which reused the warm
+    # pool) vs the modeled legacy executor on the same grid.
+    after_events = 1 + (
+        cold_cache.dispatch_events() - cold_cache.pool_spawns
+    )
+    before_events = _legacy_dispatch_events(n, jobs, cached=True)
+    overhead = {
+        "before": round(before_events / n, 4),
+        "after": round(after_events / n, 4),
+        "reduction": round(before_events / after_events, 1),
+    }
+
+    cpu = os.cpu_count() or 1
     return {
-        "trials": len(specs),
+        "trials": n,
         "serial_seconds": round(serial_s, 3),
+        "parallel_cold_seconds": round(parallel_cold_s, 3),
         "parallel_seconds": round(parallel_s, 3),
         "parallel_jobs": jobs,
+        "effective_jobs": min(jobs, cpu),
+        "parallel_meaningful": jobs <= cpu,
         "parallel_speedup": round(serial_s / parallel_s, 2),
+        "pool_spawns_cold": cold_pool.pool_spawns,
+        "pool_spawns_warm": warm_pool.pool_spawns,
+        "dispatch_cold_cache": cold_cache.to_dict(),
+        "dispatch_overhead_per_trial": overhead,
         "cold_cache_seconds": round(cold_s, 3),
         "warm_cache_seconds": round(warm_s, 3),
         "cache_speedup": round(cold_s / warm_s, 1),
         "cache_entries": cache_entries,
         "csv_identical": True,
-        "trials_per_second_serial": round(len(specs) / serial_s, 1),
-        "trials_per_second_warm": round(len(specs) / warm_s, 1),
+        "trials_per_second_serial": round(n / serial_s, 1),
+        "trials_per_second_warm": round(n / warm_s, 1),
     }
 
 
@@ -127,6 +206,7 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT))
     args = parser.parse_args(argv)
 
+    cpu = os.cpu_count() or 1
     sa_specs = set_agreement_grid(
         system_sizes=_parse_ints(args.sizes),
         seeds=_parse_ints(args.seeds),
@@ -135,8 +215,11 @@ def main(argv=None) -> int:
     payload = {
         "engine_version": ENGINE_VERSION,
         "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "jobs": args.jobs,
+        "effective_jobs": min(args.jobs, cpu),
+        "parallel_meaningful": args.jobs <= cpu,
         "host": {
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpu,
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
@@ -173,8 +256,14 @@ def main(argv=None) -> int:
     for section in ("set_agreement", "extraction"):
         if section in payload:
             data = payload[section]
+            over = data["dispatch_overhead_per_trial"]
             print(f"{section}: parallel {data['parallel_speedup']}x, "
-                  f"warm cache {data['cache_speedup']}x")
+                  f"warm cache {data['cache_speedup']}x, "
+                  f"dispatch overhead {over['before']} -> {over['after']} "
+                  f"events/trial ({over['reduction']}x lower)")
+    if not payload["parallel_meaningful"]:
+        print(f"note: jobs={args.jobs} exceeds cpu_count={cpu}; "
+              f"speedups reflect dispatch overhead only, not extra compute")
     print(f"-> {output}")
     return 0
 

@@ -562,6 +562,16 @@ def main():
     if appended:
         print(f"<!-- campaign ledger: {ledger} "
               f"(+{len(appended)} artifact records) -->")
+    for record in appended:
+        # Honesty caveat: a bench run with more jobs than cores measures
+        # dispatch overhead, not parallel compute — flag it in the body.
+        if record.extra.get("parallel_meaningful") is False:
+            jobs = record.extra.get("jobs", "?")
+            eff = record.extra.get("effective_jobs", "?")
+            print(f"\n> **Caveat ({record.extra.get('artifact', record.kind)})**: "
+                  f"benchmarked with jobs={jobs} on a host with only "
+                  f"{eff} effective core(s); parallel speedups reflect "
+                  f"reduced dispatch overhead, not added compute.")
 
 
 if __name__ == "__main__":

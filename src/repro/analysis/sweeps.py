@@ -222,19 +222,21 @@ def sweep_set_agreement(
     adversarial: bool = False,
     jobs: Optional[int] = 1,
     cache: Optional[TrialCache] = None,
+    batch_size: Optional[int] = None,
 ) -> List[SetAgreementResult]:
     """Grid of Fig. 1 / Fig. 2 runs.
 
     ``fs = None`` means the wait-free case (f = n) for each system size.
-    ``jobs > 1`` fans the grid out over a process pool; ``cache`` serves
-    already-computed trials from disk.  Output order is the grid order
-    either way.
+    ``jobs > 1`` fans the grid out as batches over the persistent worker
+    pool (``batch_size`` specs per batch; default ~2 batches per
+    worker); ``cache`` serves already-computed trials from disk.  Output
+    order is the grid order either way.
     """
     specs = set_agreement_grid(
         system_sizes, seeds, stabilization_times,
         fs=fs, adversarial=adversarial,
     )
-    return run_trials(specs, jobs=jobs, cache=cache)
+    return run_trials(specs, jobs=jobs, cache=cache, chunk_size=batch_size)
 
 
 def sweep_extraction(
@@ -246,6 +248,7 @@ def sweep_extraction(
     max_steps: int = 40_000,
     jobs: Optional[int] = 1,
     cache: Optional[TrialCache] = None,
+    batch_size: Optional[int] = None,
 ) -> List[ExtractionResult]:
     """Grid of Fig. 3 extractions.
 
@@ -261,7 +264,8 @@ def sweep_extraction(
             detectors, system_sizes, seeds,
             f=f, stabilization_time=stabilization_time, max_steps=max_steps,
         )
-        return run_trials(specs, jobs=jobs, cache=cache)
+        return run_trials(specs, jobs=jobs, cache=cache,
+                          chunk_size=batch_size)
     if (jobs is not None and jobs > 1) or cache is not None:
         raise ValueError(
             "parallel or cached extraction sweeps need detector registry "
@@ -298,6 +302,7 @@ def sweep_chaos(
     drop_rates: Sequence[float] = (0.0,),
     jobs: Optional[int] = 1,
     cache: Optional[TrialCache] = None,
+    batch_size: Optional[int] = None,
     **grid_kwargs,
 ) -> List[Optional[ChaosTrialResult]]:
     """Grid of chaos trials (see :func:`chaos_grid` for the axes).
@@ -316,7 +321,8 @@ def sweep_chaos(
         lying_prefixes=lying_prefixes, drop_rates=drop_rates,
         **grid_kwargs,
     )
-    return run_trials(specs, jobs=jobs, cache=cache, **run_kwargs)
+    return run_trials(specs, jobs=jobs, cache=cache, chunk_size=batch_size,
+                      **run_kwargs)
 
 
 # -- CSV export ------------------------------------------------------------

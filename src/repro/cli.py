@@ -262,6 +262,11 @@ def _build_parser() -> argparse.ArgumentParser:
             help="worker processes (0 = one per CPU; default 1 = serial)",
         )
         sub_parser.add_argument(
+            "--batch-size", type=int, default=None, metavar="N",
+            help="trials per dispatched batch (default ~2 batches per "
+                 "worker); one pickle round trip per batch",
+        )
+        sub_parser.add_argument(
             "--cache-dir", default=None, metavar="DIR",
             help="trial cache root (default $REPRO_CACHE_DIR or "
                  "~/.cache/repro/trials)",
@@ -312,6 +317,9 @@ def _build_parser() -> argparse.ArgumentParser:
     mc_check.add_argument("--strategy", choices=("dfs", "bfs"), default="dfs")
     mc_check.add_argument("--jobs", type=int, default=1,
                           help="worker processes (parallel root sharding)")
+    mc_check.add_argument("--batch-size", type=int, default=None, metavar="N",
+                          help="shards per dispatched batch (default ~2 "
+                               "batches per worker)")
     mc_check.add_argument("--max-crashes", type=int, default=0,
                           help="also sweep crash subsets up to this size")
     mc_check.add_argument("--crash-times", default="0", metavar="LIST",
@@ -689,7 +697,13 @@ def _cmd_sweep(args) -> int:
         set_agreement_grid,
         to_csv,
     )
-    from .perf import QuarantineReport, TrialCache, resolve_jobs, run_trials
+    from .perf import (
+        DispatchStats,
+        QuarantineReport,
+        TrialCache,
+        resolve_jobs,
+        run_trials,
+    )
 
     try:
         if args.sweep_command == "set-agreement":
@@ -755,13 +769,14 @@ def _cmd_sweep(args) -> int:
     except OSError as exc:
         print(f"error: cannot open --events file: {exc}", file=sys.stderr)
         return 2
+    dispatch = DispatchStats()
     start = time.perf_counter()
     try:
         results = run_trials(
-            specs, jobs=jobs, cache=cache,
+            specs, jobs=jobs, cache=cache, chunk_size=args.batch_size,
             retries=args.retries, trial_timeout=args.trial_timeout,
             journal=args.resume, quarantine=quarantine,
-            collector=collector,
+            collector=collector, dispatch=dispatch,
         )
     finally:
         if sink is not None:
@@ -798,6 +813,7 @@ def _cmd_sweep(args) -> int:
         },
         "journal": args.resume,
         "csv": args.csv if survivors else None,
+        "dispatch": dispatch.to_dict(),
     }
     registry = collector.registry
     retried = registry.counter("trial_retries").total()
@@ -821,6 +837,12 @@ def _cmd_sweep(args) -> int:
     else:
         print(f"{args.sweep_command} sweep: {len(results)} trials  "
               f"jobs={jobs}  wall={wall:.2f}s")
+        if jobs > 1:
+            print(f"dispatch: {dispatch.batches} batches, "
+                  f"{dispatch.pool_spawns} pool spawn(s), "
+                  f"{dispatch.pool_reuses} reuse(s), "
+                  f"{dispatch.cache_get_round_trips + dispatch.cache_put_round_trips} "
+                  f"cache round trips")
         if cache is not None:
             print(f"cache: {cache.hits} hits, {cache.misses} misses "
                   f"({cache.root})")
@@ -879,6 +901,7 @@ def _cmd_check(args) -> int:
     start = time_module.perf_counter()
     report = check(
         instance, config, sweep=sweep, jobs=args.jobs,
+        batch_size=args.batch_size,
         retries=args.retries, trial_timeout=args.trial_timeout,
         journal=args.resume, quarantine=quarantine,
     )

@@ -585,6 +585,7 @@ def check(
     jobs: int = 1,
     cache=None,
     *,
+    batch_size: Optional[int] = None,
     retries: int = 0,
     trial_timeout: Optional[float] = None,
     journal=None,
@@ -611,6 +612,7 @@ def check(
 
         results = run_check_shards(
             instances, config, jobs=jobs, cache=cache,
+            batch_size=batch_size,
             retries=retries, trial_timeout=trial_timeout,
             journal=journal, quarantine=quarantine, collector=collector,
         )

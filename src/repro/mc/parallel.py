@@ -160,6 +160,9 @@ class ParallelExplorer:
     cache:
         Optional :class:`~repro.perf.cache.TrialCache`; shards of an
         unchanged instance/config are content-addressed hits.
+    batch_size:
+        Shards per dispatched batch (``run_trials``'s ``chunk_size``);
+        ``None`` means ~2 batches per worker.
     retries / trial_timeout / journal / quarantine:
         Resilience knobs, forwarded verbatim to
         :func:`~repro.perf.executor.run_trials`.  A shard that exhausts
@@ -168,12 +171,14 @@ class ParallelExplorer:
     """
 
     def __init__(self, jobs: Optional[int] = None, shard_depth: int = 1,
-                 cache=None, *, retries: int = 0,
+                 cache=None, *, batch_size: Optional[int] = None,
+                 retries: int = 0,
                  trial_timeout: Optional[float] = None,
                  journal=None, quarantine=None, collector=None):
         self.jobs = jobs
         self.shard_depth = shard_depth
         self.cache = cache
+        self.batch_size = batch_size
         self.retries = retries
         self.trial_timeout = trial_timeout
         self.journal = journal
@@ -195,6 +200,7 @@ class ParallelExplorer:
         ]
         results = run_trials(
             specs, jobs=self.jobs, cache=self.cache,
+            chunk_size=self.batch_size,
             retries=self.retries, trial_timeout=self.trial_timeout,
             journal=self.journal, quarantine=self.quarantine,
             collector=self.collector,
@@ -208,6 +214,7 @@ def run_check_shards(
     jobs: Optional[int] = None,
     cache=None,
     *,
+    batch_size: Optional[int] = None,
     retries: int = 0,
     trial_timeout: Optional[float] = None,
     journal=None,
@@ -223,7 +230,7 @@ def run_check_shards(
     """
     if len(instances) == 1:
         explorer = ParallelExplorer(
-            jobs=jobs, cache=cache, retries=retries,
+            jobs=jobs, cache=cache, batch_size=batch_size, retries=retries,
             trial_timeout=trial_timeout, journal=journal,
             quarantine=quarantine, collector=collector,
         )
@@ -232,7 +239,8 @@ def run_check_shards(
 
     specs = [make_shard_spec(instance, config) for instance in instances]
     return run_trials(
-        specs, jobs=jobs, cache=cache, retries=retries,
+        specs, jobs=jobs, cache=cache, chunk_size=batch_size,
+        retries=retries,
         trial_timeout=trial_timeout, journal=journal, quarantine=quarantine,
         collector=collector,
     )

@@ -108,10 +108,18 @@ def _run_table(records: Sequence[CampaignRecord]) -> str:
         bad = record.verdict in _BAD_VERDICTS
         cls = ' class="bad"' if bad else ""
         verdict_cls = "verdict-bad" if bad else "verdict-ok"
+        kind = html.escape(record.kind)
+        if record.extra.get("parallel_meaningful") is False:
+            # bench ran with more jobs than cores: speedup figures
+            # measure dispatch overhead, not parallel compute
+            eff = record.extra.get("effective_jobs", "?")
+            kind += (f' <span title="jobs exceed cpu_count; effective '
+                     f'jobs={eff} — speedup reflects dispatch overhead '
+                     f'only">⚠&nbsp;jobs&gt;cpu</span>')
         rows.append(
             f"<tr{cls}>"
             f"<td>{_fmt_time(record.started)}</td>"
-            f"<td>{html.escape(record.kind)}</td>"
+            f"<td>{kind}</td>"
             f'<td class="{verdict_cls}">{html.escape(record.verdict)}</td>'
             f"<td>{record.duration:.3f}</td>"
             f"<td>{record.trials}</td>"

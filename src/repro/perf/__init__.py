@@ -2,10 +2,15 @@
 
 * :mod:`repro.perf.spec` — picklable trial specs, stable content keys,
   and the engine version salt that invalidates caches on engine changes;
-* :mod:`repro.perf.executor` — :func:`run_trials`, the process-pool
-  sweep executor with deterministic input-order reassembly;
+* :mod:`repro.perf.executor` — :func:`run_trials`, the batched sweep
+  executor with deterministic input-order reassembly;
+* :mod:`repro.perf.pool` — :class:`WorkerPool`, the persistent
+  warm-started worker pool every ``run_trials`` call shares
+  (:func:`shared_pool`), and :class:`DispatchStats`, the dispatch
+  overhead meter;
 * :mod:`repro.perf.cache` — :class:`TrialCache`, the disk-backed
-  content-addressed store of trial results;
+  content-addressed store of trial results (batched
+  ``get_many``/``put_many``);
 * :mod:`repro.perf.resilience` — the watchdog, retry/quarantine, and
   checkpoint-journal primitives behind the executor's resilient mode.
 
@@ -15,6 +20,13 @@ delegate here; ``python -m repro sweep`` is the CLI front end.
 
 from .cache import CACHE_DIR_ENV, TrialCache, default_cache_dir
 from .executor import resolve_jobs, run_trials
+from .pool import (
+    DispatchStats,
+    WorkerCrashError,
+    WorkerPool,
+    reset_shared_pool,
+    shared_pool,
+)
 from .resilience import (
     CheckpointJournal,
     QuarantineReport,
@@ -33,6 +45,7 @@ from .spec import (
 __all__ = [
     "CACHE_DIR_ENV",
     "CheckpointJournal",
+    "DispatchStats",
     "ENGINE_VERSION",
     "ExtractionTrialSpec",
     "QuarantineReport",
@@ -40,10 +53,14 @@ __all__ = [
     "TrialFailure",
     "TrialCache",
     "TrialSpec",
+    "WorkerCrashError",
+    "WorkerPool",
     "default_cache_dir",
     "execute_trial",
     "guarded_execute",
+    "reset_shared_pool",
     "resolve_jobs",
     "run_trials",
+    "shared_pool",
     "spec_key",
 ]

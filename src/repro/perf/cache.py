@@ -18,7 +18,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .spec import TrialSpec, spec_key
 
@@ -45,6 +45,11 @@ class TrialCache:
     the sweep CLI reports them after every run.  ``corrupt`` counts the
     subset of misses caused by unreadable entries (each is logged,
     deleted, and rewritten when the recomputed result is stored).
+
+    ``get_round_trips`` / ``put_round_trips`` count *disk visits*, not
+    entries: a :meth:`get_many` over a whole grid or a :meth:`put_many`
+    of a worker batch is one round trip each — the quantity the batched
+    executor minimizes and ``dispatch_overhead_per_trial`` reports.
     """
 
     def __init__(self, root: Union[str, Path, None] = None):
@@ -53,21 +58,22 @@ class TrialCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.get_round_trips = 0
+        self.put_round_trips = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
     # -- spec-level API ----------------------------------------------------
 
-    def get(self, spec: TrialSpec) -> Optional[Any]:
-        """The cached result for ``spec``, or ``None`` on a miss."""
-        path = self._path(spec_key(spec))
+    def _load(self, path: Path) -> Tuple[Optional[Any], bool]:
+        """Read one entry: ``(result, hit)`` with per-``get`` accounting."""
         try:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
-            return None
+            return None, False
         except Exception as exc:
             # Truncated, corrupted, or stale entry (unpickling hostile
             # bytes can raise nearly anything): a cache must never turn a
@@ -83,14 +89,74 @@ class TrialCache:
                 path.unlink()
             except OSError:
                 pass
-            return None
+            return None, False
         self.hits += 1
+        return result, True
+
+    def get(self, spec: TrialSpec) -> Optional[Any]:
+        """The cached result for ``spec``, or ``None`` on a miss."""
+        self.get_round_trips += 1
+        result, _ = self._load(self._path(spec_key(spec)))
         return result
+
+    def get_many(self, specs: Sequence[TrialSpec]) -> List[Optional[Any]]:
+        """Batched :meth:`get`: one disk round trip for the whole grid.
+
+        Keys are grouped by shard so each shard directory is listed
+        **once**; only entries that exist are opened (a cold grid costs a
+        handful of ``listdir`` calls instead of ``len(specs)`` failed
+        ``open`` s).  Hit/miss/corrupt accounting is per entry, identical
+        to ``len(specs)`` individual :meth:`get` calls.
+        """
+        if not specs:
+            return []
+        self.get_round_trips += 1
+        keys = [spec_key(spec) for spec in specs]
+        shard_files: dict = {}
+        for key in keys:
+            shard = key[:2]
+            if shard not in shard_files:
+                try:
+                    shard_files[shard] = set(os.listdir(self.root / shard))
+                except OSError:
+                    shard_files[shard] = set()
+        out: List[Optional[Any]] = []
+        for key in keys:
+            if f"{key}.pkl" not in shard_files[key[:2]]:
+                self.misses += 1
+                out.append(None)
+                continue
+            result, _ = self._load(self._path(key))
+            out.append(result)
+        return out
 
     def put(self, spec: TrialSpec, result: Any) -> None:
         """Store ``result`` for ``spec`` (atomic replace)."""
-        path = self._path(spec_key(spec))
-        path.parent.mkdir(parents=True, exist_ok=True)
+        self.put_round_trips += 1
+        self._write(self._path(spec_key(spec)), result)
+
+    def put_many(self, pairs: Iterable[Tuple[TrialSpec, Any]]) -> None:
+        """Batched :meth:`put`: one disk round trip for a whole batch.
+
+        Entries are grouped by shard (one ``mkdir`` per shard); each file
+        is still written atomically, so a kill mid-batch leaves every
+        already-replaced entry valid and no torn ones.
+        """
+        by_shard: dict = {}
+        for spec, result in pairs:
+            path = self._path(spec_key(spec))
+            by_shard.setdefault(path.parent, []).append((path, result))
+        if not by_shard:
+            return
+        self.put_round_trips += 1
+        for parent, entries in by_shard.items():
+            parent.mkdir(parents=True, exist_ok=True)
+            for path, result in entries:
+                self._write(path, result, ensure_dir=False)
+
+    def _write(self, path: Path, result: Any, ensure_dir: bool = True) -> None:
+        if ensure_dir:
+            path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:

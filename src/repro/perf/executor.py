@@ -1,26 +1,34 @@
-"""The parallel sweep executor: process-pool fan-out over trial specs.
+"""The parallel sweep executor: batched fan-out over a persistent pool.
 
 Trials are seeded and fully deterministic, which makes an experiment grid
 embarrassingly parallel: :func:`run_trials` partitions the specs into
-chunks, dispatches the chunks to a :class:`~concurrent.futures.ProcessPoolExecutor`,
-and reassembles the results **in input order** regardless of completion
+chunks, hands each chunk as **one batch** to the process-wide
+:class:`~repro.perf.pool.WorkerPool` (forked once, warm-started, reused
+by every call — see :func:`~repro.perf.pool.shared_pool`), and
+reassembles the results **in input order** regardless of completion
 order — a ``jobs=8`` sweep is byte-for-byte the same CSV as a serial one.
 
-With a :class:`~repro.perf.cache.TrialCache`, cached specs are answered
-from disk before any worker is spawned; only the misses fan out, and
-their results are stored on the way back.  A fully warm grid never forks
-at all.
+With a :class:`~repro.perf.cache.TrialCache`, the whole grid is
+prefiltered with one :meth:`~repro.perf.cache.TrialCache.get_many`
+round trip; only the misses fan out, workers flush each batch's results
+with one :meth:`~repro.perf.cache.TrialCache.put_many`, and a fully warm
+grid never touches the pool at all.  Pass a
+:class:`~repro.perf.pool.DispatchStats` as ``dispatch`` to meter what
+the fan-out cost (pool spawns, batch messages, pickle bytes, cache round
+trips — the ``dispatch_overhead_per_trial`` numbers in BENCH_sweep.json).
 
 **Resilient mode** (any of ``retries``/``trial_timeout``/``journal``/
 ``quarantine`` set) hardens the fan-out against the trials themselves:
 
-* every trial runs under :func:`~repro.perf.resilience.guarded_execute`,
-  so in-worker exceptions and wall-clock timeouts come back as
+* every trial runs under the in-worker watchdog
+  (:func:`~repro.perf.resilience._guarded`), so exceptions and
+  wall-clock timeouts come back as
   :class:`~repro.perf.resilience.TrialFailure` values;
-* a worker death (``BrokenProcessPool``) poisons every pending future
-  without naming the culprit, so the executor requeues the survivors and
-  switches to *isolation rounds* — one spec per single-worker pool —
-  where a crash is unambiguously attributable;
+* each worker owns a private pipe, so a worker death names its batch
+  exactly — the dead slot is *recycled* (a replacement forked in place,
+  never a whole new pool) and the suspect specs re-run **pinned to the
+  recycled worker** one at a time while the rest of the pool keeps
+  draining healthy work;
 * a spec that fails ``retries + 1`` times is quarantined (recorded in
   the :class:`~repro.perf.resilience.QuarantineReport`, ``None`` in the
   results) instead of aborting the sweep;
@@ -35,9 +43,10 @@ from __future__ import annotations
 
 import os
 import time as _time
-from typing import Any, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from .cache import TrialCache
+from .pool import DispatchStats, WorkerCrashError, WorkerPool, shared_pool
 from .resilience import (
     CheckpointJournal,
     QuarantineReport,
@@ -57,17 +66,14 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _run_chunk(specs: List[TrialSpec]) -> List[Any]:
-    """Worker entry point: execute a chunk of specs serially."""
-    return [execute_trial(spec) for spec in specs]
-
-
 def _execute_observed(spec: TrialSpec, submitted_at: float):
     """Execute one spec with a private collector; telemetry rides along.
 
-    Unlike :func:`~repro.perf.resilience.guarded_execute_observed`, this
-    is the *plain* path: exceptions propagate (the non-resilient executor
-    has no failure protocol to hide them behind).
+    The serial in-process path: exceptions propagate (the non-resilient
+    executor has no failure protocol to hide them behind).  Worker-side
+    execution lives in :func:`repro.perf.pool._execute_batch`, which
+    stamps one dequeue time per batch instead of trusting the caller's
+    ``submitted_at``.
     """
     from ..obs.metrics import MetricsCollector
     from ..obs.telemetry import capture_telemetry
@@ -86,19 +92,15 @@ def _execute_observed(spec: TrialSpec, submitted_at: float):
     return result, telemetry
 
 
-def _run_chunk_observed(specs: List[TrialSpec], submitted_at: float):
-    """Worker entry point (observed): ``[(result, telemetry), ...]``."""
-    return [_execute_observed(spec, submitted_at) for spec in specs]
-
-
 def _chunk_indices(n_items: int, jobs: int, chunk_size: Optional[int]) -> List[range]:
     """Split ``range(n_items)`` into contiguous chunks.
 
-    The default aims at ~4 chunks per worker — small enough to balance
-    uneven trial costs across the pool, large enough to amortize pickling.
+    The default aims at ~2 chunks per worker — small enough to balance
+    uneven trial costs across the pool, large enough that a grid costs a
+    handful of batch messages instead of hundreds.
     """
     if chunk_size is None:
-        chunk_size = max(1, -(-n_items // (jobs * 4)))
+        chunk_size = max(1, -(-n_items // (jobs * 2)))
     elif chunk_size < 1:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     return [
@@ -125,6 +127,8 @@ def run_trials(
     backoff: float = 0.5,
     bus=None,
     collector=None,
+    dispatch: Optional[DispatchStats] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[Any]:
     """Execute every spec; results come back in input order.
 
@@ -137,9 +141,11 @@ def run_trials(
         process; ``None``/``0`` uses one worker per CPU.
     cache:
         Optional :class:`TrialCache`; cached specs are served from disk
-        and computed ones stored back.
+        (one batched ``get_many`` round trip for the whole grid) and
+        computed ones stored back (one ``put_many`` per worker batch).
     chunk_size:
-        Specs per worker task; defaults to ~4 chunks per worker.
+        Specs per batch; defaults to ~2 batches per worker.  The CLI
+        exposes this as ``--batch-size``.
     retries:
         Resilient mode: re-run a failing spec up to this many extra
         times (with exponential backoff) before quarantining it.
@@ -170,6 +176,16 @@ def run_trials(
         ``collector.bus``.  A ``jobs=4`` run then reports the same
         trial-level counters as ``jobs=1``.  When ``bus`` is unset,
         resilience events go to ``collector.bus`` as well.
+    dispatch:
+        Optional :class:`~repro.perf.pool.DispatchStats` that this call
+        fills with its dispatch costs — pool spawns vs. reuses, batch
+        messages, pickle bytes, cache round trips.  Deliberately an
+        out-param rather than registry metrics so jobs=1 and jobs=N
+        telemetry snapshots stay identical.
+    pool:
+        Optional :class:`~repro.perf.pool.WorkerPool` to run on.
+        Defaults to the process-wide :func:`~repro.perf.pool.shared_pool`
+        (forked once, reused by every subsequent call).
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
@@ -194,6 +210,11 @@ def run_trials(
     if resilient and quarantine is None:
         quarantine = QuarantineReport()
 
+    cache_rt_base = (
+        (cache.get_round_trips, cache.put_round_trips, cache.stores)
+        if dispatch is not None and cache is not None else None
+    )
+
     def cached_hit(index: int, spec: TrialSpec, result: Any,
                    seconds: float) -> None:
         results[index] = result
@@ -215,54 +236,76 @@ def run_trials(
 
     try:
         pending: List[int] = []
-        if journal is not None and cache is not None:
-            # Resume triage: journaled keys are done *iff* the cache still
-            # has their result; a cleared cache degrades to a re-run.
-            for index, spec in enumerate(specs):
-                lookup_start = _time.perf_counter()
-                if journal.is_done(spec_key(spec)):
-                    hit = cache.get(spec)
-                    if hit is not None:
-                        cached_hit(index, spec, hit,
-                                   _time.perf_counter() - lookup_start)
-                        continue
-                else:
-                    hit = cache.get(spec)
-                    if hit is not None:
-                        cached_hit(index, spec, hit,
-                                   _time.perf_counter() - lookup_start)
-                        journal.record_done(spec_key(spec))
-                        continue
-                pending.append(index)
-        elif cache is not None:
-            for index, spec in enumerate(specs):
-                lookup_start = _time.perf_counter()
-                hit = cache.get(spec)
-                if hit is not None:
-                    cached_hit(index, spec, hit,
-                               _time.perf_counter() - lookup_start)
-                else:
+        if cache is not None:
+            # One batched round trip answers the whole grid; per-hit
+            # lookup cost is apportioned evenly into the telemetry span.
+            lookup_start = _time.perf_counter()
+            hits = cache.get_many(specs)
+            per_hit = (_time.perf_counter() - lookup_start) \
+                / max(1, len(specs))
+            for index, (spec, hit) in enumerate(zip(specs, hits)):
+                # Resume triage: journaled keys are done *iff* the cache
+                # still has their result; a cleared cache degrades to a
+                # re-run, and an unjournaled hit is journaled now.
+                if hit is None:
                     pending.append(index)
+                    continue
+                cached_hit(index, spec, hit, per_hit)
+                if journal is not None:
+                    key = spec_key(spec)
+                    if not journal.is_done(key):
+                        journal.record_done(key)
         else:
             pending = list(range(len(specs)))
 
         if pending:
             if not resilient:
                 _run_plain(specs, pending, results, jobs, cache,
-                           chunk_size, relay)
+                           chunk_size, relay, dispatch, pool)
             else:
                 _run_resilient(
-                    specs, pending, results, jobs, cache,
+                    specs, pending, results, jobs, cache, chunk_size,
                     retries=retries, trial_timeout=trial_timeout,
                     journal=journal, quarantine=quarantine,
                     backoff=backoff, bus=bus, relay=relay,
+                    dispatch=dispatch, pool=pool,
                 )
         if relay is not None:
             relay.finish()
+        if dispatch is not None:
+            dispatch.trials += len(specs) - len(pending)  # cached ones
+            if cache_rt_base is not None:
+                dispatch.cache_get_round_trips += \
+                    cache.get_round_trips - cache_rt_base[0]
+                dispatch.cache_put_round_trips += \
+                    cache.put_round_trips - cache_rt_base[1]
+                dispatch.cache_stores += cache.stores - cache_rt_base[2]
         return results
     finally:
         if owns_journal:
             journal.close()
+
+
+def _pool_session(pool: Optional[WorkerPool], jobs: int,
+                  dispatch: Optional[DispatchStats]) -> WorkerPool:
+    """Resolve the pool for a fan-out and size it for ``jobs`` workers.
+
+    Sizing happens under ``dispatch`` scope so a cold start is charged
+    to the call that triggered it (``pool_spawns`` vs ``pool_reuses``).
+    """
+    if pool is None:
+        pool = shared_pool()
+    with pool.scoped(dispatch):
+        pool.ensure(jobs)
+        pool.limit(jobs)
+    return pool
+
+
+def _fold_reply(reply, cache: Optional[TrialCache]) -> None:
+    """Fold a worker's cache accounting back into the parent cache."""
+    if cache is not None and reply.cache_stores:
+        cache.stores += reply.cache_stores
+        cache.put_round_trips += reply.cache_put_round_trips
 
 
 def _run_plain(
@@ -273,8 +316,10 @@ def _run_plain(
     cache: Optional[TrialCache],
     chunk_size: Optional[int],
     relay=None,
+    dispatch: Optional[DispatchStats] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> None:
-    """The original fast path — no watchdog, no retries, no journal."""
+    """The fast path — no watchdog, no retries, no journal."""
     if jobs <= 1 or len(pending) == 1:
         for index in pending:
             if relay is not None:
@@ -287,99 +332,46 @@ def _run_plain(
             results[index] = result
             if cache is not None:
                 cache.put(specs[index], result)
+        if dispatch is not None:
+            dispatch.trials += len(pending)
         return
 
-    # Fan out only the misses; chunks are submitted up front and results
-    # are written back by original position, so completion order (and any
-    # OS scheduling jitter) cannot perturb the output order.
-    from concurrent.futures import ProcessPoolExecutor, as_completed
-
-    chunks = _chunk_indices(len(pending), jobs, chunk_size)
-    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-        if relay is not None:
-            futures = {
-                pool.submit(
-                    _run_chunk_observed,
-                    [specs[pending[i]] for i in chunk],
-                    _time.time(),
-                ): chunk
-                for chunk in chunks
-            }
-        else:
-            futures = {
-                pool.submit(
-                    _run_chunk, [specs[pending[i]] for i in chunk]
-                ): chunk
-                for chunk in chunks
-            }
-        for future in as_completed(futures):
-            chunk = futures[future]
-            chunk_results = future.result()
-            for i, outcome in zip(chunk, chunk_results):
-                index = pending[i]
-                if relay is not None:
-                    result, telemetry = outcome
-                    relay.record(index, telemetry)
-                else:
-                    result = outcome
-                results[index] = result
-                if cache is not None:
-                    cache.put(specs[index], result)
-
-
-def _dispatch_batch(
-    indices: List[int],
-    specs: List[TrialSpec],
-    jobs: int,
-    trial_timeout: Optional[float],
-    observed: bool = False,
-):
-    """Run ``indices`` in a fresh pool; worker deaths surface as absences.
-
-    Returns ``(outcomes, telemetries, pool_broken)`` where ``outcomes``
-    maps an index to its result or :class:`TrialFailure` and
-    ``telemetries`` (populated only when ``observed``) maps an index to
-    its :class:`~repro.obs.telemetry.TrialTelemetry` payload.  Indices
-    missing from ``outcomes`` were in flight when the pool broke.
-    """
-    from concurrent.futures import as_completed
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures.process import BrokenProcessPool
-
-    outcomes: dict = {}
-    telemetries: dict = {}
-    pool_broken = False
-    with ProcessPoolExecutor(max_workers=min(jobs, len(indices))) as pool:
-        if observed:
-            futures = {
-                pool.submit(
-                    guarded_execute_observed, specs[i], trial_timeout,
-                    _time.time(),
-                ): i
-                for i in indices
-            }
-        else:
-            futures = {
-                pool.submit(guarded_execute, specs[i], trial_timeout): i
-                for i in indices
-            }
-        for future in as_completed(futures):
-            i = futures[future]
-            try:
-                value = future.result()
-            except BrokenProcessPool:
-                pool_broken = True
-                continue
-            except Exception as exc:  # e.g. result unpickling errors
-                outcomes[i] = TrialFailure(
-                    "error", f"{type(exc).__name__}: {exc}"
-                )
-                continue
-            if observed:
-                outcomes[i], telemetries[i] = value
-            else:
-                outcomes[i] = value
-    return outcomes, telemetries, pool_broken
+    # Fan the misses out as batches over the persistent pool; results
+    # are written back by original position, so completion order (and
+    # any OS scheduling jitter) cannot perturb the output order.
+    pool = _pool_session(pool, jobs, dispatch)
+    with pool.scoped(dispatch):
+        chunks = _chunk_indices(len(pending), jobs, chunk_size)
+        cache_root = str(cache.root) if cache is not None else None
+        for chunk in chunks:
+            pool.submit(pool.make_task(
+                indices=[pending[i] for i in chunk],
+                specs=[specs[pending[i]] for i in chunk],
+                observed=relay is not None,
+                cache_root=cache_root,
+            ))
+        outstanding = len(chunks)
+        try:
+            while outstanding:
+                kind, task, payload = pool.wait()
+                outstanding -= 1
+                if kind == "died":
+                    raise WorkerCrashError(
+                        f"pool worker died while running a batch of "
+                        f"{len(task.specs)} trial(s)"
+                    )
+                if payload.error is not None:
+                    raise payload.error
+                _fold_reply(payload, cache)
+                for index, (result, telemetry) in zip(
+                    task.indices, payload.items
+                ):
+                    if relay is not None:
+                        relay.record(index, telemetry)
+                    results[index] = result
+        except BaseException:
+            pool.abandon_all()
+            raise
 
 
 def _run_resilient(
@@ -388,6 +380,7 @@ def _run_resilient(
     results: List[Any],
     jobs: int,
     cache: Optional[TrialCache],
+    chunk_size: Optional[int],
     *,
     retries: int,
     trial_timeout: Optional[float],
@@ -396,17 +389,20 @@ def _run_resilient(
     backoff: float,
     bus,
     relay=None,
+    dispatch: Optional[DispatchStats] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> None:
     from ..obs.events import TrialQuarantined, TrialRetried, TrialTimedOut
 
     keys = {i: spec_key(specs[i]) for i in pending}
     attempts = {i: 0 for i in pending}
 
-    def record_success(i: int, result: Any, telemetry=None) -> None:
+    def record_success(i: int, result: Any, telemetry=None,
+                       stored_in_worker: bool = False) -> None:
         results[i] = result
         if relay is not None:
             relay.record(i, telemetry)
-        if cache is not None:
+        if cache is not None and not stored_in_worker:
             cache.put(specs[i], result)
         if journal is not None:
             journal.record_done(keys[i])
@@ -447,52 +443,90 @@ def _run_resilient(
                 )
                 if backoff > 0:
                     backoff_sleep(backoff * 2 ** (attempts[i] - 1), keys[i])
+        if dispatch is not None:
+            dispatch.trials += len(pending)
         return
 
-    todo = sorted(pending)
-    isolate = False
-    failure_rounds = 0
-    while todo:
-        batch = todo[:1] if isolate else todo
-        workers = 1 if isolate else jobs
-        outcomes, telemetries, pool_broken = _dispatch_batch(
-            batch, specs, workers, trial_timeout,
-            observed=relay is not None,
-        )
-        retry_next: List[int] = []
-        any_failed = False
-        for i in batch:
-            outcome = outcomes.get(i, None)
-            if i in outcomes and not isinstance(outcome, TrialFailure):
-                record_success(i, outcome, telemetries.get(i))
-                continue
-            any_failed = True
-            if i not in outcomes:
-                # The pool broke while this spec was in flight.  In a
-                # shared pool the culprit is unknowable — requeue without
-                # charging an attempt; the isolation rounds that follow
-                # will assign blame one spec at a time.
-                if not isolate:
-                    retry_next.append(i)
-                    continue
-                attempts[i] += 1
-                reason = "worker death (process pool broken)"
-            else:
-                attempts[i] += 1
-                reason = outcome.detail
-                if outcome.kind == "timeout":
-                    _publish(bus, TrialTimedOut(-1, keys[i], trial_timeout))
-            if attempts[i] > retries:
-                give_up(i, reason)
-            else:
-                _publish(bus, TrialRetried(-1, keys[i], attempts[i], reason))
-                retry_next.append(i)
-        if pool_broken and not isolate:
-            # From here on, one spec per fresh single-worker pool: slower,
-            # but a second crash now deterministically blames its spec.
-            isolate = True
-        todo = sorted(retry_next + [i for i in todo if i not in set(batch)])
-        if todo and any_failed and backoff > 0:
-            backoff_sleep(min(backoff * 2 ** failure_rounds, 30.0), "")
-        if any_failed:
-            failure_rounds += 1
+    # Pooled resilient path.  Batches carry the in-worker watchdog
+    # (capture=True: failures come back as TrialFailure values).  Worker
+    # deaths blame their batch exactly — a multi-spec batch is requeued
+    # as singletons pinned to the recycled worker slot (no attempt
+    # charged: the culprit within the batch is unknown); a singleton
+    # death charges its one spec.
+    pool = _pool_session(pool, jobs, dispatch)
+    with pool.scoped(dispatch):
+        cache_root = str(cache.root) if cache is not None else None
+        observed = relay is not None
+
+        def submit(indices: List[int], pin: Optional[int] = None) -> None:
+            pool.submit(pool.make_task(
+                indices=indices, specs=[specs[i] for i in indices],
+                observed=observed, capture=True, timeout=trial_timeout,
+                cache_root=cache_root, pin=pin,
+            ))
+
+        order = sorted(pending)
+        chunks = _chunk_indices(len(order), jobs, chunk_size)
+        for chunk in chunks:
+            submit([order[i] for i in chunk])
+        outstanding = len(chunks)
+        failure_rounds = 0
+        try:
+            while outstanding:
+                kind, task, payload = pool.wait()
+                outstanding -= 1
+                resubmits: List = []  # (indices, pin) pairs
+                any_failed = False
+                if kind == "died":
+                    any_failed = True
+                    wid = payload
+                    if len(task.indices) > 1:
+                        # Culprit unknown within the batch: isolate every
+                        # spec on the recycled worker, uncharged.
+                        for i in task.indices:
+                            resubmits.append(([i], wid))
+                    else:
+                        i = task.indices[0]
+                        attempts[i] += 1
+                        reason = "worker death (worker recycled in place)"
+                        if attempts[i] > retries:
+                            give_up(i, reason)
+                        else:
+                            _publish(bus, TrialRetried(
+                                -1, keys[i], attempts[i], reason
+                            ))
+                            resubmits.append(([i], wid))
+                else:
+                    _fold_reply(payload, cache)
+                    for i, (outcome, telemetry) in zip(
+                        task.indices, payload.items
+                    ):
+                        if not isinstance(outcome, TrialFailure):
+                            record_success(i, outcome, telemetry,
+                                           stored_in_worker=cache is not None)
+                            continue
+                        any_failed = True
+                        attempts[i] += 1
+                        if outcome.kind == "timeout":
+                            _publish(bus, TrialTimedOut(
+                                -1, keys[i], trial_timeout
+                            ))
+                        if attempts[i] > retries:
+                            give_up(i, outcome.detail)
+                        else:
+                            _publish(bus, TrialRetried(
+                                -1, keys[i], attempts[i], outcome.detail
+                            ))
+                            resubmits.append(([i], None))
+                if resubmits and any_failed and backoff > 0:
+                    backoff_sleep(
+                        min(backoff * 2 ** failure_rounds, 30.0), ""
+                    )
+                if any_failed:
+                    failure_rounds += 1
+                for indices, pin in resubmits:
+                    submit(indices, pin=pin)
+                outstanding += len(resubmits)
+        except BaseException:
+            pool.abandon_all()
+            raise

@@ -121,6 +121,24 @@ def spec_key(spec: TrialSpec) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def warm_imports() -> None:
+    """Pre-pay :func:`execute_trial`'s deferred imports (worker warm start).
+
+    A pool worker calls this once at boot so the first trial of every
+    kind doesn't carry the import cost of the trial drivers, the
+    detector registry, the mc instance tables, or the chaos/audit
+    runners — and so ``environment_salt()`` (which walks the detector
+    registry) is computed before any batch is timed.
+    """
+    from ..analysis import runner  # noqa: F401
+    from ..audit import runner as _audit  # noqa: F401
+    from ..chaos import trial as _chaos  # noqa: F401
+    from ..detectors import registry  # noqa: F401
+    from ..mc import instances, parallel  # noqa: F401
+
+    environment_salt()
+
+
 def execute_trial(spec: TrialSpec, collector=None):
     """Run one trial spec to its result dataclass (worker entry point).
 
