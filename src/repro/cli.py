@@ -14,6 +14,9 @@
     python -m repro sweep chaos --retries 2 --resume sweep.journal  # chaos grid
     python -m repro stats chaos --lying-prefix 80 --drop-rate 0.4
     python -m repro audit --budget 2000 --seed 7   # differential audit
+    python -m repro submit set-agreement --store sqlite:///trials.db
+    python -m repro worker --store sqlite:///trials.db --jobs 4
+    python -m repro farm status --store sqlite:///trials.db --watch
 
 Every subcommand prints a short report and exits non-zero if the
 corresponding paper property failed to hold (they never should).
@@ -194,66 +197,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run an experiment grid, in parallel and with trial caching",
     )
-    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
-
-    sw_sa = sweep_sub.add_parser(
-        "set-agreement",
-        help="Fig. 1 / Fig. 2 grid (defaults = the EXPERIMENTS.md F1 grid)",
-    )
-    sw_sa.add_argument("--sizes", default="3,4,5", metavar="LIST",
-                       help="system sizes, e.g. 3,4,5")
-    sw_sa.add_argument("--stabilizations", default="0,100,300",
-                       metavar="LIST", help="Υ stabilization times")
-    sw_sa.add_argument("--seeds", default="0-19", metavar="LIST",
-                       help="seeds; ranges allowed, e.g. 0-19 or 0,1,7")
-    sw_sa.add_argument("--fs", default=None, metavar="LIST",
-                       help="resilience values f (default: wait-free f=n)")
-    sw_sa.add_argument("--adversarial", action="store_true",
-                       help="lockstep schedule + worst-case noise")
-
-    sw_ex = sweep_sub.add_parser(
-        "extraction",
-        help="Fig. 3 grid over detector registry names",
-    )
-    sw_ex.add_argument("--detectors", default="omega,omega_n,diamond_p",
-                       metavar="LIST",
-                       help="registry names, e.g. omega,diamond_p")
-    sw_ex.add_argument("--sizes", default="3,4", metavar="LIST")
-    sw_ex.add_argument("--seeds", default="0-9", metavar="LIST")
-    sw_ex.add_argument("--resilience", type=int, default=None, metavar="F")
-    sw_ex.add_argument("--stabilization", type=int, default=60)
-    sw_ex.add_argument("--max-steps", type=int, default=40_000)
-
-    sw_ch = sweep_sub.add_parser(
-        "chaos",
-        help="chaos grid: protocols × sizes × lying prefixes × drop rates",
-    )
-    sw_ch.add_argument("--protocols", default="fig1,fig2,abd-converge",
-                       metavar="LIST",
-                       help=f"chaos protocols ({','.join(CHAOS_PROTOCOLS)})")
-    sw_ch.add_argument("--sizes", default="3,4", metavar="LIST")
-    sw_ch.add_argument("--seeds", default="0-4", metavar="LIST")
-    sw_ch.add_argument("--lying-prefixes", default="0,50", metavar="LIST",
-                       help="lying-prefix axis, e.g. 0,50,150")
-    sw_ch.add_argument("--drop-rates", default="0.0,0.2", metavar="LIST",
-                       help="drop-rate axis, e.g. 0.0,0.2,0.5")
-    sw_ch.add_argument("--duplicate-rate", type=float, default=0.0)
-    sw_ch.add_argument("--reorder-rate", type=float, default=0.0)
-    sw_ch.add_argument("--burst", type=int, default=0,
-                       help="adversarial scheduler burst length")
-    sw_ch.add_argument("--starvation", type=int, default=0,
-                       help="scheduler starvation-window length")
-    sw_ch.add_argument("--resilience", type=int, default=None, metavar="F")
-    sw_ch.add_argument(
-        "--detector",
-        choices=[n for n in detector_names() if n != "dummy"],
-        default="omega",
-    )
-    sw_ch.add_argument("--max-steps", type=int, default=60_000)
-    sw_ch.add_argument(
-        "--inject-worker-crash", type=int, default=None, metavar="I",
-        help="harness self-test: hard-kill the worker running grid "
-             "point I (mod grid size); needs --retries to recover",
+    sw_sa, sw_ex, sw_ch = _add_grid_subparsers(
+        sweep, "sweep_command", CHAOS_PROTOCOLS
     )
 
     for sub_parser in (sw_sa, sw_ex, sw_ch):
@@ -294,7 +239,136 @@ def _build_parser() -> argparse.ArgumentParser:
             help="append one campaign-ledger record for this run "
                  "(default $REPRO_LEDGER; unset = no ledger)",
         )
+        sub_parser.add_argument(
+            "--store", metavar="URL", default=None,
+            help="route the sweep through a farm store "
+                 "(sqlite:///PATH); extra `repro worker --store URL` "
+                 "processes share the load; mutually exclusive with "
+                 "--resume (the store already checkpoints per trial)",
+        )
         _add_resilience_flags(sub_parser)
+
+    submit = sub.add_parser(
+        "submit",
+        help="enqueue an experiment grid into a farm store; "
+             "`repro worker` processes drain it",
+    )
+    sb_sa, sb_ex, sb_ch = _add_grid_subparsers(
+        submit, "submit_command", CHAOS_PROTOCOLS
+    )
+    for sub_parser in (sb_sa, sb_ex, sb_ch):
+        sub_parser.add_argument(
+            "--store", metavar="URL", required=True,
+            help="farm store URL (sqlite:///PATH or a bare path)",
+        )
+        sub_parser.add_argument(
+            "--campaign", default=None, metavar="NAME",
+            help="campaign name (default: a generated run-<ts>-<id>)",
+        )
+        sub_parser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="trial cache root; cached results are enqueued "
+                 "already-done (default $REPRO_CACHE_DIR or "
+                 "~/.cache/repro/trials)",
+        )
+        sub_parser.add_argument(
+            "--no-cache", action="store_true",
+            help="skip the cache prefilter; enqueue every trial pending",
+        )
+        sub_parser.add_argument(
+            "--ledger", metavar="FILE", default=None,
+            help="append one campaign-ledger record for this submit "
+                 "(default $REPRO_LEDGER; unset = no ledger)",
+        )
+        sub_parser.add_argument("--json", action="store_true")
+
+    worker = sub.add_parser(
+        "worker",
+        help="drain a farm store: claim leased batches, execute, "
+             "complete (run any number, on any machine that sees the "
+             "store)",
+    )
+    worker.add_argument("--store", metavar="URL", required=True,
+                        help="farm store URL (sqlite:///PATH)")
+    worker.add_argument("--campaign", default=None, metavar="NAME",
+                        help="only claim this campaign's trials "
+                             "(default: any)")
+    worker.add_argument("--worker-id", default=None, metavar="ID",
+                        help="lease-holder label (default host:pid)")
+    worker.add_argument("--jobs", type=int, default=1,
+                        help="local worker processes (0 = one per CPU; "
+                             "default 1 = in-process)")
+    worker.add_argument("--batch-size", type=int, default=None, metavar="N",
+                        help="trials claimed per lease round "
+                             "(default ~2 per job)")
+    worker.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="lease expiry; a heartbeat renews live "
+                             "leases every TTL/3 (default 30)")
+    worker.add_argument("--retries", type=int, default=0,
+                        help="per-trial attempt budget before the store "
+                             "quarantines it (default 0 = one attempt)")
+    worker.add_argument("--trial-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-trial wall-clock budget, enforced by "
+                             "an in-worker watchdog")
+    worker.add_argument("--backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="base of the exponential pause after a "
+                             "failing batch (default 0.5; 0 disables)")
+    worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="trial cache root; completions are written "
+                             "back for future submits")
+    worker.add_argument("--no-cache", action="store_true",
+                        help="don't write completions to the trial cache")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit after this long with nothing claimable "
+                             "(default: wait for the store to drain)")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="idle poll interval while other workers "
+                             "hold the remaining leases (default 0.2)")
+    worker.add_argument("--events", metavar="FILE", default=None,
+                        help="stream farm events (claims, reaps, "
+                             "retries) to FILE as JSONL")
+    worker.add_argument("--ledger", metavar="FILE", default=None,
+                        help="append one campaign-ledger record for "
+                             "this drain (default $REPRO_LEDGER)")
+    worker.add_argument("--json", action="store_true")
+    # Self-test hook (tests/CI only): hard-exit mid-batch after N
+    # completions, leases still held, like a power cut.
+    worker.add_argument("--self-test-crash-after", type=int, default=None,
+                        help=argparse.SUPPRESS)
+
+    farm = sub.add_parser(
+        "farm", help="inspect a farm store / collect campaign results"
+    )
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+
+    f_status = farm_sub.add_parser(
+        "status",
+        help="state counts, live workers, per-campaign progress",
+    )
+    f_status.add_argument("--store", metavar="URL", required=True)
+    f_status.add_argument("--watch", action="store_true",
+                          help="redraw until the store is drained")
+    f_status.add_argument("--interval", type=float, default=1.0,
+                          metavar="SECONDS",
+                          help="--watch redraw interval (default 1)")
+    f_status.add_argument("--json", action="store_true")
+
+    f_results = farm_sub.add_parser(
+        "results",
+        help="reassemble a drained campaign's results in submission "
+             "order (exit 2 while trials are still in flight)",
+    )
+    f_results.add_argument("--store", metavar="URL", required=True)
+    f_results.add_argument("--campaign", required=True, metavar="NAME")
+    f_results.add_argument("--csv", metavar="FILE", default=None,
+                           help="export the results as CSV to FILE "
+                                "(same shape as `sweep --csv`)")
+    f_results.add_argument("--json", action="store_true")
 
     from .mc.instances import FAMILIES
 
@@ -383,6 +457,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            "--events file)")
     dash.add_argument("--ledger", metavar="FILE", default=None,
                       help="campaign ledger to show (default $REPRO_LEDGER)")
+    dash.add_argument("--store", metavar="URL", default=None,
+                      help="farm store to poll for queue/worker status "
+                           "(/api/farm)")
     dash.add_argument("--host", default="127.0.0.1")
     dash.add_argument("--port", type=int, default=8787)
 
@@ -418,6 +495,134 @@ def _add_resilience_flags(sub_parser) -> None:
         "--resume", metavar="JOURNAL", default=None,
         help="JSONL checkpoint journal; completed spec keys are "
              "skipped on re-run and appended as the run progresses",
+    )
+
+
+def _add_grid_subparsers(parent, dest: str, chaos_protocols):
+    """The three experiment-grid subparsers with their axis flags.
+
+    ``sweep`` (run locally) and ``submit`` (enqueue into a farm store)
+    take the same grids; this keeps their axes identical by
+    construction.
+    """
+    grid_sub = parent.add_subparsers(dest=dest, required=True)
+
+    g_sa = grid_sub.add_parser(
+        "set-agreement",
+        help="Fig. 1 / Fig. 2 grid (defaults = the EXPERIMENTS.md F1 grid)",
+    )
+    g_sa.add_argument("--sizes", default="3,4,5", metavar="LIST",
+                      help="system sizes, e.g. 3,4,5")
+    g_sa.add_argument("--stabilizations", default="0,100,300",
+                      metavar="LIST", help="Υ stabilization times")
+    g_sa.add_argument("--seeds", default="0-19", metavar="LIST",
+                      help="seeds; ranges allowed, e.g. 0-19 or 0,1,7")
+    g_sa.add_argument("--fs", default=None, metavar="LIST",
+                      help="resilience values f (default: wait-free f=n)")
+    g_sa.add_argument("--adversarial", action="store_true",
+                      help="lockstep schedule + worst-case noise")
+
+    g_ex = grid_sub.add_parser(
+        "extraction",
+        help="Fig. 3 grid over detector registry names",
+    )
+    g_ex.add_argument("--detectors", default="omega,omega_n,diamond_p",
+                      metavar="LIST",
+                      help="registry names, e.g. omega,diamond_p")
+    g_ex.add_argument("--sizes", default="3,4", metavar="LIST")
+    g_ex.add_argument("--seeds", default="0-9", metavar="LIST")
+    g_ex.add_argument("--resilience", type=int, default=None, metavar="F")
+    g_ex.add_argument("--stabilization", type=int, default=60)
+    g_ex.add_argument("--max-steps", type=int, default=40_000)
+
+    g_ch = grid_sub.add_parser(
+        "chaos",
+        help="chaos grid: protocols × sizes × lying prefixes × drop rates",
+    )
+    g_ch.add_argument("--protocols", default="fig1,fig2,abd-converge",
+                      metavar="LIST",
+                      help=f"chaos protocols ({','.join(chaos_protocols)})")
+    g_ch.add_argument("--sizes", default="3,4", metavar="LIST")
+    g_ch.add_argument("--seeds", default="0-4", metavar="LIST")
+    g_ch.add_argument("--lying-prefixes", default="0,50", metavar="LIST",
+                      help="lying-prefix axis, e.g. 0,50,150")
+    g_ch.add_argument("--drop-rates", default="0.0,0.2", metavar="LIST",
+                      help="drop-rate axis, e.g. 0.0,0.2,0.5")
+    g_ch.add_argument("--duplicate-rate", type=float, default=0.0)
+    g_ch.add_argument("--reorder-rate", type=float, default=0.0)
+    g_ch.add_argument("--burst", type=int, default=0,
+                      help="adversarial scheduler burst length")
+    g_ch.add_argument("--starvation", type=int, default=0,
+                      help="scheduler starvation-window length")
+    g_ch.add_argument("--resilience", type=int, default=None, metavar="F")
+    g_ch.add_argument(
+        "--detector",
+        choices=[n for n in detector_names() if n != "dummy"],
+        default="omega",
+    )
+    g_ch.add_argument("--max-steps", type=int, default=60_000)
+    g_ch.add_argument(
+        "--inject-worker-crash", type=int, default=None, metavar="I",
+        help="harness self-test: hard-kill the worker running grid "
+             "point I (mod grid size); needs --retries to recover",
+    )
+    return g_sa, g_ex, g_ch
+
+
+def _grid_from_args(command: str, args):
+    """Build the trial-spec grid a ``sweep``/``submit`` subcommand named.
+
+    Raises :class:`~repro.analysis.sweeps.EmptySweepError` when an axis
+    parses empty.
+    """
+    import dataclasses
+
+    from .analysis.sweeps import (
+        chaos_grid,
+        extraction_grid,
+        set_agreement_grid,
+    )
+
+    if command == "set-agreement":
+        return set_agreement_grid(
+            system_sizes=_parse_int_list(args.sizes),
+            seeds=_parse_int_list(args.seeds),
+            stabilization_times=_parse_int_list(args.stabilizations),
+            fs=_parse_int_list(args.fs) if args.fs else None,
+            adversarial=args.adversarial,
+        )
+    if command == "chaos":
+        specs = chaos_grid(
+            protocols=[
+                p.strip() for p in args.protocols.split(",") if p.strip()
+            ],
+            system_sizes=_parse_int_list(args.sizes),
+            seeds=_parse_int_list(args.seeds),
+            lying_prefixes=_parse_int_list(args.lying_prefixes),
+            drop_rates=_parse_float_list(args.drop_rates),
+            duplicate_rate=args.duplicate_rate,
+            reorder_rate=args.reorder_rate,
+            burst_length=args.burst,
+            starvation_window=args.starvation,
+            f=args.resilience,
+            detector=args.detector,
+            max_steps=args.max_steps,
+        )
+        if args.inject_worker_crash is not None:
+            victim = args.inject_worker_crash % len(specs)
+            specs[victim] = dataclasses.replace(
+                specs[victim], sabotage="crash"
+            )
+        return specs
+    return extraction_grid(
+        detectors=[
+            d.strip() for d in args.detectors.split(",") if d.strip()
+        ],
+        system_sizes=_parse_int_list(args.sizes),
+        seeds=_parse_int_list(args.seeds),
+        f=args.resilience,
+        stabilization_time=args.stabilization,
+        max_steps=args.max_steps,
     )
 
 
@@ -686,17 +891,10 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    import dataclasses
     import json
     import time
 
-    from .analysis.sweeps import (
-        EmptySweepError,
-        chaos_grid,
-        extraction_grid,
-        set_agreement_grid,
-        to_csv,
-    )
+    from .analysis.sweeps import EmptySweepError, to_csv
     from .perf import (
         DispatchStats,
         QuarantineReport,
@@ -706,55 +904,25 @@ def _cmd_sweep(args) -> int:
     )
 
     try:
-        if args.sweep_command == "set-agreement":
-            specs = set_agreement_grid(
-                system_sizes=_parse_int_list(args.sizes),
-                seeds=_parse_int_list(args.seeds),
-                stabilization_times=_parse_int_list(args.stabilizations),
-                fs=_parse_int_list(args.fs) if args.fs else None,
-                adversarial=args.adversarial,
-            )
-        elif args.sweep_command == "chaos":
-            specs = chaos_grid(
-                protocols=[
-                    p.strip() for p in args.protocols.split(",") if p.strip()
-                ],
-                system_sizes=_parse_int_list(args.sizes),
-                seeds=_parse_int_list(args.seeds),
-                lying_prefixes=_parse_int_list(args.lying_prefixes),
-                drop_rates=_parse_float_list(args.drop_rates),
-                duplicate_rate=args.duplicate_rate,
-                reorder_rate=args.reorder_rate,
-                burst_length=args.burst,
-                starvation_window=args.starvation,
-                f=args.resilience,
-                detector=args.detector,
-                max_steps=args.max_steps,
-            )
-            if args.inject_worker_crash is not None:
-                victim = args.inject_worker_crash % len(specs)
-                specs[victim] = dataclasses.replace(
-                    specs[victim], sabotage="crash"
-                )
-        else:
-            specs = extraction_grid(
-                detectors=[
-                    d.strip() for d in args.detectors.split(",") if d.strip()
-                ],
-                system_sizes=_parse_int_list(args.sizes),
-                seeds=_parse_int_list(args.seeds),
-                f=args.resilience,
-                stabilization_time=args.stabilization,
-                max_steps=args.max_steps,
-            )
+        specs = _grid_from_args(args.sweep_command, args)
     except EmptySweepError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Satellite guard for the farm backend: the store already
+    # checkpoints per trial, so a journal would be a second, possibly
+    # disagreeing, source of truth (run_trials enforces the same).
+    if args.store and args.resume:
+        print("error: --store and --resume are mutually exclusive: the "
+              "farm store already checkpoints every trial. Drop "
+              "--resume — re-running with the same --store and cache "
+              "resumes automatically.", file=sys.stderr)
         return 2
 
     from .obs import JsonlEventSink, MetricsCollector
 
     resilient = bool(
-        args.retries or args.trial_timeout or args.resume
+        args.retries or args.trial_timeout or args.resume or args.store
         or getattr(args, "inject_worker_crash", None) is not None
     )
     quarantine = QuarantineReport() if resilient else None
@@ -776,7 +944,7 @@ def _cmd_sweep(args) -> int:
             specs, jobs=jobs, cache=cache, chunk_size=args.batch_size,
             retries=args.retries, trial_timeout=args.trial_timeout,
             journal=args.resume, quarantine=quarantine,
-            collector=collector, dispatch=dispatch,
+            collector=collector, dispatch=dispatch, store=args.store,
         )
     finally:
         if sink is not None:
@@ -812,6 +980,7 @@ def _cmd_sweep(args) -> int:
             "misses": cache.misses,
         },
         "journal": args.resume,
+        "store": args.store,
         "csv": args.csv if survivors else None,
         "dispatch": dispatch.to_dict(),
     }
@@ -849,6 +1018,8 @@ def _cmd_sweep(args) -> int:
         if args.resume:
             print(f"journal: {args.resume} "
                   f"({len(survivors)}/{len(results)} keys done)")
+        if args.store:
+            print(f"store: {args.store}")
         if args.csv and survivors:
             print(f"csv -> {args.csv}")
         if sink is not None:
@@ -1042,16 +1213,223 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 4
 
 
+def _cmd_submit(args) -> int:
+    import json
+    import time
+
+    from .analysis.sweeps import EmptySweepError
+    from .farm import FarmStoreError, submit_campaign
+    from .perf import TrialCache
+
+    try:
+        specs = _grid_from_args(args.submit_command, args)
+    except EmptySweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else TrialCache(args.cache_dir)
+    start = time.perf_counter()
+    try:
+        summary = submit_campaign(
+            args.store, specs, campaign=args.campaign,
+            kind=args.submit_command, cache=cache,
+        )
+    except FarmStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - start
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        ledger.append_run(
+            f"farm:submit:{args.submit_command}", "ok",
+            duration=wall, trials=summary["trials"],
+            campaign=summary["campaign"], store=summary["store"],
+            cache_hits=summary["cache_hits"],
+        )
+    if args.json:
+        out = dict(summary)
+        out["ledger"] = str(ledger.path) if ledger is not None else None
+        print(json.dumps(out, indent=2, sort_keys=True))
+    else:
+        print(f"campaign {summary['campaign']}: {summary['trials']} "
+              f"trial(s) -> {summary['store']}")
+        print(f"  {summary['cache_hits']} cache hit(s) enqueued done, "
+              f"{summary['pending']} pending")
+        print(f"  drain with: repro worker --store {args.store} "
+              f"(any number, any machine)")
+        if ledger is not None:
+            print(f"ledger -> {ledger.path}")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    import json
+    import time
+
+    from .farm import FarmStoreError, FarmWorker, open_store
+    from .obs import JsonlEventSink, MetricsCollector
+    from .perf import ResiliencePolicy, TrialCache, resolve_jobs
+
+    collector = MetricsCollector()
+    try:
+        sink = (
+            JsonlEventSink(args.events, bus=collector.bus, flush=True)
+            if args.events else None
+        )
+    except OSError as exc:
+        print(f"error: cannot open --events file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        store = open_store(args.store)
+    except (FarmStoreError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    policy = ResiliencePolicy(
+        retries=args.retries, trial_timeout=args.trial_timeout,
+        backoff=args.backoff,
+    )
+    cache = None if args.no_cache else TrialCache(args.cache_dir)
+    start = time.perf_counter()
+    try:
+        farm_worker = FarmWorker(
+            store,
+            worker_id=args.worker_id,
+            jobs=resolve_jobs(args.jobs),
+            batch_size=args.batch_size,
+            lease_ttl=args.lease_ttl,
+            policy=policy,
+            cache=cache,
+            campaign=args.campaign,
+            bus=collector.bus,
+            poll=args.poll,
+            max_idle=args.max_idle,
+            crash_after=args.self_test_crash_after,
+        )
+        stats = farm_worker.drain()
+    finally:
+        store.close()
+        if sink is not None:
+            sink.close()
+    wall = time.perf_counter() - start
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        ledger.append_run(
+            "farm:worker", "ok",
+            duration=wall, trials=stats["completed"],
+            quarantined=stats["quarantined"],
+            worker=farm_worker.worker_id, store=store.url,
+            claimed=stats["claimed"], reaped=stats["reaped"],
+        )
+    if args.json:
+        out = {"worker": farm_worker.worker_id, "store": store.url,
+               "wall_seconds": round(wall, 3),
+               "events_written": sink.lines if sink is not None else 0,
+               "ledger": str(ledger.path) if ledger is not None else None}
+        out.update(stats)
+        print(json.dumps(out, indent=2, sort_keys=True))
+    else:
+        print(f"worker {farm_worker.worker_id} drained {store.url}: "
+              f"{stats['completed']} completed, {stats['failed']} "
+              f"failed, {stats['quarantined']} quarantined in "
+              f"{wall:.2f}s")
+        print(f"  {stats['claimed']} claim(s) in {stats['batches']} "
+              f"batch(es), {stats['reaped']} dead lease(s) reaped, "
+              f"{stats['stale']} stale settlement(s)")
+        if sink is not None:
+            print(f"{sink.lines} events -> {args.events}")
+        if ledger is not None:
+            print(f"ledger -> {ledger.path}")
+    return 0
+
+
+def _cmd_farm(args) -> int:
+    import json
+
+    from .farm import (
+        CampaignIncompleteError,
+        FarmStoreError,
+        open_store,
+        render_status,
+        watch,
+    )
+
+    try:
+        store = open_store(args.store)
+    except (FarmStoreError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.farm_command == "status":
+            if args.watch:
+                watch(store, interval=args.interval)
+                return 0
+            status = store.status()
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+            else:
+                print(render_status(status))
+            return 0
+
+        # farm results: the collect half of submit/collect.
+        from .analysis.sweeps import to_csv
+        from .farm import collect_results
+        from .obs import MetricsCollector
+        from .obs.telemetry import result_verdict
+        from .perf import QuarantineReport
+
+        quarantine = QuarantineReport()
+        collector = MetricsCollector()
+        try:
+            results, info = collect_results(
+                store, args.campaign, collector=collector,
+                quarantine=quarantine,
+            )
+        except (CampaignIncompleteError, FarmStoreError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        survivors = [r for r in results if r is not None]
+        ok_flags = [result_verdict(r) for r in survivors]
+        all_ok = all(ok_flags)
+        if args.csv and survivors:
+            to_csv(survivors, args.csv)
+        if args.json:
+            print(json.dumps(
+                {"campaign": args.campaign, "store": store.url,
+                 **info,
+                 "ok": sum(ok_flags),
+                 "violations": len(ok_flags) - sum(ok_flags),
+                 "quarantine": quarantine.to_dict() if quarantine else None,
+                 "metrics": collector.snapshot(),
+                 "csv": args.csv if survivors else None},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(f"campaign {args.campaign}: {info['completed']}/"
+                  f"{info['trials']} completed "
+                  f"({info['cached']} from cache, "
+                  f"{info['quarantined']} quarantined)")
+            if args.csv and survivors:
+                print(f"csv -> {args.csv}")
+            if quarantine:
+                print()
+                print(quarantine.render())
+                print()
+            print("properties:", "OK" if all_ok else
+                  f"VIOLATED in {len(ok_flags) - sum(ok_flags)} trials")
+        return 0 if all_ok else 1
+    finally:
+        store.close()
+
+
 def _cmd_dash(args) -> int:
     from .obs.campaign import default_ledger_path
     from .obs.dash import serve
 
     ledger = args.ledger or default_ledger_path()
-    if not args.events and not ledger:
-        print("error: nothing to show — pass --events and/or --ledger "
-              "(or set $REPRO_LEDGER)", file=sys.stderr)
+    if not args.events and not ledger and not args.store:
+        print("error: nothing to show — pass --events, --ledger and/or "
+              "--store (or set $REPRO_LEDGER)", file=sys.stderr)
         return 2
-    serve(events_path=args.events, ledger=ledger,
+    serve(events_path=args.events, ledger=ledger, store=args.store,
           host=args.host, port=args.port)
     return 0
 
@@ -1087,6 +1465,9 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "profile": _cmd_profile,
     "sweep": _cmd_sweep,
+    "submit": _cmd_submit,
+    "worker": _cmd_worker,
+    "farm": _cmd_farm,
     "check": _cmd_check,
 }
 

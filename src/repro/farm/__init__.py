@@ -1,0 +1,67 @@
+"""Distributed trial farm: a durable queue between submission and work.
+
+The single-process sweep executor (:mod:`repro.perf`) dies with its
+process tree; this package puts a crash-safe store in the middle so a
+grid can be **submitted once and drained by any number of workers on
+any number of machines**:
+
+* :mod:`repro.farm.store` — the :class:`FarmStore` interface and its
+  SQLite default: trial rows walking ``pending → leased → done |
+  failed | quarantined`` under leases with expiry, claimed inside
+  ``BEGIN IMMEDIATE`` transactions (never double-claimed) and completed
+  by token (a zombie's late result is a no-op);
+* :mod:`repro.farm.worker` — :class:`FarmWorker`, the
+  claim → execute → complete loop behind ``repro worker``, heartbeating
+  its leases and reusing the local execution stack (warm pool, guarded
+  watchdog, shared :class:`~repro.perf.resilience.ResiliencePolicy`);
+* :mod:`repro.farm.campaign` — submit/collect (``repro submit``), with
+  input-position reassembly so a farm campaign is byte-identical to the
+  serial sweep of the same grid, and the
+  :class:`~repro.perf.cache.TrialCache` as the shared result tier;
+* :mod:`repro.farm.status` — the ``repro farm status`` / dashboard
+  view.
+
+``run_trials(specs, store="sqlite:///trials.db")`` routes a normal
+sweep through the farm; ``repro worker --store URL`` on other machines
+shares the load.
+"""
+
+from .campaign import (
+    CampaignIncompleteError,
+    collect_results,
+    run_store_backed,
+    submit_campaign,
+)
+from .store import (
+    CLAIMABLE,
+    STATES,
+    FarmStore,
+    FarmStoreError,
+    LeasedTrial,
+    ReapedLease,
+    SQLiteFarmStore,
+    open_store,
+)
+from .status import render_status, store_status, watch
+from .worker import CRASH_EXIT_CODE, FarmWorker, default_worker_id
+
+__all__ = [
+    "CLAIMABLE",
+    "CRASH_EXIT_CODE",
+    "CampaignIncompleteError",
+    "FarmStore",
+    "FarmStoreError",
+    "FarmWorker",
+    "LeasedTrial",
+    "ReapedLease",
+    "STATES",
+    "SQLiteFarmStore",
+    "collect_results",
+    "default_worker_id",
+    "open_store",
+    "render_status",
+    "run_store_backed",
+    "store_status",
+    "submit_campaign",
+    "watch",
+]

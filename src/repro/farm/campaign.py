@@ -1,0 +1,223 @@
+"""Submit, collect, and run campaigns against a farm store.
+
+The submit/collect pair is the farm's determinism contract: a grid goes
+in with its **input positions** as row keys, workers drain it in
+whatever order the leases fall, and :func:`collect_results` reassembles
+results *by position* — so a campaign drained by two machines is
+byte-identical to a serial :func:`~repro.perf.executor.run_trials` of
+the same grid, down to the telemetry counters (stored
+:class:`~repro.obs.telemetry.TrialTelemetry` payloads are merged in
+position order through the same
+:class:`~repro.obs.telemetry.TelemetryRelay` the executor uses).
+
+The :class:`~repro.perf.cache.TrialCache` is the shared result tier:
+submit prefilters the whole grid with one
+:meth:`~repro.perf.cache.TrialCache.get_many` and enqueues hits as
+already-done rows, so workers only ever see true misses; workers write
+their results back with :meth:`~repro.perf.cache.TrialCache.put_many`,
+so the *next* campaign's submit sees them as hits.
+
+:func:`run_store_backed` is the ``run_trials(store=...)`` backend: it
+submits, drains with an in-process :class:`~repro.farm.worker.FarmWorker`
+(sharing the load with any external ``repro worker`` processes pointed
+at the same store), and collects.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..perf.cache import TrialCache
+from ..perf.resilience import QuarantineReport, ResiliencePolicy
+from ..perf.spec import ENGINE_VERSION, spec_key
+from .store import FarmStore, open_store
+from .worker import FarmWorker
+
+
+def default_campaign_name() -> str:
+    """A fresh, collision-proof campaign name."""
+    return f"run-{int(time.time())}-{uuid.uuid4().hex[:8]}"
+
+
+def submit_campaign(
+    store: Union[FarmStore, str],
+    specs: Sequence[Any],
+    *,
+    campaign: Optional[str] = None,
+    kind: str = "grid",
+    cache: Optional[TrialCache] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Enqueue a grid as one campaign; returns a submit summary.
+
+    With a cache, the grid is prefiltered in one ``get_many`` round
+    trip: hits are enqueued as completed rows (``cached`` flag set, with
+    telemetry rebuilt from the cached result's metrics snapshot, exactly
+    like the executor's cache-hit path), so only misses cost worker
+    time.
+    """
+    from ..obs.telemetry import (
+        TrialTelemetry,
+        result_curve_point,
+        result_verdict,
+    )
+
+    store = open_store(store)
+    campaign = campaign or default_campaign_name()
+    specs = list(specs)
+    keys = [spec_key(spec) for spec in specs]
+
+    hits: List[Optional[Any]] = [None] * len(specs)
+    per_hit = 0.0
+    if cache is not None and specs:
+        lookup_start = time.perf_counter()
+        hits = cache.get_many(specs)
+        per_hit = (time.perf_counter() - lookup_start) / max(1, len(specs))
+
+    entries = []
+    cache_hits = 0
+    for position, (spec, key, hit) in enumerate(zip(specs, keys, hits)):
+        if hit is None:
+            entries.append((position, key, spec, False, None, None))
+            continue
+        cache_hits += 1
+        stabilization, latency = result_curve_point(hit)
+        telemetry = TrialTelemetry.from_snapshot(
+            key, getattr(spec, "kind", type(spec).__name__),
+            getattr(hit, "metrics", None),
+            spans=(("cache_lookup", per_hit),),
+            ok=result_verdict(hit),
+            stabilization=stabilization, latency=latency,
+        )
+        entries.append((position, key, spec, True, hit, telemetry))
+
+    full_meta = {"engine_version": ENGINE_VERSION}
+    full_meta.update(meta or {})
+    store.create_campaign(campaign, kind, len(specs), full_meta)
+    store.enqueue(campaign, entries)
+    return {
+        "campaign": campaign,
+        "store": store.url,
+        "kind": kind,
+        "trials": len(specs),
+        "cache_hits": cache_hits,
+        "pending": len(specs) - cache_hits,
+    }
+
+
+class CampaignIncompleteError(RuntimeError):
+    """Collect was asked for results of a campaign still in flight."""
+
+
+def collect_results(
+    store: Union[FarmStore, str],
+    campaign: str,
+    *,
+    collector=None,
+    bus=None,
+    quarantine: Optional[QuarantineReport] = None,
+    strict: bool = True,
+) -> Tuple[List[Any], Dict[str, int]]:
+    """Reassemble a campaign's results in input (position) order.
+
+    Quarantined rows yield ``None`` in their slots and an entry in
+    ``quarantine`` — the same partial-results contract as the resilient
+    executor.  With ``strict`` (the default) a campaign that still has
+    pending/leased/failed rows raises :class:`CampaignIncompleteError`;
+    pass ``strict=False`` to snapshot whatever is finished so far.
+
+    With a ``collector``, every stored telemetry payload is merged into
+    its registry in position order via the executor's own
+    :class:`~repro.obs.telemetry.TelemetryRelay` — a farm campaign then
+    reports the same trial-level counters as a ``--jobs 1`` sweep.
+    """
+    store = open_store(store)
+    rows = store.campaign_rows(campaign)
+    info = {"trials": len(rows), "completed": 0, "cached": 0,
+            "quarantined": 0, "unfinished": 0}
+
+    relay = None
+    if collector is not None:
+        from ..obs.telemetry import TelemetryRelay
+
+        relay = TelemetryRelay(collector.registry,
+                               bus if bus is not None else collector.bus)
+
+    results: List[Any] = [None] * len(rows)
+    for row in rows:
+        position = row["position"]
+        if row["state"] == "done":
+            results[position] = row["result"]
+            info["completed"] += 1
+            if row["cached"]:
+                info["cached"] += 1
+            if relay is not None and row["telemetry"] is not None:
+                relay.record(position, row["telemetry"])
+        elif row["state"] == "quarantined":
+            info["quarantined"] += 1
+            if quarantine is not None:
+                quarantine.add(position, row["key"], row["spec"],
+                               row["attempts"], row["failure"] or "")
+        else:
+            info["unfinished"] += 1
+    if info["unfinished"] and strict:
+        raise CampaignIncompleteError(
+            f"campaign {campaign!r} still has {info['unfinished']} "
+            f"unfinished trial(s); drain it (repro worker --store "
+            f"{store.url}) or collect with strict=False"
+        )
+    if relay is not None:
+        relay.finish()
+    return results, info
+
+
+def run_store_backed(
+    specs: Sequence[Any],
+    store: Union[FarmStore, str],
+    *,
+    jobs: Optional[int] = 1,
+    cache: Optional[TrialCache] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    quarantine: Optional[QuarantineReport] = None,
+    bus=None,
+    collector=None,
+    dispatch=None,
+    lease_ttl: float = 30.0,
+    campaign: Optional[str] = None,
+    kind: str = "grid",
+) -> List[Any]:
+    """The ``run_trials(store=...)`` backend: submit → drain → collect.
+
+    The in-process worker drains alongside any external workers pointed
+    at the same store — ``run_trials`` with a shared store URL *is* the
+    "submit and help out" mode.  Results come back in input order; the
+    contract (quarantined slots ``None``, telemetry merged into
+    ``collector``) matches the local resilient executor exactly.
+    """
+    from ..perf.executor import resolve_jobs
+
+    opened = not isinstance(store, FarmStore)
+    store = open_store(store)
+    policy = policy or ResiliencePolicy()
+    quarantine = quarantine if quarantine is not None else QuarantineReport()
+    try:
+        submitted = submit_campaign(
+            store, specs, campaign=campaign, kind=kind, cache=cache,
+        )
+        worker = FarmWorker(
+            store, jobs=resolve_jobs(jobs), policy=policy, cache=cache,
+            campaign=submitted["campaign"], bus=bus, lease_ttl=lease_ttl,
+        )
+        worker.drain()
+        results, _ = collect_results(
+            store, submitted["campaign"], collector=collector, bus=bus,
+            quarantine=quarantine,
+        )
+        if dispatch is not None:
+            dispatch.trials += len(results)
+        return results
+    finally:
+        if opened:
+            store.close()

@@ -1,0 +1,69 @@
+"""Render farm store status for the CLI and the dashboard.
+
+:func:`store_status` is the one JSON shape every consumer reads —
+``repro farm status [--json|--watch]``, the dashboard's ``/api/farm``
+endpoint, and the CI smoke assertions.  :func:`render_status` turns it
+into the human terminal view.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Union
+
+from .store import FarmStore, open_store
+
+
+def store_status(store: Union[FarmStore, str]) -> Dict[str, Any]:
+    """One status snapshot: per-state totals, workers, campaigns."""
+    return open_store(store).status()
+
+
+def render_status(status: Dict[str, Any]) -> str:
+    """The terminal view of one :func:`store_status` snapshot."""
+    states = status["states"]
+    lines = [
+        f"farm store  {status['store']}",
+        "  "
+        + "  ".join(f"{state}={states[state]}" for state in
+                    ("pending", "leased", "done", "failed", "quarantined")),
+    ]
+    if status["workers"]:
+        held = ", ".join(
+            f"{worker} ({n} lease{'s' if n != 1 else ''})"
+            for worker, n in sorted(status["workers"].items())
+        )
+        lines.append(f"  workers: {held}")
+    else:
+        lines.append("  workers: none with live leases")
+    for campaign in status["campaigns"]:
+        c_states = campaign["states"]
+        done = c_states["done"]
+        total = campaign["trials"]
+        bar_width = 24
+        filled = int(bar_width * done / total) if total else bar_width
+        bar = "#" * filled + "." * (bar_width - filled)
+        extra = ""
+        if c_states["quarantined"]:
+            extra = f"  quarantined={c_states['quarantined']}"
+        lines.append(
+            f"  [{bar}] {done}/{total}  {campaign['campaign']}"
+            f" ({campaign['kind']}){extra}"
+        )
+    return "\n".join(lines)
+
+
+def watch(store: Union[FarmStore, str], interval: float = 1.0,
+          stream=None) -> None:
+    """Redraw :func:`render_status` until interrupted or drained."""
+    import sys
+
+    stream = stream or sys.stdout
+    store = open_store(store)
+    while True:
+        status = store.status()
+        stream.write("\x1b[2J\x1b[H" + render_status(status) + "\n")
+        stream.flush()
+        if status["remaining"] == 0:
+            return
+        time.sleep(interval)

@@ -61,11 +61,17 @@ class CampaignDash:
         self,
         events_path: Union[str, Path, None] = None,
         ledger: Union[CampaignLedger, str, Path, None] = None,
+        store: Union[str, Path, None] = None,
     ):
         self.events_path = Path(events_path) if events_path else None
         if ledger is not None and not isinstance(ledger, CampaignLedger):
             ledger = CampaignLedger(ledger)
         self.ledger = ledger
+        self.store = None
+        if store is not None:
+            from ..farm.store import open_store
+
+            self.store = open_store(store)
         self.collector = MetricsCollector()
         self._lock = threading.Lock()
         self._offset = 0
@@ -199,6 +205,16 @@ class CampaignDash:
         with self._lock:
             items = list(self._recent)
         return items[-n:] if n > 0 else []
+
+    def farm(self) -> Optional[Dict[str, Any]]:
+        """Live farm-store status for ``/api/farm`` (``None`` if unset).
+
+        Read straight from the store on every call — the SQLite WAL lets
+        this run concurrently with workers claiming and completing.
+        """
+        if self.store is None:
+            return None
+        return self.store.status()
 
 
 _PAGE = """<!DOCTYPE html><html><head><meta charset="utf-8">
@@ -334,6 +350,8 @@ def _make_handler(dash: CampaignDash):
                     query = parse_qs(parsed.query)
                     n = int(query.get("n", ["50"])[0])
                     self._send_json(dash.events_tail(n))
+                elif route == "/api/farm":
+                    self._send_json(dash.farm())
                 elif route == "/metrics":
                     self._send(200, "text/plain; version=0.0.4",
                                dash.prometheus().encode("utf-8"))
@@ -360,12 +378,14 @@ def serve(
     ledger: Union[str, Path, None] = None,
     host: str = "127.0.0.1",
     port: int = 8787,
+    store: Union[str, Path, None] = None,
 ) -> None:
     """Blocking entry point used by ``repro dash``."""
-    dash = CampaignDash(events_path, ledger)
+    dash = CampaignDash(events_path, ledger, store=store)
     server = make_server(dash, host, port)
     print(f"repro dash on http://{host}:{server.server_address[1]}/ "
-          f"(events: {events_path or '-'}, ledger: {ledger or '-'})")
+          f"(events: {events_path or '-'}, ledger: {ledger or '-'}, "
+          f"store: {store or '-'})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -242,6 +242,36 @@ class TrialCompleted(Event):
 
 
 @dataclasses.dataclass(frozen=True)
+class FarmTrialClaimed(Event):
+    """A farm worker leased one trial from the store (``time = -1``).
+
+    Published by :mod:`repro.farm.worker` per claimed trial.  ``key`` is
+    the short spec-key prefix, ``worker`` the claiming worker's id, and
+    ``attempt`` the 1-based attempt number this claim starts.
+    """
+
+    key: str
+    worker: str
+    attempt: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FarmLeaseExpired(Event):
+    """An expired lease was reaped back to claimable (``time = -1``).
+
+    Published by whichever farm participant noticed the expiry during a
+    claim.  ``worker`` is the id that *held* the dead lease (``""`` if
+    unknown); ``quarantined`` is true when the reap exhausted the trial's
+    attempt budget and parked it instead of requeueing.
+    """
+
+    key: str
+    worker: str = ""
+    attempts: int = 0
+    quarantined: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
 class AuditDivergence(Event):
     """Two run paths that must be equivalent disagreed (``time = -1``).
 

@@ -24,6 +24,8 @@ from .events import (
     Decided,
     EmitChanged,
     EventBus,
+    FarmLeaseExpired,
+    FarmTrialClaimed,
     FDQueried,
     MemoryOp,
     MessageDelayed,
@@ -288,6 +290,10 @@ class MetricsCollector:
         self._audit = r.counter("audit_divergences",
                                 "equivalence breaks found by the "
                                 "differential audit, by oracle pair")
+        self._farm_claims = r.counter(
+            "farm_trials_claimed", "farm store leases granted, by worker")
+        self._farm_expiries = r.counter(
+            "farm_leases_expired", "dead-worker leases reaped, by holder")
         self._trials_completed = r.counter(
             "trials_completed", "finished trials by spec kind")
         self._trials_cached = r.counter(
@@ -316,6 +322,8 @@ class MetricsCollector:
         bus.subscribe(self._on_quarantine, (TrialQuarantined,))
         bus.subscribe(self._on_timeout, (TrialTimedOut,))
         bus.subscribe(self._on_audit, (AuditDivergence,))
+        bus.subscribe(self._on_farm_claim, (FarmTrialClaimed,))
+        bus.subscribe(self._on_farm_expiry, (FarmLeaseExpired,))
         bus.subscribe(self._on_span, (TrialSpanRecorded,))
         bus.subscribe(self._on_trial_completed, (TrialCompleted,))
 
@@ -381,6 +389,12 @@ class MetricsCollector:
 
     def _on_audit(self, event: AuditDivergence) -> None:
         self._audit.inc(event.pair)
+
+    def _on_farm_claim(self, event: FarmTrialClaimed) -> None:
+        self._farm_claims.inc(event.worker)
+
+    def _on_farm_expiry(self, event: FarmLeaseExpired) -> None:
+        self._farm_expiries.inc(event.worker or "?")
 
     def _on_span(self, event: TrialSpanRecorded) -> None:
         self.registry.histogram(

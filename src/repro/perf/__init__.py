@@ -19,7 +19,7 @@ delegate here; ``python -m repro sweep`` is the CLI front end.
 """
 
 from .cache import CACHE_DIR_ENV, TrialCache, default_cache_dir
-from .executor import resolve_jobs, run_trials
+from .executor import StoreJournalConflictError, resolve_jobs, run_trials
 from .pool import (
     DispatchStats,
     WorkerCrashError,
@@ -30,6 +30,7 @@ from .pool import (
 from .resilience import (
     CheckpointJournal,
     QuarantineReport,
+    ResiliencePolicy,
     TrialFailure,
     guarded_execute,
 )
@@ -49,7 +50,9 @@ __all__ = [
     "ENGINE_VERSION",
     "ExtractionTrialSpec",
     "QuarantineReport",
+    "ResiliencePolicy",
     "SetAgreementTrialSpec",
+    "StoreJournalConflictError",
     "TrialFailure",
     "TrialCache",
     "TrialSpec",

@@ -50,11 +50,18 @@ from .pool import DispatchStats, WorkerCrashError, WorkerPool, shared_pool
 from .resilience import (
     CheckpointJournal,
     QuarantineReport,
+    ResiliencePolicy,
     TrialFailure,
     guarded_execute,
     guarded_execute_observed,
 )
 from .spec import TrialSpec, execute_trial, spec_key
+
+
+class StoreJournalConflictError(ValueError):
+    """``store=`` and ``journal=`` both given — the store already
+    checkpoints progress per trial, so a journal would be a second,
+    possibly disagreeing, source of truth."""
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -125,10 +132,13 @@ def run_trials(
     journal: Union[CheckpointJournal, str, os.PathLike, None] = None,
     quarantine: Optional[QuarantineReport] = None,
     backoff: float = 0.5,
+    policy: Optional[ResiliencePolicy] = None,
     bus=None,
     collector=None,
     dispatch: Optional[DispatchStats] = None,
     pool: Optional[WorkerPool] = None,
+    store=None,
+    lease_ttl: float = 30.0,
 ) -> List[Any]:
     """Execute every spec; results come back in input order.
 
@@ -161,7 +171,13 @@ def run_trials(
         the executor gave up on.  Their result slots hold ``None``.
     backoff:
         Base of the exponential retry backoff, in seconds (failure round
-        ``r`` sleeps ``backoff * 2**r``; pass 0 in tests).
+        ``r`` sleeps ``backoff * 2**r``, capped by the policy's
+        ``max_backoff``; pass 0 in tests).
+    policy:
+        A :class:`~repro.perf.resilience.ResiliencePolicy` bundling
+        ``retries``/``trial_timeout``/``backoff`` as one value (shared
+        with the farm workers).  When given, it wins over the individual
+        keyword knobs.
     bus:
         Optional :class:`~repro.obs.events.EventBus` for
         ``TrialRetried`` / ``TrialQuarantined`` / ``TrialTimedOut``
@@ -186,8 +202,44 @@ def run_trials(
         Optional :class:`~repro.perf.pool.WorkerPool` to run on.
         Defaults to the process-wide :func:`~repro.perf.pool.shared_pool`
         (forked once, reused by every subsequent call).
+    store:
+        Farm backend: a :class:`~repro.farm.store.FarmStore` (or a DB
+        URL for one).  The grid is enqueued as a campaign and drained by
+        an in-process farm worker — any `repro worker --store URL`
+        processes pointed at the same store share the load — and results
+        come back in input order exactly like the local paths.  The
+        store *is* the checkpoint tier, so combining it with ``journal``
+        is refused (:class:`StoreJournalConflictError`).
+    lease_ttl:
+        Farm backend: lease time-to-live in seconds for claims made by
+        the in-process worker.
     """
     specs = list(specs)
+    if policy is not None:
+        retries = policy.retries
+        trial_timeout = policy.trial_timeout
+        backoff = policy.backoff
+    else:
+        policy = ResiliencePolicy(
+            retries=retries, trial_timeout=trial_timeout, backoff=backoff
+        )
+    if store is not None:
+        if journal is not None:
+            raise StoreJournalConflictError(
+                "--store and --resume are mutually exclusive: the farm "
+                "store already journals completion per trial, so a "
+                "CheckpointJournal would record the same progress twice "
+                "(and lie about trials other workers completed). Drop "
+                "the journal/--resume flag for store-backed runs."
+            )
+        from ..farm.campaign import run_store_backed
+
+        return run_store_backed(
+            specs, store, jobs=jobs, cache=cache,
+            policy=policy, quarantine=quarantine,
+            bus=bus, collector=collector, dispatch=dispatch,
+            lease_ttl=lease_ttl,
+        )
     jobs = resolve_jobs(jobs)
     results: List[Any] = [None] * len(specs)
 
@@ -265,10 +317,8 @@ def run_trials(
             else:
                 _run_resilient(
                     specs, pending, results, jobs, cache, chunk_size,
-                    retries=retries, trial_timeout=trial_timeout,
-                    journal=journal, quarantine=quarantine,
-                    backoff=backoff, bus=bus, relay=relay,
-                    dispatch=dispatch, pool=pool,
+                    policy=policy, journal=journal, quarantine=quarantine,
+                    bus=bus, relay=relay, dispatch=dispatch, pool=pool,
                 )
         if relay is not None:
             relay.finish()
@@ -382,11 +432,9 @@ def _run_resilient(
     cache: Optional[TrialCache],
     chunk_size: Optional[int],
     *,
-    retries: int,
-    trial_timeout: Optional[float],
+    policy: ResiliencePolicy,
     journal: Optional[CheckpointJournal],
     quarantine: QuarantineReport,
-    backoff: float,
     bus,
     relay=None,
     dispatch: Optional[DispatchStats] = None,
@@ -394,6 +442,8 @@ def _run_resilient(
 ) -> None:
     from ..obs.events import TrialQuarantined, TrialRetried, TrialTimedOut
 
+    retries = policy.retries
+    trial_timeout = policy.trial_timeout
     keys = {i: spec_key(specs[i]) for i in pending}
     attempts = {i: 0 for i in pending}
 
@@ -441,8 +491,9 @@ def _run_resilient(
                 _publish(
                     bus, TrialRetried(-1, keys[i], attempts[i], outcome.detail)
                 )
-                if backoff > 0:
-                    backoff_sleep(backoff * 2 ** (attempts[i] - 1), keys[i])
+                delay = policy.backoff_seconds(attempts[i] - 1)
+                if delay > 0:
+                    backoff_sleep(delay, keys[i])
         if dispatch is not None:
             dispatch.trials += len(pending)
         return
@@ -518,10 +569,10 @@ def _run_resilient(
                                 -1, keys[i], attempts[i], outcome.detail
                             ))
                             resubmits.append(([i], None))
-                if resubmits and any_failed and backoff > 0:
-                    backoff_sleep(
-                        min(backoff * 2 ** failure_rounds, 30.0), ""
-                    )
+                if resubmits and any_failed:
+                    delay = policy.backoff_seconds(failure_rounds)
+                    if delay > 0:
+                        backoff_sleep(delay, "")
                 if any_failed:
                     failure_rounds += 1
                 for indices, pin in resubmits:

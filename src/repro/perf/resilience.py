@@ -29,6 +29,43 @@ from typing import Any, Dict, List, Optional, Set, Union
 
 
 @dataclasses.dataclass(frozen=True)
+class ResiliencePolicy:
+    """The retry/backoff/quarantine knobs, as one shared value.
+
+    Both failure-tolerant execution paths — the in-process resilient
+    executor (:func:`repro.perf.executor.run_trials`) and the farm
+    workers (:mod:`repro.farm.worker`) — consume this same dataclass, so
+    "how many attempts before quarantine" and "how long may a trial run"
+    cannot drift between a local sweep and a distributed campaign.
+
+    ``retries`` is *extra* runs after the first attempt, so a trial is
+    quarantined once it has consumed :attr:`max_attempts` attempts.
+    ``backoff`` is the exponential base in seconds (0 disables sleeping,
+    as tests do); ``max_backoff`` caps the sleep so a long retry tail
+    cannot park a worker for minutes.
+    """
+
+    retries: int = 0
+    trial_timeout: Optional[float] = None
+    backoff: float = 0.5
+    max_backoff: float = 30.0
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once ``attempts`` used up the whole retry budget."""
+        return attempts >= self.max_attempts
+
+    def backoff_seconds(self, failure_rounds: int) -> float:
+        """Sleep before the next attempt after ``failure_rounds`` failures."""
+        if self.backoff <= 0:
+            return 0.0
+        return min(self.backoff * 2 ** failure_rounds, self.max_backoff)
+
+
+@dataclasses.dataclass(frozen=True)
 class TrialFailure:
     """Marker returned (not raised) by :func:`guarded_execute` on failure.
 
