@@ -18,6 +18,10 @@ pair               claim
                      produce the same trace and state fingerprint.
 ``chaos-zero``       a zero-severity chaos run equals its pristine twin
                      (no chaos wrappers at all), step for step.
+``faulty-infra``     a farm campaign drained under infrastructure chaos
+                     (lock storms, a torn-process kill, cache ENOSPC)
+                     settles every trial exactly once, byte-identical to
+                     a pristine serial run of the same grid.
 =================  =========================================================
 
 Every oracle derives its case parameters from
@@ -27,8 +31,10 @@ picklable :class:`~repro.audit.runner.AuditTrialSpec`.
 
 ``sabotage`` hooks exist to prove the oracles can fail: ``"cache"``
 poisons one stored cache entry with a well-formed pickle of a wrong
-result, and ``"abd-ack"`` corrupts the first ABD read acknowledgement on
-the wire.  Both must flip a clean audit into a divergence report.
+result, ``"abd-ack"`` corrupts the first ABD read acknowledgement on
+the wire, and ``"infra-dup"`` doctors the drained farm store with a
+duplicate ``done`` row.  Each must flip a clean audit into a divergence
+report.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ PAIRS_PER_CASE = {
     "substrate": 2,
     "replay": 1,
     "chaos-zero": 1,
+    "faulty-infra": 3,
 }
 
 ORACLE_PAIRS = tuple(sorted(PAIRS_PER_CASE))
@@ -588,10 +595,73 @@ def _chaos_zero(case: int, seed: int, sabotage: str) -> CaseOutcome:
     return outcome
 
 
+# -- faulty infrastructure vs pristine serial --------------------------------
+
+
+def _faulty_infra(case: int, seed: int, sabotage: str) -> CaseOutcome:
+    """One crash-consistency run of the farm under an infra fault plan.
+
+    The checker drains a small seeded grid through a fault-injected
+    worker (lock storms on every guarded store op, a torn-process kill
+    at a seeded barrier, cache ENOSPC) plus a pristine finisher, then
+    asserts the store's exactly-once invariants against a serial
+    baseline.  Every violated invariant surfaces as one ``"contract"``
+    divergence.  ``sabotage="infra-dup"`` duplicates a ``done`` row in
+    the drained store — the self-test proving the oracle can fail.
+    """
+    from ..chaos.infra import CrashConsistencyChecker
+    from ..perf.spec import SetAgreementTrialSpec
+
+    rng = _case_rng("faulty-infra", seed, case)
+    count = PAIRS_PER_CASE["faulty-infra"]
+    specs = [
+        SetAgreementTrialSpec(
+            n_processes=3,
+            f=1,
+            seed=rng.randrange(1_000_000),
+            stabilization_time=rng.choice((0, 8)),
+            max_steps=200_000,
+        )
+        for _ in range(count)
+    ]
+    checker = CrashConsistencyChecker(
+        specs,
+        runs=1,
+        seed=rng.randrange(1_000_000),
+        severity=rng.choice(("light", "max")),
+        sabotage="duplicate-done" if sabotage == "infra-dup" else "",
+    )
+    report = checker.run()
+    outcome = CaseOutcome(trials=count)
+    for violation in report.violations:
+        outcome.divergences.append(
+            Divergence(
+                pair="faulty-infra",
+                case=case,
+                seed=seed,
+                kind="contract",
+                detail=(
+                    f"{violation.kind}"
+                    + (f" at position {violation.position}"
+                       if violation.position >= 0 else "")
+                    + f": {violation.detail}"
+                ),
+                spec={
+                    "kind": "faulty-infra",
+                    "severity": report.severity,
+                    "checker_seed": report.seed,
+                    "trials": report.trials_per_run,
+                },
+            )
+        )
+    return outcome
+
+
 _ORACLES = {
     "serial-parallel": _serial_parallel,
     "cache": _cache,
     "substrate": _substrate,
     "replay": _replay,
     "chaos-zero": _chaos_zero,
+    "faulty-infra": _faulty_infra,
 }

@@ -18,10 +18,29 @@ one knob set:
 :class:`ChaosTrialSpec` trials that run on the (resilient)
 :func:`repro.perf.executor.run_trials` harness; ``python -m repro sweep
 chaos`` is the CLI front end.
+
+:mod:`repro.chaos.infra` turns the same discipline on the experiment
+infrastructure itself — seeded ``database is locked`` storms, torn-process
+kills at store barriers, cache ENOSPC, ledger tears — with
+:class:`CrashConsistencyChecker` proving the farm's exactly-once
+invariants under every plan; ``python -m repro chaos infra`` drives it.
 """
 
 from .config import ChaosConfig
 from .detectors import LyingHistory, chaotic_history, worst_lie
+from .infra import (
+    KILL_BARRIERS,
+    CrashConsistencyChecker,
+    CrashConsistencyReport,
+    FaultyCache,
+    FaultyStore,
+    InfraFaultPlan,
+    InfraInjector,
+    InfraViolation,
+    SimulatedPowerCut,
+    check_store_invariants,
+    tear_ledger_tail,
+)
 from .network import FaultyNetwork, quorum_critical
 from .scheduler import ChaosScheduler
 from .trial import (
@@ -37,12 +56,23 @@ __all__ = [
     "ChaosScheduler",
     "ChaosTrialResult",
     "ChaosTrialSpec",
+    "CrashConsistencyChecker",
+    "CrashConsistencyReport",
+    "FaultyCache",
     "FaultyNetwork",
+    "FaultyStore",
+    "InfraFaultPlan",
+    "InfraInjector",
+    "InfraViolation",
+    "KILL_BARRIERS",
     "LyingHistory",
     "PROTOCOLS",
+    "SimulatedPowerCut",
     "chaotic_history",
+    "check_store_invariants",
     "quorum_critical",
     "run_chaos_trial",
     "spec_from_chaos",
+    "tear_ledger_tail",
     "worst_lie",
 ]

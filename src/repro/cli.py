@@ -370,6 +370,23 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "(same shape as `sweep --csv`)")
     f_results.add_argument("--json", action="store_true")
 
+    f_requeue = farm_sub.add_parser(
+        "requeue",
+        help="re-arm quarantined trials after a fix lands: reset "
+             "attempts, clear the quarantine reason, back to pending",
+    )
+    f_requeue.add_argument("--store", metavar="URL", required=True)
+    f_requeue.add_argument("--campaign", metavar="NAME", default=None,
+                           help="limit to one campaign (default: whole "
+                                "store)")
+    selector = f_requeue.add_mutually_exclusive_group(required=True)
+    selector.add_argument("--trial-id", type=int, action="append",
+                          metavar="POSITION", dest="trial_ids",
+                          help="re-arm this trial position (repeatable)")
+    selector.add_argument("--all", action="store_true", dest="requeue_all",
+                          help="re-arm every quarantined trial in scope")
+    f_requeue.add_argument("--json", action="store_true")
+
     from .mc.instances import FAMILIES
 
     mc_check = sub.add_parser(
@@ -432,15 +449,47 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="audit-report.json",
                        help="where to write the JSON report "
                             "(default audit-report.json)")
-    audit.add_argument("--sabotage", choices=("cache", "abd-ack"),
+    audit.add_argument("--sabotage",
+                       choices=("cache", "abd-ack", "infra-dup"),
                        default="",
                        help="self-test: inject a known equivalence break "
                             "(a poisoned cache entry / a corrupted ABD "
-                            "ack) — the audit must then exit 4")
+                            "ack / a duplicated farm row) — the audit "
+                            "must then exit 4")
     audit.add_argument("--json", action="store_true",
                        help="print the full report as JSON to stdout")
 
-    for sub_parser in (mc_check, audit):
+    from .chaos.infra import SABOTAGES as INFRA_SABOTAGES
+    from .chaos.infra import SEVERITIES as INFRA_SEVERITIES
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-inject the experiment infrastructure itself "
+             "(exit 1 on an invariant violation)",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    c_infra = chaos_sub.add_parser(
+        "infra",
+        help="crash-consistency check: drain a farm campaign under "
+             "seeded lock storms, torn-process kills, and cache ENOSPC; "
+             "every trial must settle exactly once, byte-identical to a "
+             "pristine serial run",
+    )
+    c_infra.add_argument("--seed", type=int, default=0)
+    c_infra.add_argument("--runs", type=int, default=50,
+                         help="independent kill-point runs (default 50)")
+    c_infra.add_argument("--trials", type=int, default=4,
+                         help="grid size drained per run (default 4)")
+    c_infra.add_argument("--severity", choices=INFRA_SEVERITIES,
+                         default="max",
+                         help="fault-plan severity (default max)")
+    c_infra.add_argument("--sabotage", choices=INFRA_SABOTAGES, default="",
+                         help="self-test: doctor each drained store with "
+                              "a known violation — the check must then "
+                              "exit 1")
+    c_infra.add_argument("--json", action="store_true")
+
+    for sub_parser in (mc_check, audit, c_infra):
         sub_parser.add_argument(
             "--ledger", metavar="FILE", default=None,
             help="append one campaign-ledger record for this run "
@@ -1369,6 +1418,23 @@ def _cmd_farm(args) -> int:
                 print(render_status(status))
             return 0
 
+        if args.farm_command == "requeue":
+            positions = None if args.requeue_all else args.trial_ids
+            rearmed = store.requeue(
+                campaign=args.campaign, positions=positions
+            )
+            if args.json:
+                print(json.dumps(
+                    {"store": store.url, "campaign": args.campaign,
+                     "positions": positions, "requeued": rearmed},
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                scope = (f"campaign {args.campaign}" if args.campaign
+                         else "whole store")
+                print(f"re-armed {rearmed} quarantined trial(s) in {scope}")
+            return 0
+
         # farm results: the collect half of submit/collect.
         from .analysis.sweeps import to_csv
         from .farm import collect_results
@@ -1420,6 +1486,38 @@ def _cmd_farm(args) -> int:
         store.close()
 
 
+def _cmd_chaos(args) -> int:
+    import json as json_module
+
+    from .chaos.infra import CrashConsistencyChecker, default_infra_specs
+    from .obs.metrics import MetricsCollector
+
+    collector = MetricsCollector()
+    checker = CrashConsistencyChecker(
+        default_infra_specs(args.trials),
+        runs=args.runs,
+        seed=args.seed,
+        severity=args.severity,
+        sabotage=args.sabotage,
+        bus=collector.bus,
+    )
+    report = checker.run()
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        ledger.append_run(
+            "chaos-infra", "ok" if report.ok else "violation",
+            duration=report.elapsed_seconds,
+            trials=report.runs * report.trials_per_run,
+            severity=report.severity, seed=report.seed,
+            kills=report.kills, violations=len(report.violations),
+        )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_dash(args) -> int:
     from .obs.campaign import default_ledger_path
     from .obs.dash import serve
@@ -1453,6 +1551,7 @@ def _cmd_report(args) -> int:
 
 _COMMANDS = {
     "audit": _cmd_audit,
+    "chaos": _cmd_chaos,
     "dash": _cmd_dash,
     "report": _cmd_report,
     "fig1": _cmd_fig1,

@@ -39,7 +39,9 @@ from .store import (
     FarmStoreError,
     LeasedTrial,
     ReapedLease,
+    RetryingStore,
     SQLiteFarmStore,
+    is_transient_store_error,
     open_store,
 )
 from .status import render_status, store_status, watch
@@ -54,10 +56,12 @@ __all__ = [
     "FarmWorker",
     "LeasedTrial",
     "ReapedLease",
+    "RetryingStore",
     "STATES",
     "SQLiteFarmStore",
     "collect_results",
     "default_worker_id",
+    "is_transient_store_error",
     "open_store",
     "render_status",
     "run_store_backed",

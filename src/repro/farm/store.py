@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import pickle
+import random
 import sqlite3
 import threading
 import time
@@ -39,6 +41,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..perf.resilience import ResiliencePolicy
+
+log = logging.getLogger("repro.farm.store")
 
 #: Claimable states: a fresh row, or a failed one awaiting its retry.
 CLAIMABLE = ("pending", "failed")
@@ -129,6 +133,20 @@ class FarmStore:
         """Returns ``"retry"``, ``"quarantined"``, or ``"stale"``."""
         raise NotImplementedError
 
+    # -- administration ----------------------------------------------------
+
+    def requeue(self, campaign: Optional[str] = None,
+                positions: Optional[Sequence[int]] = None) -> int:
+        """Re-arm quarantined rows after a fix lands.
+
+        Resets matching ``quarantined`` rows to ``pending`` with a fresh
+        attempt budget and the quarantine reason cleared.  ``campaign``
+        and ``positions`` narrow the selection; both ``None`` re-arms
+        every quarantined row in the store.  Returns how many rows were
+        re-armed.
+        """
+        raise NotImplementedError
+
     # -- monitoring --------------------------------------------------------
 
     def counts(self, campaign: Optional[str] = None) -> Dict[str, int]:
@@ -212,6 +230,10 @@ class SQLiteFarmStore(FarmStore):
         self._all_conns: List[sqlite3.Connection] = []
         self._conns_lock = threading.Lock()
         self._closed = False
+        #: Store-level errors that were tolerated rather than raised
+        #: (e.g. a connection that failed to close).  Surfaced by
+        #: :meth:`status` so infra faults are observable, never silent.
+        self.farm_store_errors = 0
         # executescript manages its own transaction (it commits before
         # running), so the schema is applied outside _txn.
         self._conn().executescript(_SCHEMA)
@@ -415,6 +437,31 @@ class SQLiteFarmStore(FarmStore):
             )
             return "quarantined" if quarantined else "retry"
 
+    # -- administration ----------------------------------------------------
+
+    def requeue(self, campaign: Optional[str] = None,
+                positions: Optional[Sequence[int]] = None) -> int:
+        scope_sql = ""
+        scope_args: List[Any] = []
+        if campaign is not None:
+            scope_sql += " AND campaign = ?"
+            scope_args.append(campaign)
+        if positions is not None:
+            if not positions:
+                return 0
+            marks = ",".join("?" * len(positions))
+            scope_sql += f" AND position IN ({marks})"
+            scope_args.extend(int(p) for p in positions)
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE trials SET state = 'pending', attempts = 0,"
+                " failure = NULL, lease_token = NULL, lease_worker = NULL,"
+                " lease_expires = NULL, completed_at = NULL"
+                " WHERE state = 'quarantined'" + scope_sql,
+                scope_args,
+            )
+            return cursor.rowcount
+
     # -- monitoring --------------------------------------------------------
 
     def counts(self, campaign: Optional[str] = None) -> Dict[str, int]:
@@ -433,7 +480,8 @@ class SQLiteFarmStore(FarmStore):
         out = []
         for row in self._conn().execute(
             "SELECT position, key, state, attempts, result, telemetry,"
-            " cached, failure, spec FROM trials WHERE campaign = ?"
+            " cached, failure, spec, lease_token, lease_worker,"
+            " lease_expires, completed_at FROM trials WHERE campaign = ?"
             " ORDER BY position", (campaign,),
         ).fetchall():
             out.append({
@@ -443,6 +491,10 @@ class SQLiteFarmStore(FarmStore):
                 "attempts": row["attempts"],
                 "cached": bool(row["cached"]),
                 "failure": row["failure"],
+                "lease_token": row["lease_token"],
+                "lease_worker": row["lease_worker"],
+                "lease_expires": row["lease_expires"],
+                "completed_at": row["completed_at"],
                 "spec": pickle.loads(row["spec"]),
                 "result": pickle.loads(row["result"])
                 if row["result"] is not None else None,
@@ -486,6 +538,7 @@ class SQLiteFarmStore(FarmStore):
             + counts["leased"],
             "workers": self.workers(),
             "campaigns": self.campaigns(),
+            "errors": self.farm_store_errors,
         }
 
     def close(self) -> None:
@@ -495,9 +548,132 @@ class SQLiteFarmStore(FarmStore):
         for conn in conns:
             try:
                 conn.close()
-            except sqlite3.Error:
-                pass
+            except sqlite3.Error as exc:
+                self.farm_store_errors += 1
+                log.warning(
+                    "farm store close: connection close failed on %s "
+                    "(%s: %s)", self.url, type(exc).__name__, exc,
+                )
         self._local = threading.local()
+
+
+#: Substrings of :class:`sqlite3.OperationalError` messages that mark a
+#: *transient* fault — worth retrying, unlike a schema or disk error.
+TRANSIENT_MARKERS = ("locked", "busy")
+
+#: Default backoff schedule for store-level retries: short, capped, and
+#: fully jittered so N workers hammering one contended store spread out.
+STORE_RETRY_POLICY = ResiliencePolicy(
+    backoff=0.02, max_backoff=0.5, jitter=1.0
+)
+
+
+def is_transient_store_error(exc: BaseException) -> bool:
+    """True for 'database is locked'-class faults worth a bounded retry."""
+    if not isinstance(exc, sqlite3.OperationalError):
+        return False
+    text = str(exc).lower()
+    return any(marker in text for marker in TRANSIENT_MARKERS)
+
+
+class RetryingStore(FarmStore):
+    """Bounded-retry decorator around any :class:`FarmStore`.
+
+    Transient backend faults (``sqlite3.OperationalError`` mentioning
+    *locked*/*busy* — exactly what a contended or fault-injected SQLite
+    file raises) are retried up to ``attempts`` times with exponential
+    backoff under **full jitter** drawn from a seeded ``random.Random``,
+    then re-raised.  Non-transient errors pass straight through: a
+    schema violation is a bug, not weather.
+
+    Every store method is idempotent-or-guarded (claims serialize on the
+    write lock; ``complete``/``fail`` no-op on stale tokens), so a retry
+    after an ambiguous failure is always safe.  ``retried`` counts the
+    sleeps taken; each one is logged at WARNING with the operation name.
+    """
+
+    def __init__(self, inner: FarmStore,
+                 policy: ResiliencePolicy = STORE_RETRY_POLICY,
+                 attempts: int = 5,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        if attempts < 1:
+            raise FarmStoreError("RetryingStore needs attempts >= 1")
+        self.inner = inner
+        self.policy = policy
+        self.attempts = attempts
+        self.rng = rng if rng is not None else random.Random()
+        self.retried = 0
+        self._sleep = sleep
+
+    @property
+    def url(self) -> str:  # type: ignore[override]
+        return self.inner.url
+
+    def _call(self, op: str, *args: Any, **kwargs: Any) -> Any:
+        for round_ in range(self.attempts):
+            try:
+                return getattr(self.inner, op)(*args, **kwargs)
+            except sqlite3.OperationalError as exc:
+                last_round = round_ + 1 >= self.attempts
+                if not is_transient_store_error(exc) or last_round:
+                    raise
+                delay = self.policy.backoff_seconds(round_, self.rng)
+                log.warning(
+                    "farm store %s: transient %s (%s); retry %d/%d in "
+                    "%.3fs", op, type(exc).__name__, exc, round_ + 1,
+                    self.attempts - 1, delay,
+                )
+                self.retried += 1
+                if delay > 0:
+                    self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # Every FarmStore method funnels through _call; the registry below
+    # keeps the decorator honest if the interface grows.
+
+    def create_campaign(self, *a: Any, **kw: Any) -> None:
+        return self._call("create_campaign", *a, **kw)
+
+    def enqueue(self, *a: Any, **kw: Any) -> None:
+        return self._call("enqueue", *a, **kw)
+
+    def claim_batch(self, *a: Any, **kw: Any):
+        return self._call("claim_batch", *a, **kw)
+
+    def heartbeat(self, *a: Any, **kw: Any) -> int:
+        return self._call("heartbeat", *a, **kw)
+
+    def complete(self, *a: Any, **kw: Any) -> bool:
+        return self._call("complete", *a, **kw)
+
+    def fail(self, *a: Any, **kw: Any) -> str:
+        return self._call("fail", *a, **kw)
+
+    def requeue(self, *a: Any, **kw: Any) -> int:
+        return self._call("requeue", *a, **kw)
+
+    def counts(self, *a: Any, **kw: Any) -> Dict[str, int]:
+        return self._call("counts", *a, **kw)
+
+    def campaign_rows(self, *a: Any, **kw: Any) -> List[Dict[str, Any]]:
+        return self._call("campaign_rows", *a, **kw)
+
+    def campaigns(self, *a: Any, **kw: Any) -> List[Dict[str, Any]]:
+        return self._call("campaigns", *a, **kw)
+
+    def workers(self) -> Dict[str, int]:
+        return self._call("workers")
+
+    def status(self) -> Dict[str, Any]:
+        return self._call("status")
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __getattr__(self, name: str) -> Any:
+        # Backend extras (``path``, ``farm_store_errors``…) shine through.
+        return getattr(self.inner, name)
 
 
 def _parse_sqlite(rest: str) -> SQLiteFarmStore:

@@ -24,7 +24,9 @@ expire.
 
 from __future__ import annotations
 
+import logging
 import os
+import random
 import socket
 import threading
 import time
@@ -37,10 +39,16 @@ from ..perf.resilience import (
     TrialFailure,
     guarded_execute_observed,
 )
-from .store import FarmStore, LeasedTrial
+from .store import FarmStore, LeasedTrial, RetryingStore
+
+log = logging.getLogger("repro.farm.worker")
 
 #: Exit code of the deliberate mid-batch crash (self-test hook).
 CRASH_EXIT_CODE = 86
+
+#: Consecutive heartbeat failures before a worker declares its leases
+#: lost and abandons them (they expire and get reclaimed elsewhere).
+HEARTBEAT_MAX_MISSES = 3
 
 
 def default_worker_id() -> str:
@@ -48,11 +56,22 @@ def default_worker_id() -> str:
 
 
 class _Heartbeat:
-    """Background lease refresher: one store connection, its own thread."""
+    """Background lease refresher: one store connection, its own thread.
 
-    def __init__(self, store: FarmStore, lease_ttl: float):
+    A single failed heartbeat is survivable (the lease TTL has two more
+    beats of slack), so it is only logged; :data:`HEARTBEAT_MAX_MISSES`
+    *consecutive* failures mean the store is unreachable and the leases
+    will lapse regardless — ``lost`` is set so the worker can abandon
+    them cleanly instead of completing against stale tokens.
+    """
+
+    def __init__(self, store: FarmStore, lease_ttl: float,
+                 max_misses: int = HEARTBEAT_MAX_MISSES):
         self.store = store
         self.lease_ttl = lease_ttl
+        self.max_misses = max_misses
+        self.lost = threading.Event()
+        self._misses = 0
         self._tokens: set = set()
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -69,13 +88,22 @@ class _Heartbeat:
         while not self._stop.wait(period):
             with self._lock:
                 tokens = list(self._tokens)
-            if tokens:
-                try:
-                    self.store.heartbeat(tokens, self.lease_ttl)
-                except Exception:
-                    # A failed heartbeat just means the lease may lapse
-                    # and be reclaimed — the safe direction.
-                    pass
+            if not tokens:
+                continue
+            try:
+                self.store.heartbeat(tokens, self.lease_ttl)
+            except Exception as exc:
+                # A failed heartbeat just means the lease may lapse
+                # and be reclaimed — the safe direction.
+                self._misses += 1
+                log.warning(
+                    "heartbeat failed (%s: %s), miss %d/%d",
+                    type(exc).__name__, exc, self._misses, self.max_misses,
+                )
+                if self._misses >= self.max_misses:
+                    self.lost.set()
+            else:
+                self._misses = 0
 
     def track(self, tokens: List[str]) -> None:
         with self._lock:
@@ -84,6 +112,10 @@ class _Heartbeat:
     def release(self, token: str) -> None:
         with self._lock:
             self._tokens.discard(token)
+
+    def tracked(self) -> List[str]:
+        with self._lock:
+            return list(self._tokens)
 
     def stop(self) -> None:
         self._stop.set()
@@ -120,9 +152,18 @@ class FarmWorker:
         max_idle: Optional[float] = None,
         pool: Optional[WorkerPool] = None,
         crash_after: Optional[int] = None,
+        store_retry: bool = True,
     ):
-        self.store = store
         self.worker_id = worker_id or default_worker_id()
+        if store_retry and not isinstance(store, RetryingStore):
+            # Transient 'database is locked' faults get bounded, jittered
+            # retries instead of crashing the drain loop.  Seeded by the
+            # worker id: deterministic per worker, decorrelated across
+            # workers.
+            store = RetryingStore(
+                store, rng=random.Random(f"farm-retry:{self.worker_id}")
+            )
+        self.store = store
         self.jobs = max(1, jobs)
         self.batch_size = batch_size or max(2, self.jobs * 2)
         self.lease_ttl = lease_ttl
@@ -137,7 +178,7 @@ class FarmWorker:
         self._cache_buffer: List = []
         self.stats: Dict[str, int] = {
             "claimed": 0, "completed": 0, "failed": 0, "quarantined": 0,
-            "reaped": 0, "stale": 0, "batches": 0,
+            "reaped": 0, "stale": 0, "batches": 0, "abandoned": 0,
         }
 
     # -- event plumbing ----------------------------------------------------
@@ -204,9 +245,32 @@ class FarmWorker:
 
     # -- execution ---------------------------------------------------------
 
+    def _abandon(self, heartbeat: _Heartbeat,
+                 leases: Optional[List[LeasedTrial]] = None) -> None:
+        """Give up the given (or all tracked) leases without settling.
+
+        Used when heartbeats are lost: the tokens are likely stale, so
+        completing against them would be wasted work at best.  The rows
+        simply expire and get reaped/reclaimed by a healthy worker.
+        """
+        tokens = ([lease.token for lease in leases] if leases is not None
+                  else heartbeat.tracked())
+        for token in tokens:
+            heartbeat.release(token)
+        if tokens:
+            self.stats["abandoned"] += len(tokens)
+            log.warning(
+                "worker %s abandoning %d lease(s) after heartbeat loss; "
+                "they will expire and be reclaimed", self.worker_id,
+                len(tokens),
+            )
+
     def _run_serial(self, leases: List[LeasedTrial],
                     heartbeat: _Heartbeat) -> None:
-        for lease in leases:
+        for index, lease in enumerate(leases):
+            if heartbeat.lost.is_set():
+                self._abandon(heartbeat, leases[index:])
+                return
             outcome, telemetry = guarded_execute_observed(
                 lease.spec, self.policy.trial_timeout, time.time()
             )
@@ -271,6 +335,9 @@ class FarmWorker:
         failure_rounds = 0
         try:
             while True:
+                if heartbeat.lost.is_set():
+                    self._abandon(heartbeat)
+                    break
                 leases, reaped = self.store.claim_batch(
                     self.worker_id, self.batch_size, self.lease_ttl,
                     self.policy, campaign=self.campaign,

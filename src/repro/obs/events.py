@@ -272,6 +272,23 @@ class FarmLeaseExpired(Event):
 
 
 @dataclasses.dataclass(frozen=True)
+class InfraFaultInjected(Event):
+    """The infra chaos layer injected one fault (``time = -1``).
+
+    Published by :mod:`repro.chaos.infra` when an
+    :class:`~repro.chaos.infra.InfraFaultPlan` fires.  ``component``
+    names the wrapped subsystem (``"store"``, ``"cache"``, ``"pool"``,
+    ``"ledger"``); ``kind`` the fault (``"locked"``, ``"enospc"``,
+    ``"truncate"``, ``"kill"``, ``"tear"``); ``op`` the operation it hit
+    (``"claim"``, ``"complete"``, ``"heartbeat"``, ``"put"``…).
+    """
+
+    component: str
+    kind: str
+    op: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
 class AuditDivergence(Event):
     """Two run paths that must be equivalent disagreed (``time = -1``).
 

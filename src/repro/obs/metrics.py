@@ -27,6 +27,7 @@ from .events import (
     FarmLeaseExpired,
     FarmTrialClaimed,
     FDQueried,
+    InfraFaultInjected,
     MemoryOp,
     MessageDelayed,
     MessageDelivered,
@@ -287,6 +288,9 @@ class MetricsCollector:
                                       "trials given up on after retries")
         self._timeouts = r.counter("trial_timeouts",
                                    "trials cut short by the watchdog")
+        self._infra_faults = r.counter(
+            "infra_faults_injected",
+            "infra chaos injections by component:kind")
         self._audit = r.counter("audit_divergences",
                                 "equivalence breaks found by the "
                                 "differential audit, by oracle pair")
@@ -321,6 +325,7 @@ class MetricsCollector:
         bus.subscribe(self._on_retry, (TrialRetried,))
         bus.subscribe(self._on_quarantine, (TrialQuarantined,))
         bus.subscribe(self._on_timeout, (TrialTimedOut,))
+        bus.subscribe(self._on_infra_fault, (InfraFaultInjected,))
         bus.subscribe(self._on_audit, (AuditDivergence,))
         bus.subscribe(self._on_farm_claim, (FarmTrialClaimed,))
         bus.subscribe(self._on_farm_expiry, (FarmLeaseExpired,))
@@ -386,6 +391,9 @@ class MetricsCollector:
 
     def _on_timeout(self, event: TrialTimedOut) -> None:
         self._timeouts.inc(event.key[:12])
+
+    def _on_infra_fault(self, event: InfraFaultInjected) -> None:
+        self._infra_faults.inc(f"{event.component}:{event.kind}")
 
     def _on_audit(self, event: AuditDivergence) -> None:
         self._audit.inc(event.pair)

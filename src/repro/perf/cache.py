@@ -50,6 +50,12 @@ class TrialCache:
     entries: a :meth:`get_many` over a whole grid or a :meth:`put_many`
     of a worker batch is one round trip each — the quantity the batched
     executor minimizes and ``dispatch_overhead_per_trial`` reports.
+
+    A write failure (disk full, permission lost, directory vanished)
+    must never fail the trial whose result was being stored: the first
+    ``OSError`` on a put flips the cache into **degraded read-only
+    mode** — ``cache_degraded`` goes to 1, a WARNING is logged, and
+    every later write becomes a no-op while reads keep serving hits.
     """
 
     def __init__(self, root: Union[str, Path, None] = None):
@@ -58,8 +64,23 @@ class TrialCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.cache_degraded = 0
         self.get_round_trips = 0
         self.put_round_trips = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True once a write failure switched the cache to read-only."""
+        return self.cache_degraded > 0
+
+    def _degrade(self, path: Path, exc: BaseException) -> None:
+        if self.cache_degraded == 0:
+            log.warning(
+                "cache write to %s failed (%s: %s); cache degraded to "
+                "read-only — results still computed, just not cached",
+                path, type(exc).__name__, exc,
+            )
+        self.cache_degraded = 1
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -132,6 +153,8 @@ class TrialCache:
 
     def put(self, spec: TrialSpec, result: Any) -> None:
         """Store ``result`` for ``spec`` (atomic replace)."""
+        if self.degraded:
+            return
         self.put_round_trips += 1
         self._write(self._path(spec_key(spec)), result)
 
@@ -142,6 +165,8 @@ class TrialCache:
         is still written atomically, so a kill mid-batch leaves every
         already-replaced entry valid and no torn ones.
         """
+        if self.degraded:
+            return
         by_shard: dict = {}
         for spec, result in pairs:
             path = self._path(spec_key(spec))
@@ -150,23 +175,38 @@ class TrialCache:
             return
         self.put_round_trips += 1
         for parent, entries in by_shard.items():
-            parent.mkdir(parents=True, exist_ok=True)
+            try:
+                parent.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                self._degrade(parent, exc)
+                return
             for path, result in entries:
                 self._write(path, result, ensure_dir=False)
+                if self.degraded:
+                    return
 
     def _write(self, path: Path, result: Any, ensure_dir: bool = True) -> None:
-        if ensure_dir:
-            path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            if ensure_dir:
+                path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError as exc:
+            self._degrade(path, exc)
+            return
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            if isinstance(exc, OSError):
+                # Disk full / permission lost mid-write: degrade, don't
+                # fail the trial whose result we were caching.
+                self._degrade(path, exc)
+                return
             raise
         self.stores += 1
 

@@ -43,12 +43,21 @@ class ResiliencePolicy:
     ``backoff`` is the exponential base in seconds (0 disables sleeping,
     as tests do); ``max_backoff`` caps the sleep so a long retry tail
     cannot park a worker for minutes.
+
+    ``jitter`` spreads the sleeps: a fraction in ``[0, 1]`` of each
+    exponential delay that is drawn uniformly at random ("full jitter"
+    at ``jitter=1.0``), so N workers hammering one contended store do
+    not retry in lockstep.  It is opt-in (default ``0.0`` keeps every
+    existing delay schedule bit-identical) and only consulted when the
+    caller supplies a seeded ``random.Random`` — sleeping never touches
+    any RNG stream a trial result could observe.
     """
 
     retries: int = 0
     trial_timeout: Optional[float] = None
     backoff: float = 0.5
     max_backoff: float = 30.0
+    jitter: float = 0.0
 
     @property
     def max_attempts(self) -> int:
@@ -58,11 +67,18 @@ class ResiliencePolicy:
         """True once ``attempts`` used up the whole retry budget."""
         return attempts >= self.max_attempts
 
-    def backoff_seconds(self, failure_rounds: int) -> float:
-        """Sleep before the next attempt after ``failure_rounds`` failures."""
+    def backoff_seconds(self, failure_rounds: int, rng=None) -> float:
+        """Sleep before the next attempt after ``failure_rounds`` failures.
+
+        With ``jitter > 0`` and an ``rng``, the exponential delay ``d``
+        becomes ``uniform(d * (1 - jitter), d)`` — full jitter at 1.0.
+        """
         if self.backoff <= 0:
             return 0.0
-        return min(self.backoff * 2 ** failure_rounds, self.max_backoff)
+        delay = min(self.backoff * 2 ** failure_rounds, self.max_backoff)
+        if self.jitter > 0 and rng is not None:
+            delay -= self.jitter * delay * rng.random()
+        return delay
 
 
 @dataclasses.dataclass(frozen=True)
