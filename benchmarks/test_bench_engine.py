@@ -109,3 +109,83 @@ def test_profile_engine_reports_all_three_levels():
     # the idle bus must stay close to the raw engine; the live collector
     # is allowed to cost real work
     assert profile.metrics_sps <= profile.baseline_sps * 1.5
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint and backtracking: the per-state costs behind BENCH_mc's
+# states/sec.  The DFS pays one digest per visited state and one
+# backtrack per exhausted frame, so these two microbenchmarks are the
+# engine-level decomposition of the exploration throughput numbers.
+# ---------------------------------------------------------------------------
+
+from repro.mc import (  # noqa: E402  (benchmark file: groups read top-down)
+    ExploreConfig,
+    McInstance,
+    build_simulation,
+    explore_instance,
+    resolve_instance,
+)
+from repro.mc.checkpoint import SimulationJournal
+from repro.mc.fingerprint import fingerprint
+
+#: Extraction emulations never return, so the walk keeps all processes
+#: live for its whole length and every step pays the digest.
+_FP_INSTANCE = McInstance("extraction", n_processes=2)
+_FP_STEPS = 200
+
+
+def _walk(with_journal):
+    sim = build_simulation(resolve_instance(_FP_INSTANCE))
+    journal = SimulationJournal(sim) if with_journal else None
+    digests = []
+    for t in range(_FP_STEPS):
+        eligible = sim.eligible()
+        if not eligible:
+            break
+        sim.step(eligible[t % len(eligible)])
+        digests.append(journal.digest() if journal else fingerprint(sim))
+    return sim, digests
+
+
+def test_fingerprint_full_walk(benchmark):
+    """From-scratch fingerprint per step — the pre-incremental cost."""
+    sim, digests = benchmark(_walk, False)
+    assert len(digests) == _FP_STEPS
+
+
+def test_fingerprint_incremental(benchmark):
+    """Chained digest per step; must stay byte-identical to full walks."""
+    sim, digests = benchmark(_walk, True)
+    assert len(digests) == _FP_STEPS
+    assert digests[-1] == fingerprint(sim)
+
+
+_BT_INSTANCE = McInstance("fig1", n_processes=2)
+_BT_CONFIG = dict(max_depth=14, por=True)
+
+
+@pytest.mark.parametrize("checkpoint", [True, False],
+                         ids=["restore", "replay"])
+def test_backtracking_strategy(benchmark, checkpoint):
+    """The same DFS backtracking by checkpoint restore vs full replay."""
+    result = benchmark(
+        explore_instance, _BT_INSTANCE,
+        ExploreConfig(checkpoint=checkpoint, **_BT_CONFIG),
+    )
+    assert result.ok
+    if checkpoint:
+        assert result.stats.restores > 0
+        assert result.stats.replays == 0
+    else:
+        assert result.stats.restores == 0
+        assert result.stats.replays > 0
+
+
+def test_default_dfs_replay_steps_are_zero():
+    """The acceptance pin: out of the box, backtracking never replays a
+    single step — ``replay_steps`` stays at exactly zero."""
+    result = explore_instance(_BT_INSTANCE, ExploreConfig(**_BT_CONFIG))
+    assert result.ok
+    assert result.stats.restores > 0
+    assert result.stats.replays == 0
+    assert result.stats.replay_steps == 0

@@ -17,12 +17,27 @@ pattern (see Theorem 10's machinery in :mod:`repro.core.samples`).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from functools import lru_cache
+from typing import Any, Iterable, Sequence, Tuple
 
 from ..failures.environment import Environment
 from ..failures.pattern import FailurePattern
 from ..runtime.process import System
 from .base import DetectorSpec, powerset_nonempty
+
+
+@lru_cache(maxsize=64)
+def _upsilon_range(n_processes: int, min_size: int) -> Tuple[frozenset, ...]:
+    """``{U ⊆ Π : |U| ≥ min_size}`` for ``Π = 0..n_processes-1``, cached.
+
+    Specs are rebuilt per trial but the range depends only on ``(|Π|,
+    n + 1 − f)``; sweeps re-enumerate it thousands of times.
+    """
+    return tuple(
+        s
+        for s in powerset_nonempty(list(range(n_processes)))
+        if len(s) >= min_size
+    )
 
 
 class UpsilonFSpec(DetectorSpec):
@@ -48,9 +63,7 @@ class UpsilonFSpec(DetectorSpec):
 
     def range_values(self) -> Iterable[frozenset[int]]:
         """``R_{Υf} = {U ⊆ Π : |U| ≥ n + 1 − f}`` (non-empty by size)."""
-        for s in powerset_nonempty(list(self.system.pids)):
-            if len(s) >= self.min_size:
-                yield s
+        return _upsilon_range(self.system.n_processes, self.min_size)
 
     def legal_stable_values(
         self, pattern: FailurePattern
@@ -64,7 +77,7 @@ class UpsilonFSpec(DetectorSpec):
     def noise_pool(self, pattern: FailurePattern) -> Sequence[Any]:
         # Pre-stabilization output is unconstrained within the range: the
         # noise may even (temporarily) be the correct set itself.
-        return list(self.range_values())
+        return _upsilon_range(self.system.n_processes, self.min_size)
 
     def is_legal_stable_value(self, pattern: FailurePattern, value: Any) -> bool:
         if not isinstance(value, frozenset):

@@ -39,8 +39,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..obs.metrics import MetricsRegistry
 from ..runtime.errors import ReproError
 from ..runtime.simulation import Simulation
+from .checkpoint import SimulationJournal
 from .counterexample import Counterexample
-from .fingerprint import fingerprint
+from .fingerprint import FingerprintError, fingerprint
 from .instances import (
     CrashSweep,
     McInstance,
@@ -67,6 +68,12 @@ class ExploreConfig:
     max_states: Optional[int] = None
     #: Auto-shrink counterexamples via ``minimize_schedule``.
     shrink: bool = True
+    #: Backtrack by restoring checkpoints (:mod:`repro.mc.checkpoint`)
+    #: instead of rebuilding + replaying the schedule prefix.  DFS only;
+    #: auto-disabled for message-passing runs.  Identical verdicts and
+    #: state counts either way — this is purely a cost knob, kept
+    #: switchable so the differential tests can pin the equivalence.
+    checkpoint: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -87,9 +94,20 @@ class ExploreStats:
     depth_exhausted: int = 0
     replays: int = 0
     replay_steps: int = 0
+    #: Checkpoint-restore backtracking (replaces replays when enabled).
+    restores: int = 0
+    #: Generator rematerializations after a restore detached one (the
+    #: honest residue of "replay-free": each counts a memo miss).
+    gen_replays: int = 0
+    gen_replay_steps: int = 0
     max_depth: int = 0
     truncated: bool = False
     wall_seconds: float = 0.0
+    #: Compute time summed across shards.  For a serial exploration this
+    #: equals ``wall_seconds``; after :meth:`merge_concurrent` the two
+    #: diverge — ``wall_seconds`` stays elapsed time, ``cpu_seconds``
+    #: keeps the total work.
+    cpu_seconds: float = 0.0
 
     @property
     def states_per_second(self) -> float:
@@ -98,6 +116,10 @@ class ExploreStats:
         return self.states_visited / self.wall_seconds
 
     def merge(self, other: "ExploreStats") -> None:
+        """Fold in stats from work that ran *serially* after this work
+        (wall times add).  For shards that ran side by side use
+        :meth:`merge_concurrent` — summing concurrent walls divides the
+        reported throughput by the shard count."""
         self.states_visited += other.states_visited
         self.states_distinct += other.states_distinct
         self.pruned_visited += other.pruned_visited
@@ -106,9 +128,22 @@ class ExploreStats:
         self.depth_exhausted += other.depth_exhausted
         self.replays += other.replays
         self.replay_steps += other.replay_steps
+        self.restores += other.restores
+        self.gen_replays += other.gen_replays
+        self.gen_replay_steps += other.gen_replay_steps
         self.max_depth = max(self.max_depth, other.max_depth)
         self.truncated = self.truncated or other.truncated
         self.wall_seconds += other.wall_seconds
+        self.cpu_seconds += other.cpu_seconds
+
+    def merge_concurrent(self, other: "ExploreStats") -> None:
+        """Fold in stats from work that ran *concurrently* with this work:
+        wall time is the max (a lower bound on true elapsed — callers
+        with a measured elapsed time should overwrite ``wall_seconds``
+        with it), compute time still sums."""
+        wall = max(self.wall_seconds, other.wall_seconds)
+        self.merge(other)
+        self.wall_seconds = wall
 
     def to_dict(self) -> Dict[str, Any]:
         body = dataclasses.asdict(self)
@@ -144,7 +179,9 @@ class ExploreResult:
 
 
 class _Frame:
-    __slots__ = ("depth", "candidates", "index", "sleep", "executed", "por")
+    __slots__ = (
+        "depth", "candidates", "index", "sleep", "executed", "por", "cp",
+    )
 
     def __init__(self, depth, candidates, sleep, por):
         self.depth = depth
@@ -153,6 +190,7 @@ class _Frame:
         self.sleep = sleep
         self.executed = []  # (pid, op) per successfully explored sibling
         self.por = por
+        self.cp = None  # checkpoint token (checkpointed DFS only)
 
 
 class Explorer:
@@ -188,6 +226,7 @@ class Explorer:
         self.violations: List[RawViolation] = []
         self._stop = False
         self._dedup = self.config.dedup
+        self._journal: Optional[SimulationJournal] = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -272,9 +311,24 @@ class Explorer:
                 f"unknown exploration strategy {self.config.strategy!r}"
             )
         self.stats.wall_seconds = _time.perf_counter() - started
+        self.stats.cpu_seconds = self.stats.wall_seconds
         return ExploreResult(
             self.stats, self._reducer.stats, list(self.violations)
         )
+
+    def _fingerprint(self, sim) -> Optional[str]:
+        """The current state's fingerprint — incremental when a journal is
+        attached, from-scratch otherwise.  An unencodable state disables
+        deduplication for the rest of this exploration (soundness over
+        speed: exploring without merging is always correct) and returns
+        ``None``."""
+        try:
+            if self._journal is not None:
+                return self._journal.digest()
+            return fingerprint(sim)
+        except FingerprintError:
+            self._dedup = False
+            return None
 
     # -- DFS -----------------------------------------------------------------
 
@@ -305,16 +359,17 @@ class Explorer:
         if not por:
             sleep = frozenset()  # a full expansion covers any sleep set
         if self._dedup:
-            fp = fingerprint(sim)
-            entries = visited.get(fp)
-            if entries is None:
-                visited[fp] = [(depth, sleep)]
-            else:
-                for seen_depth, seen_sleep in entries:
-                    if seen_depth <= depth and seen_sleep <= sleep:
-                        stats.pruned_visited += 1
-                        return None
-                entries.append((depth, sleep))
+            fp = self._fingerprint(sim)
+            if fp is not None:
+                entries = visited.get(fp)
+                if entries is None:
+                    visited[fp] = [(depth, sleep)]
+                else:
+                    for seen_depth, seen_sleep in entries:
+                        if seen_depth <= depth and seen_sleep <= sleep:
+                            stats.pruned_visited += 1
+                            return None
+                    entries.append((depth, sleep))
         stats.states_distinct += 1
         reduction = self._reducer.stats
         reduction.enabled += len(eligible)
@@ -331,6 +386,22 @@ class Explorer:
     def _dfs(self) -> None:
         sim = self._make_sim()
         self._dedup = self.config.dedup and sim.network is None
+        journal: Optional[SimulationJournal] = None
+        if self.config.checkpoint and sim.network is None:
+            journal = SimulationJournal(sim)
+        self._journal = journal
+        try:
+            self._dfs_loop(sim, journal)
+        finally:
+            if journal is not None:
+                self.stats.restores += journal.restores
+                self.stats.gen_replays += journal.gen_replays
+                self.stats.gen_replay_steps += journal.gen_replay_steps
+                self._journal = None
+
+    def _dfs_loop(
+        self, sim: Simulation, journal: Optional[SimulationJournal]
+    ) -> None:
         schedule: List[int] = []
         if not self._run_prefix(sim, schedule):
             return
@@ -338,6 +409,8 @@ class Explorer:
         frames: List[_Frame] = []
         root = self._enter(sim, schedule, frozenset(), visited)
         if root is not None:
+            if journal is not None:
+                root.cp = journal.checkpoint()
             frames.append(root)
         dirty = False
         while frames and not self._stop:
@@ -348,7 +421,13 @@ class Explorer:
             pid = frame.candidates[frame.index]
             frame.index += 1
             if dirty or len(schedule) != frame.depth:
-                sim = self._replay(schedule[: frame.depth])
+                # Backtrack: restore the frame's checkpoint (O(processes)
+                # + undo of the abandoned branch's deltas), or rebuild
+                # and replay the prefix when checkpointing is off.
+                if journal is not None:
+                    journal.restore(frame.cp)
+                else:
+                    sim = self._replay(schedule[: frame.depth])
                 del schedule[frame.depth:]
                 dirty = False
             try:
@@ -374,6 +453,8 @@ class Explorer:
                 )
             child = self._enter(sim, schedule, child_sleep, visited)
             if child is not None:
+                if journal is not None:
+                    child.cp = journal.checkpoint()
                 frames.append(child)
 
     # -- BFS -----------------------------------------------------------------
@@ -407,11 +488,12 @@ class Explorer:
             self._leaf(sim, list(schedule), terminal=False)
             return
         if self._dedup:
-            fp = fingerprint(sim)
-            if fp in visited:
-                stats.pruned_visited += 1
-                return
-            visited.add(fp)
+            fp = self._fingerprint(sim)
+            if fp is not None:
+                if fp in visited:
+                    stats.pruned_visited += 1
+                    return
+                visited.add(fp)
         stats.states_distinct += 1
         reduction = self._reducer.stats
         reduction.enabled += len(eligible)
@@ -484,6 +566,11 @@ class CheckReport:
     """Aggregate over a (possibly swept) :func:`check` call."""
 
     results: List[CheckResult]
+    #: Measured wall time of the whole call, set by :func:`check` when the
+    #: per-result walls overlapped (``jobs > 1``).  ``total_stats`` uses
+    #: it in place of the summed shard walls, so parallel throughput is
+    #: states over *elapsed* time, not over total cpu time.
+    elapsed_seconds: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -499,8 +586,13 @@ class CheckReport:
 
     def total_stats(self) -> ExploreStats:
         total = ExploreStats()
-        for result in self.results:
-            total.merge(result.stats)
+        if self.elapsed_seconds is None:
+            for result in self.results:
+                total.merge(result.stats)
+        else:
+            for result in self.results:
+                total.merge_concurrent(result.stats)
+            total.wall_seconds = self.elapsed_seconds
         return total
 
     def total_reduction(self) -> ReductionStats:
@@ -546,6 +638,7 @@ class CheckReport:
         return {
             "ok": self.ok,
             "instances_checked": self.instances_checked,
+            "elapsed_seconds": self.elapsed_seconds,
             "stats": self.total_stats().to_dict(),
             "reduction": self.total_reduction().to_dict(),
             "results": [result.to_dict() for result in self.results],
@@ -610,13 +703,15 @@ def check(
     if jobs and jobs > 1:
         from .parallel import run_check_shards  # deferred: import cycle
 
+        started = _time.perf_counter()
         results = run_check_shards(
             instances, config, jobs=jobs, cache=cache,
             batch_size=batch_size,
             retries=retries, trial_timeout=trial_timeout,
             journal=journal, quarantine=quarantine, collector=collector,
         )
+        elapsed = _time.perf_counter() - started
         results = [r for r in results if r is not None]
-    else:
-        results = [explore_instance(i, config) for i in instances]
+        return CheckReport(results, elapsed_seconds=elapsed)
+    results = [explore_instance(i, config) for i in instances]
     return CheckReport(results)

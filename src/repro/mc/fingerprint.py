@@ -9,16 +9,31 @@ fingerprint may share their subtrees:
   ``(operation, response)`` pairs it has observed.  We therefore hash each
   process's step history (plus its runtime status) instead of its Python
   frame — frames carry address-bearing objects that differ across replays
-  of the *same* run.
+  of the *same* run.  The history enters the digest as a per-process
+  **blake2b chain**: ``chain_{k+1} = blake2b(chain_k ‖ fragment_k)`` where
+  ``fragment_k`` canonically encodes the ``k``-th ``(op, response)`` pair.
+  A chain is updated in O(1) from the single step a transition produced
+  (see :class:`FingerprintState`), while the chained digest still commits
+  to the entire observation sequence.
 * **Shared-memory contents**, canonically encoded per object kind via
   :meth:`repro.memory.base.Memory.keys`.  Write/update counters are
-  deliberately excluded: no operation observes them.
+  deliberately excluded: no operation observes them.  Each object's
+  fragment is cached and re-derived only when a step touches its key.
 * **Time, the detector-history position, and the pending crash set** —
   but only when the state is *time-sensitive* (:func:`time_sensitive`).
   Once a :class:`~repro.detectors.base.StableHistory` has stabilized and
   no crash is pending, the detector answers and the failure pattern are
   invariant under time shifts, so states reached at different clock values
   may merge.
+
+:func:`fingerprint` computes the digest from scratch (walking the trace);
+:class:`FingerprintState` maintains the same digest incrementally and is
+byte-identical to :func:`fingerprint` at every state — the explorer uses
+the incremental form, and ``tests/test_mc_checkpoint.py`` pins the
+equivalence.  :func:`canonical_fingerprint` hashes the whole
+:func:`canonical_state` JSON in one piece (the pre-incremental scheme);
+it induces the same state partition — equal states, equal digests — which
+is what deduplication soundness rests on.
 
 Soundness caveats (see docs/API.md):
 
@@ -36,8 +51,11 @@ Soundness caveats (see docs/API.md):
 from __future__ import annotations
 
 import hashlib
-import json
+import math
+from bisect import bisect_left, insort
 from typing import Any, Dict, List, Optional, Tuple
+
+import json
 
 from ..analysis.trace_io import _encode_op, encode_value
 from ..detectors.base import (
@@ -55,6 +73,7 @@ from ..memory.base import (
 )
 from ..memory.immediate import ImmediateSnapshotObject
 from ..runtime.errors import ReproError
+from ..runtime.process import ProcessStatus
 from ..runtime.simulation import Simulation
 
 
@@ -83,13 +102,25 @@ def history_time_sensitive(history: Optional[History], t: int) -> bool:
     past its stabilization time (or with no noise at all).  Unknown
     history classes are conservatively sensitive.
     """
+    return t < history_sensitivity_horizon(history)
+
+
+def history_sensitivity_horizon(history: Optional[History]) -> float:
+    """First time from which the history is provably constant.
+
+    ``history_time_sensitive(h, t)`` ⟺ ``t < history_sensitivity_horizon(h)``
+    — the horizon form lets the incremental fingerprint precompute the
+    threshold once per exploration instead of re-dispatching per state.
+    """
     if history is None or isinstance(history, ConstantHistory):
-        return False
+        return 0
     if isinstance(history, (StableHistory, LocallyStableHistory)):
-        return history._noise is not None and t < history.stabilization_time
+        if history._noise is None:
+            return 0
+        return history.stabilization_time
     if isinstance(history, ScriptedHistory):
-        return any(when >= t for (_, when) in history._table)
-    return True
+        return max((when for (_, when) in history._table), default=-1) + 1
+    return math.inf
 
 
 def time_sensitive(sim: Simulation) -> bool:
@@ -172,11 +203,299 @@ def canonical_state(sim: Simulation) -> Dict[str, Any]:
     return state
 
 
-def fingerprint(sim: Simulation) -> str:
-    """A stable 128-bit hex digest of :func:`canonical_state`.
+def canonical_fingerprint(sim: Simulation) -> str:
+    """Hash of the whole :func:`canonical_state` JSON in one piece.
 
-    Deterministic across replays and across processes (the encoding never
-    touches object identities or hash randomization).
+    The pre-incremental scheme, kept as the differential-testing oracle:
+    it costs O(trace) per call, but its digests partition states exactly
+    like :func:`fingerprint`'s (two states collide in one scheme iff they
+    collide in the other — both commit to the same canonical components).
     """
     blob = _canonical_json(canonical_state(sim))
     return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+
+# -- chained (incremental) fingerprints ---------------------------------------
+
+_EMPTY_CHAIN = b""
+_blake2b = hashlib.blake2b
+
+_STATUS_TAG = {
+    ProcessStatus.RUNNING: b"R",
+    ProcessStatus.RETURNED: b"D",
+    ProcessStatus.CRASHED: b"C",
+}
+
+
+#: Exact value classes whose ``__eq__`` implies identical canonical
+#: encoding — the domain :func:`_typed` (and therefore the fragment and
+#: token caches) is willing to key on.  ``bool`` and ``int`` are distinct
+#: entries on purpose: ``True == 1`` but they encode differently, so the
+#: cache key carries the exact class alongside the value.
+_ATOMIC_TYPES = frozenset(
+    {int, bool, float, str, bytes, type(None)}
+)
+
+try:  # BOT is its own singleton sentinel (encode_value special-cases it)
+    from ..runtime.ops import BOT as _BOT
+except ImportError:  # pragma: no cover
+    _BOT = object()
+
+
+def _typed(value: Any) -> Any:
+    """A hashable cache key that is *type-faithful*: two values get equal
+    keys only when they have the same exact classes and equal contents
+    recursively — which guarantees equal canonical encodings.  Raises
+    ``TypeError`` for anything outside the known-safe domain (the caller
+    then skips the cache and encodes from scratch)."""
+    cls = value.__class__
+    if cls in _ATOMIC_TYPES or value is _BOT:
+        return (cls, value)
+    if cls is tuple:
+        return (cls, tuple(map(_typed, value)))
+    if cls is frozenset:
+        return (cls, frozenset(map(_typed, value)))
+    raise TypeError(f"not cache-keyable: {cls.__name__}")
+
+
+#: (op class, typed fields, typed response) -> fragment bytes.  Bounded:
+#: cleared wholesale if it ever grows past the cap (distinct observations
+#: in one exploration are far fewer; the cap is a leak guard, not LRU).
+_OP_FRAGMENT_CACHE: Dict[Any, bytes] = {}
+_OP_FRAGMENT_CACHE_CAP = 1 << 16
+
+
+def _op_fragment(op: Any, response: Any) -> bytes:
+    """Canonical bytes of one ``(op, response)`` observation (cached —
+    the same observations recur across every interleaving of a run)."""
+    try:
+        key = (
+            op.__class__,
+            tuple(map(_typed, op.__dict__.values())),
+            _typed(response),
+        )
+    except TypeError:
+        key = None
+    else:
+        fragment = _OP_FRAGMENT_CACHE.get(key)
+        if fragment is not None:
+            return fragment
+    try:
+        encoded = [_encode_op(op), encode_value(response)]
+    except KeyError as exc:  # op type unknown to the trace codec
+        raise FingerprintError(
+            f"cannot canonically encode operation {op!r}"
+        ) from exc
+    fragment = _canonical_json(encoded).encode("utf-8")
+    if key is not None:
+        if len(_OP_FRAGMENT_CACHE) >= _OP_FRAGMENT_CACHE_CAP:
+            _OP_FRAGMENT_CACHE.clear()
+        _OP_FRAGMENT_CACHE[key] = fragment
+    return fragment
+
+
+def _chain_extend(chain: bytes, fragment: bytes) -> bytes:
+    """``chain'`` committing to ``chain`` followed by ``fragment``.
+
+    The previous chain is a fixed-width (16-byte, or empty initial)
+    prefix, so the concatenation is prefix-free — no framing needed.
+    """
+    h = _blake2b(chain, digest_size=16)
+    h.update(fragment)
+    return h.digest()
+
+
+_KEY_TOKEN_CACHE: Dict[Any, str] = {}
+
+
+def _key_token(key: Any) -> str:
+    """Canonical sort token of a memory key (matches the order
+    :func:`canonical_state` lists objects in).  Cached type-faithfully:
+    protocols address the same few keys on every step."""
+    try:
+        cache_key = _typed(key)
+    except TypeError:
+        return _canonical_json(encode_value(key))
+    token = _KEY_TOKEN_CACHE.get(cache_key)
+    if token is None:
+        token = _canonical_json(encode_value(key))
+        if len(_KEY_TOKEN_CACHE) >= _OP_FRAGMENT_CACHE_CAP:
+            _KEY_TOKEN_CACHE.clear()
+        _KEY_TOKEN_CACHE[cache_key] = token
+    return token
+
+
+def _memory_fragment(token: str, key: Any, obj: Any) -> bytes:
+    return (
+        token + "\x1f" + _canonical_json(_encode_object(key, obj))
+    ).encode("utf-8")
+
+
+def _assemble_digest(
+    proc_entries,  # iterable of (pid, status_tag: bytes, chain: bytes)
+    memory_fragments,  # iterable of bytes, in key-token order
+    time_blob: Optional[bytes],  # None when time-insensitive
+) -> str:
+    """Combine the per-component digests into the state digest.
+
+    Every variable-length field is length-prefixed, so distinct component
+    sequences yield distinct byte streams.  Shared by :func:`fingerprint`
+    and :class:`FingerprintState` — byte-identity between the two is by
+    construction, not by test alone.
+    """
+    h = _blake2b(digest_size=16)
+    update = h.update
+    for pid, status_tag, chain in proc_entries:
+        update(b"p%d%s%d:" % (pid, status_tag, len(chain)))
+        update(chain)
+    for fragment in memory_fragments:
+        update(b"m%d:" % len(fragment))
+        update(fragment)
+    if time_blob is not None:
+        update(b"t%d:" % len(time_blob))
+        update(time_blob)
+    return h.hexdigest()
+
+
+def _time_blob(sim: Simulation) -> Optional[bytes]:
+    if not time_sensitive(sim):
+        return None
+    return _canonical_json(
+        [sim.time, [[pid, when] for pid, when in pending_crashes(sim)]]
+    ).encode("utf-8")
+
+
+def fingerprint(sim: Simulation) -> str:
+    """A stable 128-bit hex digest of the state (chained scheme).
+
+    Deterministic across replays and across processes (the encoding never
+    touches object identities or hash randomization).  Computed from
+    scratch by walking the trace; byte-identical to the incrementally
+    maintained :meth:`FingerprintState.digest` at every reachable state.
+    """
+    chains: Dict[int, bytes] = {pid: _EMPTY_CHAIN for pid in sim.runtimes}
+    for step in sim.trace.steps:
+        chains[step.pid] = _chain_extend(
+            chains[step.pid], _op_fragment(step.op, step.response)
+        )
+    proc_entries = [
+        (pid, _STATUS_TAG[sim.runtimes[pid].status], chains[pid])
+        for pid in sorted(sim.runtimes)
+    ]
+    memory = sim.memory
+    tokens = sorted((_key_token(key), key) for key in memory.keys())
+    fragments = [
+        _memory_fragment(token, key, memory.get(key))
+        for token, key in tokens
+    ]
+    return _assemble_digest(proc_entries, fragments, _time_blob(sim))
+
+
+class FingerprintState:
+    """Incrementally-maintained fingerprint of one live simulation.
+
+    Owns three caches, each invalidated by exactly the events that change
+    its component:
+
+    * per-process blake2b **chains**, extended in O(1) per executed step
+      (:meth:`extend`) and restored from checkpoints on backtrack;
+    * per-key canonical **memory fragments**, dropped when the memory
+      journal reports a touch (:meth:`touch`) and re-derived lazily;
+    * the sorted **key-token order**, adjusted on object creation and
+      checkpoint-undo deletion.
+
+    :meth:`digest` assembles the same byte stream as :func:`fingerprint`,
+    paying O(processes + objects) instead of O(trace).
+    """
+
+    __slots__ = (
+        "_sim",
+        "_chains",
+        "_fragments",
+        "_tokens",
+        "_by_token",
+        "_pids",
+        "_history_horizon",
+    )
+
+    def __init__(self, sim: Simulation):
+        self._sim = sim
+        self._pids = sorted(sim.runtimes)
+        self._chains: Dict[int, bytes] = {
+            pid: _EMPTY_CHAIN for pid in self._pids
+        }
+        for step in sim.trace.steps:
+            self.extend(step.pid, step.op, step.response)
+        self._fragments: Dict[str, bytes] = {}
+        self._tokens: List[str] = []
+        self._by_token: Dict[str, Any] = {}
+        for key in sim.memory.keys():
+            token = _key_token(key)
+            insort(self._tokens, token)
+            self._by_token[token] = key
+        self._history_horizon = history_sensitivity_horizon(sim.history)
+
+    # -- maintenance -------------------------------------------------------
+
+    def extend(self, pid: int, op: Any, response: Any) -> bytes:
+        """Fold one executed step into ``pid``'s chain; returns the new
+        chain (which doubles as the history-memo key in
+        :mod:`repro.mc.checkpoint`)."""
+        chain = _chain_extend(
+            self._chains[pid], _op_fragment(op, response)
+        )
+        self._chains[pid] = chain
+        return chain
+
+    def touch(self, key: Any) -> None:
+        """A step (or an undo) changed ``key``'s object — invalidate its
+        fragment, and track creation/deletion in the sorted key order."""
+        token = _key_token(key)
+        self._fragments.pop(token, None)
+        if key in self._sim.memory._objects:
+            if token not in self._by_token:
+                insort(self._tokens, token)
+                self._by_token[token] = key
+        elif token in self._by_token:
+            index = bisect_left(self._tokens, token)
+            del self._tokens[index]
+            del self._by_token[token]
+
+    def chains_snapshot(self) -> Tuple[bytes, ...]:
+        """The per-process chains in sorted-pid order (checkpoint state)."""
+        chains = self._chains
+        return tuple(chains[pid] for pid in self._pids)
+
+    def restore_chains(self, snapshot: Tuple[bytes, ...]) -> None:
+        chains = self._chains
+        for pid, chain in zip(self._pids, snapshot):
+            chains[pid] = chain
+
+    # -- digest ------------------------------------------------------------
+
+    def digest(self) -> str:
+        """The state digest; byte-identical to ``fingerprint(self._sim)``."""
+        sim = self._sim
+        runtimes = sim.runtimes
+        chains = self._chains
+        proc_entries = [
+            (pid, _STATUS_TAG[runtimes[pid].status], chains[pid])
+            for pid in self._pids
+        ]
+        fragments = self._fragments
+        by_token = self._by_token
+        memory = sim.memory
+        mem_iter = []
+        for token in self._tokens:
+            fragment = fragments.get(token)
+            if fragment is None:
+                key = by_token[token]
+                fragment = _memory_fragment(token, key, memory.get(key))
+                fragments[token] = fragment
+            mem_iter.append(fragment)
+        time_blob = None
+        if sim.time < self._history_horizon:
+            time_blob = _time_blob(sim)
+        elif sim._next_crash is not None and pending_crashes(sim):
+            time_blob = _time_blob(sim)
+        return _assemble_digest(proc_entries, mem_iter, time_blob)

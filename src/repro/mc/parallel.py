@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from ..runtime.errors import ReproError
@@ -116,6 +117,14 @@ def merge_shard_results(
     ``None`` shards (quarantined by a resilient executor) are skipped and
     mark the merged stats *truncated*: the verdict is still sound for the
     subtrees that ran, but the exploration no longer covers everything.
+
+    Shards ran side by side, so their stats fold via
+    :meth:`~repro.mc.explorer.ExploreStats.merge_concurrent`: compute
+    time (``cpu_seconds``) sums, wall time takes the max — summing the
+    overlapping shard walls understated the reported throughput by
+    roughly the worker count.  Callers that timed the whole fan-out
+    (:class:`ParallelExplorer`) overwrite ``wall_seconds`` with the
+    measured elapsed time, which also covers dispatch overhead.
     """
     merged = CheckResult(
         instance=resolve_instance(instance),
@@ -134,7 +143,7 @@ def merge_shard_results(
         if shard is None:
             stats.truncated = True
             continue
-        stats.merge(shard.stats)
+        stats.merge_concurrent(shard.stats)
         reduction.merge(shard.reduction)
         for ce in shard.counterexamples:
             key = (ce.schedule, ce.kind, ce.prop, ce.reason)
@@ -194,6 +203,7 @@ class ParallelExplorer:
 
         config = config if config is not None else ExploreConfig()
         instance = resolve_instance(instance)
+        started = time.perf_counter()
         prefixes = shard_prefixes(instance, config, self.shard_depth)
         specs = [
             make_shard_spec(instance, config, prefix) for prefix in prefixes
@@ -205,7 +215,11 @@ class ParallelExplorer:
             journal=self.journal, quarantine=self.quarantine,
             collector=self.collector,
         )
-        return merge_shard_results(instance, config, results)
+        merged = merge_shard_results(instance, config, results)
+        # Measured elapsed of the whole fan-out (sharding + dispatch +
+        # slowest shard) — the honest denominator for states/second.
+        merged.stats.wall_seconds = time.perf_counter() - started
+        return merged
 
 
 def run_check_shards(

@@ -36,6 +36,24 @@ class SharedObject:
     def describe(self) -> str:
         return type(self).__name__
 
+    # -- checkpoint support -------------------------------------------------
+    #
+    # ``undo_state`` / ``restore_state`` give the model checker's memory
+    # journal an O(object) snapshot of the mutable fields, so backtracking
+    # can restore a checkpoint instead of replaying the run prefix.  Only
+    # objects implementing both can be journaled; the journal raises for
+    # anything else (mirroring the fingerprint encodability contract).
+
+    def undo_state(self) -> Any:
+        raise MemoryError_(
+            f"{self.describe()} does not support checkpoint/undo"
+        )
+
+    def restore_state(self, state: Any) -> None:
+        raise MemoryError_(
+            f"{self.describe()} does not support checkpoint/undo"
+        )
+
 
 class AtomicRegister(SharedObject):
     """A multi-writer multi-reader atomic read/write register."""
@@ -55,6 +73,12 @@ class AtomicRegister(SharedObject):
 
     def check_writer(self, pid: int) -> None:  # MWMR: anyone may write
         pass
+
+    def undo_state(self) -> Any:
+        return (self.value, self.write_count)
+
+    def restore_state(self, state: Any) -> None:
+        self.value, self.write_count = state
 
 
 class SWMRRegister(AtomicRegister):
@@ -107,6 +131,13 @@ class PrimitiveSnapshot(SharedObject):
     def scan(self) -> tuple:
         return tuple(self.cells)
 
+    def undo_state(self) -> Any:
+        return (tuple(self.cells), self.update_count)
+
+    def restore_state(self, state: Any) -> None:
+        cells, self.update_count = state
+        self.cells = list(cells)
+
 
 class ConsensusObject(SharedObject):
     """An ``m``-process consensus object (Sect. 1, Corollary 4).
@@ -140,6 +171,85 @@ class ConsensusObject(SharedObject):
             self.decision = value
         return self.decision
 
+    def undo_state(self) -> Any:
+        return (self.decision, self.decided, frozenset(self.accessors))
+
+    def restore_state(self, state: Any) -> None:
+        self.decision, self.decided, accessors = state
+        self.accessors = set(accessors)
+
+
+#: Operations that never change object state.  Anything else dispatched to
+#: the memory is journaled conservatively as a mutation (restoring an
+#: unchanged state is harmless; missing a change would corrupt restores).
+_READ_ONLY_OPS = frozenset({Read, SnapshotScan})
+
+#: Sentinel undo entry: the operation created the object, so the undo is
+#: deleting it.
+_CREATED = object()
+
+
+class MemoryJournal:
+    """Reverse-delta undo log over one :class:`Memory`.
+
+    The model checker's checkpointed backtracking attaches one of these
+    (``memory.attach_journal``).  Every operation that creates or mutates
+    a shared object first appends a reverse delta — copy-on-write over
+    the object table, scoped to exactly the keys a step touched.
+    ``mark()`` is an O(1) checkpoint token; ``undo_to(mark)`` walks the
+    deltas backwards, restoring object states and deleting objects that
+    were created after the mark.
+
+    ``on_touch(key)`` (when set) fires after any forward change or undo
+    of ``key`` — the incremental fingerprint subscribes to invalidate
+    just that key's cached canonical fragment.
+    """
+
+    __slots__ = ("memory", "on_touch", "_log")
+
+    def __init__(self, memory: "Memory"):
+        self.memory = memory
+        self.on_touch = None
+        self._log: list = []
+
+    def mark(self) -> int:
+        return len(self._log)
+
+    def record_and_execute(self, memory, handler, op, pid) -> Any:
+        """Journal the pre-state of ``op``'s target, then run ``handler``.
+
+        The delta is logged *before* execution so a handler that raises
+        mid-mutation (e.g. a consensus access-limit breach after the
+        accessor set grew) still restores cleanly.
+        """
+        key = getattr(op, "key", None)
+        obj = memory._objects.get(key)
+        if obj is None:
+            self._log.append((key, _CREATED))
+        elif op.__class__ not in _READ_ONLY_OPS:
+            self._log.append((key, obj.undo_state()))
+        else:
+            return handler(memory, op, pid)
+        try:
+            return handler(memory, op, pid)
+        finally:
+            on_touch = self.on_touch
+            if on_touch is not None:
+                on_touch(key)
+
+    def undo_to(self, mark: int) -> None:
+        log = self._log
+        objects = self.memory._objects
+        on_touch = self.on_touch
+        while len(log) > mark:
+            key, state = log.pop()
+            if state is _CREATED:
+                objects.pop(key, None)
+            else:
+                objects[key].restore_state(state)
+            if on_touch is not None:
+                on_touch(key)
+
 
 class Memory:
     """All shared objects of one run, with lazy creation and dispatch."""
@@ -155,6 +265,15 @@ class Memory:
         #: attaches its own bus here so every dispatched operation is
         #: published as a :class:`~repro.obs.events.MemoryOp` event.
         self.bus = None
+        #: Optional :class:`MemoryJournal`; costs one ``is None`` test per
+        #: operation while detached.
+        self._journal: MemoryJournal | None = None
+
+    def attach_journal(self) -> MemoryJournal:
+        """Create (or return) the undo journal for this memory."""
+        if self._journal is None:
+            self._journal = MemoryJournal(self)
+        return self._journal
 
     # -- explicit creation -------------------------------------------------
 
@@ -224,11 +343,20 @@ class Memory:
     # ``isinstance`` chain.  Unknown concrete types fall back to an MRO walk
     # once and are then memoized, so ``Operation`` subclasses keep working.
 
+    # Reads and writes are the bulk of every run's operation mix; both
+    # inline ``_lookup``'s hit path (kept in sync with it) to spare the
+    # call frame.
+
     def _exec_read(self, op: Read, pid: int) -> Any:
-        return self._lookup(op.key, AtomicRegister, AtomicRegister).read()
+        reg = self._objects.get(op.key)
+        if reg is None or not isinstance(reg, AtomicRegister):
+            reg = self._lookup(op.key, AtomicRegister, AtomicRegister)
+        return reg.read()
 
     def _exec_write(self, op: Write, pid: int) -> None:
-        reg = self._lookup(op.key, AtomicRegister, AtomicRegister)
+        reg = self._objects.get(op.key)
+        if reg is None or not isinstance(reg, AtomicRegister):
+            reg = self._lookup(op.key, AtomicRegister, AtomicRegister)
         reg.check_writer(pid)
         reg.write(op.value)
         return None
@@ -268,6 +396,10 @@ class Memory:
         )
         return cons.propose(pid, op.value)
 
+    #: Exact-type dispatch table.  Subclass resolution is precomputed at
+    #: registration time (import, or :meth:`register_operation`) — never
+    #: memoized from the hot path, which mutated class state from instance
+    #: code and raced under the farm's threaded heartbeat.
     _HANDLERS = {
         Read: _exec_read,
         Write: _exec_write,
@@ -277,22 +409,57 @@ class Memory:
         ConsensusPropose: _exec_consensus,
     }
 
+    @classmethod
+    def register_operation(cls, op_type, handler=None) -> None:
+        """Register ``handler`` for ``op_type`` (resolved from its bases
+        when omitted) and re-precompute subclass dispatch."""
+        from ..runtime.simulation import (
+            _HANDLER_LOCK,
+            precompute_op_handlers,
+            resolve_op_handler,
+        )
+
+        with _HANDLER_LOCK:
+            table = dict(cls._HANDLERS)
+            if handler is None:
+                handler = resolve_op_handler(table, op_type)
+                if handler is None:
+                    raise MemoryError_(
+                        f"no handler registered for {op_type!r} or its bases"
+                    )
+            table[op_type] = handler
+            precompute_op_handlers(table)
+            cls._HANDLERS = table
+
     def execute(self, op: Operation, pid: int) -> Any:
         """Apply one shared-object operation; returns its response."""
         self.op_count += 1
         bus = self.bus
         if bus is not None and bus.active:
-            bus.publish(
-                MemoryOp(-1, pid, type(op).__name__, getattr(op, "key", None))
-            )
+            try:
+                key = op.key
+            except AttributeError:  # exotic op without a key slot
+                key = None
+            event = MemoryOp(-1, pid, op.__class__.__name__, key)
+            # Inline of ``EventBus.publish`` (kept in sync with it):
+            # instrumented runs come through here about once per step.
+            handler = bus._dispatch.get(MemoryOp)
+            if handler is not None:
+                handler(event)
+            if bus._catch_all:
+                for handler in bus._catch_all:
+                    handler(event)
         handlers = self._HANDLERS
-        handler = handlers.get(type(op))
+        handler = handlers.get(op.__class__)
         if handler is None:
-            for base in type(op).__mro__[1:]:
+            # Read-only MRO fallback for unregistered late subclasses.
+            for base in op.__class__.__mro__[1:]:
                 handler = handlers.get(base)
                 if handler is not None:
-                    handlers[type(op)] = handler  # memoize the subclass
                     break
             else:
                 raise MemoryError_(f"not a shared-object operation: {op!r}")
-        return handler(self, op, pid)
+        journal = self._journal
+        if journal is None:
+            return handler(self, op, pid)
+        return journal.record_and_execute(self, handler, op, pid)

@@ -57,6 +57,14 @@ class ImmediateSnapshotObject(SharedObject):
         self.cells[index] = value
         return tuple(self.cells)
 
+    def undo_state(self) -> Any:
+        return (tuple(self.cells), frozenset(self.called))
+
+    def restore_state(self, state: Any) -> None:
+        cells, called = state
+        self.cells = list(cells)
+        self.called = set(called)
+
 
 class ImmediateAPI:
     """Interface shared by both immediate-snapshot implementations."""

@@ -22,6 +22,15 @@ least one subscriber is attached.  The engine's fast path is therefore a
 single attribute test per potential event — runs without subscribers pay
 essentially nothing (see ``python -m repro profile``).
 
+Events are ``__slots__`` dataclasses and are *immutable by convention*:
+an instrumented run constructs one :class:`StepTaken` plus roughly one
+:class:`MemoryOp` per atomic step, and the slotted plain-assignment
+``__init__`` costs about a third of a ``frozen=True`` one (which routes
+every field through ``object.__setattr__``).  Subscribers must treat
+received events as read-only; value equality is preserved, hashing is
+not (events were never hashed — identity would be the wrong key for a
+stream of value objects anyway).
+
 This module deliberately imports nothing from the rest of the library so
 that any layer may depend on it without cycles.
 """
@@ -32,14 +41,14 @@ import dataclasses
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class Event:
     """Base class of all run events.  ``time`` is the global step index."""
 
     time: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class StepTaken(Event):
     """One atomic step: who stepped, the operation, and its response."""
 
@@ -48,7 +57,7 @@ class StepTaken(Event):
     response: Any
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class FDQueried(Event):
     """A failure-detector query step; ``value`` is ``H(pid, time)``."""
 
@@ -56,7 +65,7 @@ class FDQueried(Event):
     value: Any
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class MemoryOp(Event):
     """A shared-object operation dispatched by the memory.
 
@@ -69,7 +78,7 @@ class MemoryOp(Event):
     key: Any
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class MessageSent(Event):
     """A message entered the network (``deliver_at`` is its arrival time)."""
 
@@ -78,7 +87,7 @@ class MessageSent(Event):
     deliver_at: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class MessageDelivered(Event):
     """A message left a mailbox; ``latency`` = delivery − send time."""
 
@@ -87,14 +96,14 @@ class MessageDelivered(Event):
     latency: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class ProcessCrashed(Event):
     """The failure pattern crashed ``pid`` (observed at ``time``)."""
 
     pid: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class Decided(Event):
     """A process produced its (first and only) decision output."""
 
@@ -102,7 +111,7 @@ class Decided(Event):
     value: Any
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class EmitChanged(Event):
     """A process re-published its emulated output (the D-output variable).
 
@@ -116,7 +125,7 @@ class EmitChanged(Event):
     changed: bool
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class ProtocolViolated(Event):
     """A protocol contract breach the engine is about to raise for."""
 
@@ -124,7 +133,7 @@ class ProtocolViolated(Event):
     reason: str
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class SchedulerDecision(Event):
     """The scheduler picked ``pid`` among ``eligible_count`` candidates."""
 
@@ -140,7 +149,7 @@ class SchedulerDecision(Event):
 # ``time = -1``.
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class ChaosInjected(Event):
     """A chaos knob became active for this run (one event per knob).
 
@@ -153,7 +162,7 @@ class ChaosInjected(Event):
     detail: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class MessageDropped(Event):
     """The faulty network discarded a message copy."""
 
@@ -161,7 +170,7 @@ class MessageDropped(Event):
     dest: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class MessageDuplicated(Event):
     """The faulty network enqueued an extra copy of a message."""
 
@@ -169,7 +178,7 @@ class MessageDuplicated(Event):
     dest: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class MessageDelayed(Event):
     """The faulty network added ``extra`` steps of reorder jitter."""
 
@@ -178,7 +187,7 @@ class MessageDelayed(Event):
     extra: int
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class TrialRetried(Event):
     """The resilient executor is re-running a failed trial (``time = -1``)."""
 
@@ -187,7 +196,7 @@ class TrialRetried(Event):
     reason: str
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class TrialQuarantined(Event):
     """A trial spec exhausted its retries and was set aside (``time = -1``)."""
 
@@ -196,7 +205,7 @@ class TrialQuarantined(Event):
     reason: str
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class TrialTimedOut(Event):
     """A trial hit its wall-clock watchdog (``time = -1``)."""
 
@@ -204,7 +213,7 @@ class TrialTimedOut(Event):
     seconds: float
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class TrialSpanRecorded(Event):
     """One timed phase of a trial's journey through the harness.
 
@@ -219,7 +228,7 @@ class TrialSpanRecorded(Event):
     key: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class TrialCompleted(Event):
     """A trial finished and its telemetry reached the parent (``time = -1``).
 
@@ -241,7 +250,7 @@ class TrialCompleted(Event):
     latency: int = -1
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class FarmTrialClaimed(Event):
     """A farm worker leased one trial from the store (``time = -1``).
 
@@ -255,7 +264,7 @@ class FarmTrialClaimed(Event):
     attempt: int = 1
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class FarmLeaseExpired(Event):
     """An expired lease was reaped back to claimable (``time = -1``).
 
@@ -271,7 +280,7 @@ class FarmLeaseExpired(Event):
     quarantined: bool = False
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class InfraFaultInjected(Event):
     """The infra chaos layer injected one fault (``time = -1``).
 
@@ -288,7 +297,7 @@ class InfraFaultInjected(Event):
     op: str = ""
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class AuditDivergence(Event):
     """Two run paths that must be equivalent disagreed (``time = -1``).
 
@@ -332,16 +341,33 @@ class EventBus:
     :attr:`active` flips true only while at least one subscriber exists;
     publishers are expected to gate on it, so an idle bus costs publishers
     a single attribute read.
+
+    Internally ``_by_type`` keeps the bookkeeping lists (for unsubscribe
+    and counting) while ``_dispatch`` holds ONE callable per event type —
+    the lone handler, or a :func:`combined` composition when several
+    registered.  :meth:`publish` is then a dict lookup plus a call, with
+    no Python-level loop on the single-subscriber path that instrumented
+    runs take a few times per atomic step.
     """
 
-    __slots__ = ("_by_type", "_catch_all", "active")
+    __slots__ = ("_by_type", "_dispatch", "_catch_all", "active")
 
     def __init__(self) -> None:
         self._by_type: Dict[Type[Event], List[Subscriber]] = {}
+        self._dispatch: Dict[Type[Event], Subscriber] = {}
         self._catch_all: List[Subscriber] = []
         self.active = False
 
     # -- subscription ------------------------------------------------------
+
+    def _recompose(self, kind: Type[Event]) -> None:
+        handlers = self._by_type.get(kind)
+        if not handlers:
+            self._dispatch.pop(kind, None)
+        elif len(handlers) == 1:
+            self._dispatch[kind] = handlers[0]
+        else:
+            self._dispatch[kind] = combined(*handlers)
 
     def subscribe(
         self,
@@ -354,8 +380,29 @@ class EventBus:
         else:
             for kind in kinds:
                 self._by_type.setdefault(kind, []).append(handler)
+                self._recompose(kind)
         self.active = True
         return handler
+
+    def subscribe_map(self, mapping: Dict[Type[Event], Subscriber]) -> None:
+        """Attach one handler per event type in a single call.
+
+        Equivalent to ``subscribe(handler, (kind,))`` per entry; exists
+        because wiring a fresh :class:`MetricsCollector` per trial (the
+        sweep executors' "every trial is observed" contract) pays this
+        setup cost thousands of times per campaign.
+        """
+        by_type = self._by_type
+        dispatch = self._dispatch
+        for kind, handler in mapping.items():
+            handlers = by_type.get(kind)
+            if handlers is None:
+                by_type[kind] = [handler]
+                dispatch[kind] = handler
+            else:
+                handlers.append(handler)
+                dispatch[kind] = combined(*handlers)
+        self.active = True
 
     def unsubscribe(self, handler: Subscriber) -> None:
         """Detach ``handler`` everywhere it was registered."""
@@ -366,6 +413,7 @@ class EventBus:
                 self._by_type[kind] = remaining
             else:
                 del self._by_type[kind]
+            self._recompose(kind)
         self.active = bool(self._catch_all or self._by_type)
 
     def subscriber_count(self) -> int:
@@ -378,10 +426,12 @@ class EventBus:
 
     def publish(self, event: Event) -> None:
         """Deliver ``event`` to its type's subscribers, then catch-alls."""
-        for handler in self._by_type.get(type(event), ()):
+        handler = self._dispatch.get(type(event))
+        if handler is not None:
             handler(event)
-        for handler in self._catch_all:
-            handler(event)
+        if self._catch_all:
+            for handler in self._catch_all:
+                handler(event)
 
 
 def combined(*handlers: Subscriber) -> Subscriber:

@@ -149,14 +149,33 @@ class MetricsRegistry:
             )
         return metric
 
+    # counter/gauge/histogram repeat ``_get_or_create``'s body instead of
+    # delegating: a fresh collector registers ~27 metrics per observed
+    # trial, and the extra frame per registration is visible in sweeps.
+
     def counter(self, name: str, help: str = "") -> CounterMetric:
-        return self._get_or_create(name, CounterMetric, help)
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = CounterMetric(name, help)
+        elif not isinstance(metric, CounterMetric):
+            return self._get_or_create(name, CounterMetric, help)
+        return metric
 
     def gauge(self, name: str, help: str = "") -> GaugeMetric:
-        return self._get_or_create(name, GaugeMetric, help)
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = GaugeMetric(name, help)
+        elif not isinstance(metric, GaugeMetric):
+            return self._get_or_create(name, GaugeMetric, help)
+        return metric
 
     def histogram(self, name: str, help: str = "") -> HistogramMetric:
-        return self._get_or_create(name, HistogramMetric, help)
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = HistogramMetric(name, help)
+        elif not isinstance(metric, HistogramMetric):
+            return self._get_or_create(name, HistogramMetric, help)
+        return metric
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
@@ -175,16 +194,21 @@ class MetricsRegistry:
         gauges: Dict[str, Any] = {}
         histograms: Dict[str, Any] = {}
         for metric in sorted(self._metrics.values(), key=lambda m: m.name):
+            # Reading ``_values`` in place (never mutated here) skips the
+            # ``items()`` defensive copy; most metrics of a typical run
+            # are empty and cost only the branch.
             if isinstance(metric, CounterMetric):
-                counters[metric.name] = {
+                values = metric._values
+                counters[metric.name] = {} if not values else {
                     _label_key(k): v for k, v in sorted(
-                        metric.items().items(), key=lambda kv: _label_key(kv[0])
+                        values.items(), key=lambda kv: _label_key(kv[0])
                     )
                 }
             elif isinstance(metric, GaugeMetric):
-                gauges[metric.name] = {
+                values = metric._values
+                gauges[metric.name] = {} if not values else {
                     _label_key(k): v for k, v in sorted(
-                        metric.items().items(), key=lambda kv: _label_key(kv[0])
+                        values.items(), key=lambda kv: _label_key(kv[0])
                     )
                 }
             else:
@@ -249,11 +273,81 @@ class MetricsCollector:
     and read ``collector.registry`` (or :meth:`snapshot`) afterwards.
     """
 
+    #: Counter (name, help, attribute) triples for the fresh-registry
+    #: construction fast path in ``__init__`` — kept in sync with the
+    #: ``registry.counter(...)`` calls of the shared-registry path (the
+    #: construction-equivalence test compares the two snapshots).
+    _METRIC_SPECS = (
+        ("steps_total", "atomic steps per process", "_steps"),
+        ("fd_queries", "detector queries per process", "_fd"),
+        ("memory_ops", "shared-object operation mix", "_mem"),
+        ("messages_sent", "messages entering the network", "_sent"),
+        ("messages_delivered", "messages drained", "_delivered"),
+        ("crashes", "pattern-induced crashes", "_crashes"),
+        ("decisions", "decide outputs per process", "_decisions"),
+        ("emits", "emit outputs per process", "_emits"),
+        ("emit_changes",
+         "emit-value changes after the first emit", "_churn"),
+        ("protocol_violations", "contract breaches", "_violations"),
+        ("scheduler_choices",
+         "ObservedScheduler picks per process", "_sched"),
+        ("chaos_injections",
+         "active chaos knobs / perturbations by kind", "_chaos"),
+        ("messages_dropped", "chaos-discarded message copies", "_dropped"),
+        ("messages_duplicated",
+         "chaos-added message copies", "_duplicated"),
+        ("messages_delayed", "chaos reorder-jittered messages", "_delayed"),
+        ("trial_retries", "harness re-runs of failed trials", "_retries"),
+        ("trial_quarantines",
+         "trials given up on after retries", "_quarantines"),
+        ("trial_timeouts", "trials cut short by the watchdog", "_timeouts"),
+        ("infra_faults_injected",
+         "infra chaos injections by component:kind", "_infra_faults"),
+        ("audit_divergences",
+         "equivalence breaks found by the differential audit, "
+         "by oracle pair", "_audit"),
+        ("farm_trials_claimed",
+         "farm store leases granted, by worker", "_farm_claims"),
+        ("farm_leases_expired",
+         "dead-worker leases reaped, by holder", "_farm_expiries"),
+        ("trials_completed", "finished trials by spec kind",
+         "_trials_completed"),
+        ("trials_cached",
+         "trials served from the disk cache, by kind", "_trials_cached"),
+        ("trial_violations",
+         "completed trials whose verdict failed", "_trial_violations"),
+    )
+
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         bus: Optional[EventBus] = None,
     ):
+        if registry is None:
+            # Fresh-registry fast path: the sweep executors build one
+            # collector per observed trial, so construct the metrics
+            # directly into the empty registry — no names can collide,
+            # and the ``counter()`` round trip (method call, lookup,
+            # isinstance check) times ~28 metrics is measurable against
+            # a short trial.  A caller-supplied registry may already
+            # hold metrics and keeps the checked path below.
+            self.registry = r = MetricsRegistry()
+            self.bus = bus if bus is not None else EventBus()
+            m = r._metrics
+            for name, help_, attr in self._METRIC_SPECS:
+                metric = CounterMetric(name, help_)
+                m[name] = metric
+                setattr(self, attr, metric)
+            self._latency = m["message_latency"] = HistogramMetric(
+                "message_latency", "delivery − send time")
+            self._decision_time = m["decision_time"] = GaugeMetric(
+                "decision_time", "step of first decide")
+            self._stab = m["emit_stabilization_time"] = GaugeMetric(
+                "emit_stabilization_time",
+                "time of the last emit-value change")
+            self._emitted_once = set()
+            self._wire(self.bus)
+            return
         self.registry = registry if registry is not None else MetricsRegistry()
         self.bus = bus if bus is not None else EventBus()
         r = self.registry
@@ -308,40 +402,53 @@ class MetricsCollector:
         self._wire(self.bus)
 
     def _wire(self, bus: EventBus) -> None:
-        bus.subscribe(self._on_step, (StepTaken,))
-        bus.subscribe(self._on_fd, (FDQueried,))
-        bus.subscribe(self._on_memory, (MemoryOp,))
-        bus.subscribe(self._on_sent, (MessageSent,))
-        bus.subscribe(self._on_delivered, (MessageDelivered,))
-        bus.subscribe(self._on_crash, (ProcessCrashed,))
-        bus.subscribe(self._on_decided, (Decided,))
-        bus.subscribe(self._on_emit, (EmitChanged,))
-        bus.subscribe(self._on_violation, (ProtocolViolated,))
-        bus.subscribe(self._on_sched, (SchedulerDecision,))
-        bus.subscribe(self._on_chaos, (ChaosInjected,))
-        bus.subscribe(self._on_dropped, (MessageDropped,))
-        bus.subscribe(self._on_duplicated, (MessageDuplicated,))
-        bus.subscribe(self._on_delayed, (MessageDelayed,))
-        bus.subscribe(self._on_retry, (TrialRetried,))
-        bus.subscribe(self._on_quarantine, (TrialQuarantined,))
-        bus.subscribe(self._on_timeout, (TrialTimedOut,))
-        bus.subscribe(self._on_infra_fault, (InfraFaultInjected,))
-        bus.subscribe(self._on_audit, (AuditDivergence,))
-        bus.subscribe(self._on_farm_claim, (FarmTrialClaimed,))
-        bus.subscribe(self._on_farm_expiry, (FarmLeaseExpired,))
-        bus.subscribe(self._on_span, (TrialSpanRecorded,))
-        bus.subscribe(self._on_trial_completed, (TrialCompleted,))
+        bus.subscribe_map({
+            StepTaken: self._on_step,
+            FDQueried: self._on_fd,
+            MemoryOp: self._on_memory,
+            MessageSent: self._on_sent,
+            MessageDelivered: self._on_delivered,
+            ProcessCrashed: self._on_crash,
+            Decided: self._on_decided,
+            EmitChanged: self._on_emit,
+            ProtocolViolated: self._on_violation,
+            SchedulerDecision: self._on_sched,
+            ChaosInjected: self._on_chaos,
+            MessageDropped: self._on_dropped,
+            MessageDuplicated: self._on_duplicated,
+            MessageDelayed: self._on_delayed,
+            TrialRetried: self._on_retry,
+            TrialQuarantined: self._on_quarantine,
+            TrialTimedOut: self._on_timeout,
+            InfraFaultInjected: self._on_infra_fault,
+            AuditDivergence: self._on_audit,
+            FarmTrialClaimed: self._on_farm_claim,
+            FarmLeaseExpired: self._on_farm_expiry,
+            TrialSpanRecorded: self._on_span,
+            TrialCompleted: self._on_trial_completed,
+        })
 
     # -- handlers ----------------------------------------------------------
+    #
+    # The step / fd / memory handlers fire once or twice per atomic step of
+    # an instrumented run; they update their counter's label dict directly
+    # (same module — the dict *is* the counter's storage) instead of going
+    # through ``CounterMetric.inc``, saving a method call per event.
 
     def _on_step(self, event: StepTaken) -> None:
-        self._steps.inc(event.pid)
+        values = self._steps._values
+        pid = event.pid
+        values[pid] = values.get(pid, 0) + 1
 
     def _on_fd(self, event: FDQueried) -> None:
-        self._fd.inc(event.pid)
+        values = self._fd._values
+        pid = event.pid
+        values[pid] = values.get(pid, 0) + 1
 
     def _on_memory(self, event: MemoryOp) -> None:
-        self._mem.inc(event.kind)
+        values = self._mem._values
+        kind = event.kind
+        values[kind] = values.get(kind, 0) + 1
 
     def _on_sent(self, event: MessageSent) -> None:
         self._sent.inc(event.sender)

@@ -58,6 +58,27 @@ class Operation:
     """Base class for atomic-step requests yielded by process generators."""
 
 
+class _InternedOperation(Operation):
+    """Mixin for payload-less operations: ``Cls()`` returns a singleton.
+
+    Protocols allocate operations on every yield; for the no-payload ops
+    (``Nop``, ``QueryFD``, ``Receive``) every instance is interchangeable,
+    so the constructor hands back one shared frozen instance instead of
+    allocating.  Equality, hashing, and pickling are unaffected (frozen
+    dataclasses compare by value), and subclasses still allocate normally.
+    """
+
+    _interned = None
+
+    def __new__(cls):
+        cached = cls.__dict__.get("_interned")
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        cls._interned = self
+        return self
+
+
 @dataclasses.dataclass(frozen=True)
 class Read(Operation):
     """Atomically read a register; the step's response is its value."""
@@ -146,7 +167,7 @@ class Broadcast(Operation):
 
 
 @dataclasses.dataclass(frozen=True)
-class Receive(Operation):
+class Receive(_InternedOperation):
     """Drain the process's mailbox.
 
     The response is a tuple of ``(sender, payload)`` pairs — every message
@@ -156,7 +177,7 @@ class Receive(Operation):
 
 
 @dataclasses.dataclass(frozen=True)
-class QueryFD(Operation):
+class QueryFD(_InternedOperation):
     """Query the local failure-detector module.
 
     The response is ``H(p, t)`` where ``H`` is the run's failure-detector
@@ -191,7 +212,7 @@ class Decide(Operation):
 
 
 @dataclasses.dataclass(frozen=True)
-class Nop(Operation):
+class Nop(_InternedOperation):
     """A step with no shared-memory effect.
 
     The adversarial constructions of Theorems 1 and 5 need "every process

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
 
 from .errors import ProtocolError
 from .ops import Operation
@@ -95,12 +95,38 @@ class ProcessStatus(enum.Enum):
     CRASHED = "crashed"
 
 
+# Module-level aliases: enum member access goes through a descriptor, and
+# ``resume`` reads these once per atomic step.
+_RUNNING = ProcessStatus.RUNNING
+_RETURNED = ProcessStatus.RETURNED
+
+
 class ProcessRuntime:
     """Mutable simulation-side state of one process.
 
     Tracks the protocol generator, the operation it is blocked on, its
     decision (if any) and its currently emitted emulated output.
+
+    ``__slots__`` because one runtime exists per process per run and every
+    engine step reads and writes several of these fields; slot access also
+    keeps :meth:`resume` — the hottest method in the engine — cheap.
     """
+
+    __slots__ = (
+        "ctx",
+        "pid",
+        "input_value",
+        "status",
+        "decision",
+        "has_decided",
+        "emitted",
+        "has_emitted",
+        "steps_taken",
+        "return_value",
+        "pending_op",
+        "_protocol",
+        "_generator",
+    )
 
     def __init__(self, ctx: ProcessContext, protocol: Protocol, input_value: Any):
         self.ctx = ctx
@@ -113,7 +139,8 @@ class ProcessRuntime:
         self.has_emitted = False
         self.steps_taken = 0
         self.return_value: Any = None
-        self._generator: ProtocolGen = protocol(ctx, input_value)
+        self._protocol = protocol
+        self._generator: Optional[ProtocolGen] = protocol(ctx, input_value)
         self.pending_op: Optional[Operation] = None
         self._prime()
 
@@ -135,24 +162,91 @@ class ProcessRuntime:
         return op
 
     def resume(self, response: Any) -> None:
-        """Deliver ``response`` for the pending op and fetch the next op."""
-        if self.status is not ProcessStatus.RUNNING:
+        """Deliver ``response`` for the pending op and fetch the next op.
+
+        ``_check_op`` is inlined: this method runs once per atomic step.
+        """
+        if self.status is not _RUNNING:
             raise ProtocolError(f"process {self.pid} resumed while {self.status}")
         self.steps_taken += 1
         try:
             op = self._generator.send(response)
         except StopIteration as stop:
-            self.status = ProcessStatus.RETURNED
+            self.status = _RETURNED
             self.return_value = stop.value
             self.pending_op = None
             return
-        self.pending_op = self._check_op(op)
+        if not isinstance(op, Operation):
+            raise ProtocolError(
+                f"process {self.pid} yielded {op!r}, not an Operation"
+            )
+        self.pending_op = op
 
     def crash(self) -> None:
-        """Mark the process crashed; it takes no further steps."""
+        """Mark the process crashed; it takes no further steps.
+
+        The generator is *detached* (not merely closed in place): a
+        checkpoint restore may revive this process, and a closed-but-held
+        generator would masquerade as live and StopIteration on resume.
+        """
         self.status = ProcessStatus.CRASHED
         self.pending_op = None
-        self._generator.close()
+        generator = self._generator
+        if generator is not None:
+            self._generator = None
+            generator.close()
+
+    # -- checkpoint support (used by :mod:`repro.mc.checkpoint`) -----------
+
+    @property
+    def detached(self) -> bool:
+        """Whether the protocol generator has been discarded (see below)."""
+        return self._generator is None
+
+    def detach_generator(self) -> None:
+        """Drop the live generator after a checkpoint restore.
+
+        Generators cannot be rewound, so when a restore moves this process
+        back past steps its generator already took, the generator is
+        discarded.  The runtime then serves steps from the checkpoint
+        journal's history memo, and :meth:`rematerialize` rebuilds a live
+        generator only on a memo miss.
+        """
+        generator = self._generator
+        self._generator = None
+        if generator is not None:
+            generator.close()
+
+    def rematerialize(self, responses: Sequence[Any]) -> int:
+        """Rebuild the generator and fast-forward it through ``responses``.
+
+        Sound for the same reason fingerprint-based state merging is
+        sound: protocols are deterministic in their observations, so
+        replaying the recorded response sequence reproduces the exact
+        local state.  Returns the number of generator steps replayed.
+        """
+        generator = self._protocol(self.ctx, self.input_value)
+        steps = 0
+        try:
+            op = next(generator)
+            for response in responses:
+                steps += 1
+                op = generator.send(response)
+        except StopIteration as stop:
+            if steps != len(responses):
+                raise ProtocolError(
+                    f"process {self.pid} returned after {steps} replayed "
+                    f"steps but its history records {len(responses)} — "
+                    "the protocol is not deterministic in its observations"
+                )
+            self._generator = generator
+            self.status = ProcessStatus.RETURNED
+            self.return_value = stop.value
+            self.pending_op = None
+            return steps
+        self._generator = generator
+        self.pending_op = self._check_op(op)
+        return steps
 
     def record_decision(self, value: Any) -> None:
         if self.has_decided:

@@ -51,11 +51,19 @@ class RandomScheduler(Scheduler):
 
     def __init__(self, seed: int = 0):
         self._rng = random.Random(seed)
+        # ``choice(seq)`` is exactly ``seq[self._randbelow(len(seq))]``;
+        # binding the internal draw skips one frame per step without
+        # changing any seeded schedule.  Fall back to ``choice`` on
+        # interpreters that don't expose ``_randbelow``.
+        self._randbelow = getattr(self._rng, "_randbelow", None)
 
     def choose(self, t: int, eligible: Sequence[int]) -> int:
         if not eligible:
             raise SchedulerError("no eligible process")
-        return eligible[self._rng.randrange(len(eligible))]
+        randbelow = self._randbelow
+        if randbelow is None:
+            return self._rng.choice(eligible)
+        return eligible[randbelow(len(eligible))]
 
 
 class WeightedRandomScheduler(Scheduler):

@@ -21,6 +21,8 @@ the adversarial constructions of Theorems 1 and 5 do exactly that.
 
 from __future__ import annotations
 
+import gc
+import threading
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence
 
 from ..detectors.base import History
@@ -55,7 +57,53 @@ from .process import (
     System,
 )
 from .scheduler import RandomScheduler, Scheduler
-from .trace import StepRecord, Trace
+from .trace import OutputRecord, StepRecord, Trace
+
+_RUNNING = ProcessStatus.RUNNING
+_CRASHED = ProcessStatus.CRASHED
+
+#: Guards explicit handler registration (:meth:`Simulation.register_operation`
+#: and :meth:`repro.memory.base.Memory.register_operation`).  The dispatch
+#: fast path never takes it — lookups are read-only.
+_HANDLER_LOCK = threading.Lock()
+
+
+def resolve_op_handler(
+    handlers: Mapping[type, Callable], op_type: type
+) -> Optional[Callable]:
+    """Find the handler for ``op_type`` by walking its MRO (read-only).
+
+    Used as the dispatch fallback for :class:`~repro.runtime.ops.Operation`
+    subclasses that were defined after import and never registered.  The
+    walk never mutates the handler table: memoizing from instance code was
+    a cross-instance class mutation and a data race under threads (the
+    farm's heartbeat runs trials concurrently with dict writes).  Late
+    subclasses either pay the walk per step or get registered once via
+    ``register_operation``.
+    """
+    for base in op_type.__mro__[1:]:
+        handler = handlers.get(base)
+        if handler is not None:
+            return handler
+    return None
+
+
+def precompute_op_handlers(handlers: Dict[type, Callable]) -> None:
+    """Resolve every currently-defined Operation subclass into ``handlers``.
+
+    Called at registration time (module import, or an explicit
+    ``register_operation``) so the hot path is a single exact-type dict
+    hit for every operation class known at that point.
+    """
+    frontier = [Operation]
+    while frontier:
+        cls = frontier.pop()
+        for sub in cls.__subclasses__():
+            if sub not in handlers:
+                resolved = resolve_op_handler(handlers, sub)
+                if resolved is not None:
+                    handlers[sub] = resolved
+            frontier.append(sub)
 
 
 class Simulation:
@@ -111,6 +159,14 @@ class Simulation:
                 network.bus = bus
         self.trace = Trace()
         self.time = 0
+        #: Optional checkpoint journal (:mod:`repro.mc.checkpoint`); when
+        #: attached it takes over post-step bookkeeping in :meth:`step`.
+        self._journal = None
+        #: Cached :meth:`eligible` list; ``None`` = dirty.  Rebuilt only
+        #: when a runtime changes status or a crash fires.
+        self._eligible: Optional[list] = None
+        #: Cached participating-and-correct runtimes (pattern-dependent).
+        self._correct_cache: Optional[list] = None
         inputs = dict(inputs or {})
         self.runtimes: Dict[int, ProcessRuntime] = {}
         for pid in system.pids:
@@ -141,10 +197,13 @@ class Simulation:
     @pattern.setter
     def pattern(self, value: FailurePattern) -> None:
         # Fault-injection drivers swap the pattern mid-run; the cached
-        # next-crash time must follow it.
+        # next-crash time (and everything derived from the pattern) must
+        # follow it.
         self._pattern = value
         if hasattr(self, "_ordered_runtimes"):
             self._recompute_next_crash()
+            self._eligible = None
+            self._correct_cache = None
 
     def _recompute_next_crash(self) -> None:
         self._next_crash: Optional[int] = min(
@@ -160,6 +219,7 @@ class Simulation:
 
     def _crash(self, runtime: ProcessRuntime) -> None:
         runtime.crash()
+        self._eligible = None
         bus = self.bus
         if bus is not None and bus.active:
             bus.publish(ProcessCrashed(self.time, runtime.pid))
@@ -182,34 +242,83 @@ class Simulation:
         self._next_crash = pending
 
     def eligible(self) -> list[int]:
-        """Processes that may take the next step (alive and not returned)."""
+        """Processes that may take the next step (alive and not returned).
+
+        Returns a cached list when no crash has fired and no runtime has
+        changed status since the last call — callers must treat it as
+        read-only (every in-tree scheduler does).  The cache is replaced,
+        never mutated, so holding a reference across steps is safe.
+        """
         next_crash = self._next_crash
         if next_crash is not None and self.time >= next_crash:
             self._apply_due_crashes()
-        return [
-            pid for pid, runtime in self._ordered_runtimes if runtime.schedulable
-        ]
+        cached = self._eligible
+        if cached is None:
+            cached = self._eligible = [
+                pid
+                for pid, runtime in self._ordered_runtimes
+                if runtime.status is _RUNNING
+            ]
+        return cached
 
     def step(self, pid: int) -> StepRecord:
         """Execute one atomic step of ``pid`` at the current time."""
         runtime = self.runtimes.get(pid)
         if runtime is None:
             raise ProtocolError(f"pid {pid} is not participating in this run")
-        if not self.pattern.is_alive(pid, self.time):
+        # Consulting the pattern per step is only needed while a crash is
+        # pending: once ``_apply_due_crashes`` has marked every due crash
+        # (the invariant behind ``_next_crash``), a dead stepper is caught
+        # by its CRASHED status below.
+        next_crash = self._next_crash
+        if (
+            next_crash is not None
+            and self.time >= next_crash
+            and not self._pattern.is_alive(pid, self.time)
+        ):
             self._crash(runtime)
             raise ProtocolError(f"pid {pid} is crashed at t={self.time}")
-        if not runtime.schedulable:
+        if runtime.status is not _RUNNING:
+            if runtime.status is _CRASHED:
+                raise ProtocolError(f"pid {pid} is crashed at t={self.time}")
             raise ProtocolError(f"pid {pid} has returned; no steps left")
         op = runtime.pending_op
-        assert op is not None
-        response = self._execute(op, pid)
+        # Dispatch inlined from ``_execute`` — one frame per step matters.
+        handler = self._OP_HANDLERS.get(op.__class__)
+        if handler is None:
+            handler = resolve_op_handler(self._OP_HANDLERS, op.__class__)
+            if handler is None:
+                raise ProtocolError(f"unknown operation {op!r}")
+        response = handler(self, op, pid)
         record = StepRecord(self.time, pid, op, response)
-        self.trace.record(record)
+        # Inline of ``Trace.record`` (kept in sync with it): the call
+        # frame is measurable at one record per engine step.
+        trace = self.trace
+        trace.steps.append(record)
+        if isinstance(op, (Decide, Emit)):
+            trace.outputs.append(OutputRecord(
+                record.time, pid, op.value,
+                "decide" if isinstance(op, Decide) else "emit",
+            ))
         bus = self.bus
         if bus is not None and bus.active:
-            bus.publish(StepTaken(self.time, pid, op, response))
+            event = StepTaken(self.time, pid, op, response)
+            # Inline of ``EventBus.publish`` (kept in sync with it):
+            # this is the highest-frequency publish site in the engine.
+            handler = bus._dispatch.get(StepTaken)
+            if handler is not None:
+                handler(event)
+            if bus._catch_all:
+                for handler in bus._catch_all:
+                    handler(event)
         self.time += 1
-        runtime.resume(response)
+        journal = self._journal
+        if journal is None:
+            runtime.resume(response)
+        else:
+            journal.advance(runtime, op, response)
+        if runtime.status is not _RUNNING:
+            self._eligible = None
         return record
 
     def _violate(self, pid: int, reason: str) -> "ProtocolError":
@@ -288,19 +397,40 @@ class Simulation:
         return self._require_network(pid).deliver(pid, self.time)
 
     #: type -> handler table; populated right after the class body (a dict
-    #: comprehension inside the class body could not see the methods).
+    #: comprehension inside the class body could not see the methods) and
+    #: precomputed for every Operation subclass known at import time.
+    #: NEVER mutated from instance code: the farm's threaded heartbeat
+    #: runs simulations concurrently, and a hot-path memoization write
+    #: here was both a data race and a cross-instance mutation.  Exotic
+    #: subclasses defined later either register once via
+    #: :meth:`register_operation` or pay a read-only MRO walk per step.
     _OP_HANDLERS: Dict[type, Callable] = {}
+
+    @classmethod
+    def register_operation(
+        cls, op_type: type, handler: Optional[Callable] = None
+    ) -> None:
+        """Register ``handler`` for ``op_type`` (resolved from its bases
+        when omitted), then re-precompute subclass dispatch.  The only
+        supported way to extend the dispatch table after import."""
+        with _HANDLER_LOCK:
+            table = dict(cls._OP_HANDLERS)
+            if handler is None:
+                handler = resolve_op_handler(table, op_type)
+                if handler is None:
+                    raise ProtocolError(
+                        f"no handler registered for {op_type!r} or its bases"
+                    )
+            table[op_type] = handler
+            precompute_op_handlers(table)
+            cls._OP_HANDLERS = table
 
     def _execute(self, op: Operation, pid: int) -> Any:
         handlers = self._OP_HANDLERS
-        handler = handlers.get(type(op))
+        handler = handlers.get(op.__class__)
         if handler is None:
-            for base in type(op).__mro__[1:]:
-                handler = handlers.get(base)
-                if handler is not None:
-                    handlers[type(op)] = handler  # memoize the subclass
-                    break
-            else:
+            handler = resolve_op_handler(handlers, op.__class__)
+            if handler is None:
                 raise ProtocolError(f"unknown operation {op!r}")
         return handler(self, op, pid)
 
@@ -321,13 +451,34 @@ class Simulation:
         step = self.step
         pick_eligible = self.eligible
         choose = scheduler.choose
-        for _ in range(max_steps):
-            if stop_when is not None and stop_when(self):
-                break
-            eligible = pick_eligible()
-            if not eligible:
-                break
-            step(choose(self.time, eligible))
+        # The loop allocates only acyclic value objects (StepRecords,
+        # events, operation responses), so the cyclic collector can only
+        # ever scan them and find nothing; its periodic gen-0 passes cost
+        # a double-digit percentage of a long run.  Pause it for the loop
+        # and restore on the way out; refcounting still reclaims
+        # everything promptly, and any cyclic garbage made by subscriber
+        # callbacks is collected at the next pass after re-enabling.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            for _ in range(max_steps):
+                if stop_when is not None and stop_when(self):
+                    break
+                # Inline of ``eligible()``'s cache hit — the overwhelming
+                # common case (no due crash, no status change last step).
+                eligible = self._eligible
+                next_crash = self._next_crash
+                if eligible is None or (
+                    next_crash is not None and self.time >= next_crash
+                ):
+                    eligible = pick_eligible()
+                if not eligible:
+                    break
+                step(choose(self.time, eligible))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self.trace
 
     def run_until(
@@ -365,21 +516,36 @@ class Simulation:
 
     # -- predicates ----------------------------------------------------------
 
+    def _correct_runtimes(self) -> list[ProcessRuntime]:
+        # ``pattern.correct`` rebuilds frozensets per access and the
+        # termination predicates below run once per scheduled step, so the
+        # participating-and-correct runtimes are cached until the pattern
+        # is swapped (the membership depends on nothing else).
+        cached = self._correct_cache
+        if cached is None:
+            correct = self._pattern.correct
+            cached = self._correct_cache = [
+                runtime
+                for pid, runtime in self._ordered_runtimes
+                if pid in correct
+            ]
+        return cached
+
     def correct_runtimes(self) -> list[ProcessRuntime]:
-        return [
-            self.runtimes[pid]
-            for pid in sorted(self.runtimes)
-            if pid in self.pattern.correct
-        ]
+        return list(self._correct_runtimes())
 
     def all_correct_decided(self) -> bool:
         """Termination predicate for decision tasks."""
-        return all(r.has_decided for r in self.correct_runtimes())
+        for runtime in self._correct_runtimes():
+            if not runtime.has_decided:
+                return False
+        return True
 
     def all_correct_returned(self) -> bool:
-        return all(
-            r.status is ProcessStatus.RETURNED for r in self.correct_runtimes()
-        )
+        for runtime in self._correct_runtimes():
+            if runtime.status is not ProcessStatus.RETURNED:
+                return False
+        return True
 
     def decisions(self) -> Dict[int, Any]:
         return {
@@ -411,6 +577,10 @@ Simulation._OP_HANDLERS.update(
         Receive: Simulation._exec_receive,
     }
 )
+# Resolve dispatch for every Operation subclass already defined, so the
+# hot path is one exact-type dict hit (registration-time precomputation —
+# the table is frozen from the hot path's point of view).
+precompute_op_handlers(Simulation._OP_HANDLERS)
 
 
 class _NonParticipant:

@@ -15,14 +15,44 @@ from typing import Any, Dict, List, Optional
 from .ops import Decide, Emit, Operation, QueryFD
 
 
-@dataclasses.dataclass(frozen=True)
 class StepRecord:
-    """One atomic step: who, when, what, and the step's response."""
+    """One atomic step: who, when, what, and the step's response.
 
-    time: int
-    pid: int
-    op: Operation
-    response: Any
+    A hand-written value class rather than a frozen dataclass: one is
+    allocated per engine step, and the frozen-dataclass ``__init__`` (an
+    ``object.__setattr__`` per field) is measurable there.  Keeps the
+    dataclass surface — keyword construction, value equality, hashing,
+    and a matching ``repr``.
+    """
+
+    __slots__ = ("time", "pid", "op", "response")
+
+    def __init__(
+        self, time: int, pid: int, op: Operation, response: Any = None
+    ):
+        self.time = time
+        self.pid = pid
+        self.op = op
+        self.response = response
+
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is not StepRecord:
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.pid == other.pid
+            and self.op == other.op
+            and self.response == other.response
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.pid, self.op, self.response))
+
+    def __repr__(self) -> str:
+        return (
+            f"StepRecord(time={self.time!r}, pid={self.pid!r}, "
+            f"op={self.op!r}, response={self.response!r})"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,13 +74,13 @@ class Trace:
 
     def record(self, step: StepRecord) -> None:
         self.steps.append(step)
-        if isinstance(step.op, Decide):
+        op = step.op
+        # One tuple-isinstance instead of two checks: almost every step is
+        # a memory or detector op, so the common case is a single miss.
+        if isinstance(op, (Decide, Emit)):
+            kind = "decide" if isinstance(op, Decide) else "emit"
             self.outputs.append(
-                OutputRecord(step.time, step.pid, step.op.value, "decide")
-            )
-        elif isinstance(step.op, Emit):
-            self.outputs.append(
-                OutputRecord(step.time, step.pid, step.op.value, "emit")
+                OutputRecord(step.time, step.pid, op.value, kind)
             )
 
     # -- queries -------------------------------------------------------------

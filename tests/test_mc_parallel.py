@@ -80,6 +80,64 @@ class TestParallelParity:
         assert report.ok
 
 
+class TestConcurrentStats:
+    """Shard stats fold with wall = max, not wall = sum — summing the
+    overlapping walls of N workers reported throughput ≈ N× too low."""
+
+    def test_merge_concurrent_takes_max_wall_and_sums_cpu(self):
+        from repro.mc.explorer import ExploreStats
+
+        a = ExploreStats(states_visited=100, wall_seconds=2.0,
+                         cpu_seconds=2.0)
+        b = ExploreStats(states_visited=300, wall_seconds=3.0,
+                         cpu_seconds=3.0)
+        a.merge_concurrent(b)
+        assert a.states_visited == 400
+        assert a.wall_seconds == 3.0  # max: the shards overlapped
+        assert a.cpu_seconds == 5.0  # sum: compute cost is additive
+
+    def test_serial_merge_still_sums_walls(self):
+        from repro.mc.explorer import ExploreStats
+
+        a = ExploreStats(wall_seconds=2.0, cpu_seconds=2.0)
+        a.merge(ExploreStats(wall_seconds=3.0, cpu_seconds=3.0))
+        assert a.wall_seconds == 5.0
+
+    def test_merged_shard_throughput_not_divided_by_worker_count(self):
+        """Regression pin: N equal shards that ran side by side must merge
+        to the per-shard throughput, not 1/N of it."""
+        import dataclasses as dc
+
+        from repro.mc.explorer import ExploreStats
+        from repro.mc.parallel import merge_shard_results
+
+        instance = McInstance("fig1", n_processes=2)
+        config = ExploreConfig(max_depth=14)
+        shard = execute_trial(make_shard_spec(instance, config, (0,)))
+        shards = [
+            dc.replace(
+                shard,
+                stats=ExploreStats(states_visited=1000, wall_seconds=2.0,
+                                   cpu_seconds=2.0),
+            )
+            for _ in range(4)
+        ]
+        merged = merge_shard_results(instance, config, shards)
+        assert merged.stats.states_visited == 4000
+        assert merged.stats.wall_seconds == 2.0
+        assert merged.stats.states_per_second == 2000.0  # not 500
+        assert merged.stats.cpu_seconds == 8.0
+
+    def test_check_report_elapsed_overrides_wall(self):
+        report = check(
+            McInstance("fig1", n_processes=2),
+            ExploreConfig(max_depth=12),
+            jobs=2,
+        )
+        assert report.elapsed_seconds is not None
+        assert report.total_stats().wall_seconds == report.elapsed_seconds
+
+
 class TestCaching:
     def test_second_run_is_all_cache_hits(self, tmp_path):
         instance = McInstance("converge", n_processes=2)

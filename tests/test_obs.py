@@ -166,6 +166,22 @@ class TestMetricsPrimitives:
         assert "(total)" in text
         assert MetricsRegistry().render() == "(no metrics recorded)"
 
+    def test_collector_construction_paths_are_equivalent(self):
+        """The fresh-registry fast path of ``MetricsCollector.__init__``
+        must register exactly what the checked shared-registry path does
+        (``_METRIC_SPECS`` is kept in sync with it by hand)."""
+        fast = MetricsCollector()
+        slow = MetricsCollector(registry=MetricsRegistry())
+        assert fast.snapshot() == slow.snapshot()
+        assert (fast.registry._metrics.keys()
+                == slow.registry._metrics.keys())
+        for name, metric in fast.registry._metrics.items():
+            other = slow.registry.get(name)
+            assert type(metric) is type(other)
+            assert metric.help == other.help
+        assert (fast.bus.subscriber_count()
+                == slow.bus.subscriber_count())
+
 
 class TestCollectorAgainstTrace:
     """The collector's live quantities must match the trace's post-hoc ones."""

@@ -206,6 +206,74 @@ class TestParticipation:
         assert sim.time == 100
 
 
+class TestOperationDispatch:
+    """Operation dispatch must never mutate class-level state from inside
+    a run: the farm's threaded heartbeat executes simulations concurrently,
+    and the old hot-path memoization of subclass handlers into
+    ``Simulation._OP_HANDLERS`` was a data race (and leaked one run's
+    resolution into every other simulation in the process)."""
+
+    class _SubNop(Nop):
+        pass
+
+    def test_subclass_dispatch_does_not_mutate_class_table(self, system3):
+        sub_nop = self._SubNop
+
+        def proto(ctx, _):
+            yield sub_nop()
+            yield Decide("ok")
+
+        before = dict(Simulation._OP_HANDLERS)
+        handled_before = sub_nop in Simulation._OP_HANDLERS
+        sim = Simulation(system3, {0: proto}, inputs={0: None})
+        sim.step(0)  # resolved through the read-only MRO fallback
+        sim.step(0)
+        assert sim.decisions() == {0: "ok"}
+        assert Simulation._OP_HANDLERS == before
+        assert (sub_nop in Simulation._OP_HANDLERS) == handled_before
+
+    def test_register_operation_extends_the_table(self, system3):
+        class Chirp(Nop):
+            pass
+
+        assert Chirp not in Simulation._OP_HANDLERS
+        Simulation.register_operation(Chirp)  # resolves handler from bases
+        try:
+            assert Chirp in Simulation._OP_HANDLERS
+
+            def proto(ctx, _):
+                yield Chirp()
+                yield Decide("chirped")
+
+            sim = Simulation(system3, {0: proto}, inputs={0: None})
+            sim.step(0)
+            sim.step(0)
+            assert sim.decisions() == {0: "chirped"}
+        finally:
+            table = dict(Simulation._OP_HANDLERS)
+            del table[Chirp]
+            Simulation._OP_HANDLERS = table
+
+    def test_concurrent_subclass_dispatch_is_stable(self, system3):
+        """Two sims dispatching an unregistered subclass in interleaved
+        steps both resolve correctly with zero shared-state writes."""
+        sub_nop = self._SubNop
+
+        def proto(ctx, _):
+            for _ in range(5):
+                yield sub_nop()
+            yield Decide(ctx.pid)
+
+        sims = [Simulation(system3, {0: proto}, inputs={0: None})
+                for _ in range(2)]
+        before = dict(Simulation._OP_HANDLERS)
+        for _ in range(6):
+            for sim in sims:
+                sim.step(0)
+        assert all(sim.decisions() == {0: 0} for sim in sims)
+        assert Simulation._OP_HANDLERS == before
+
+
 class TestHistoryIntegration:
     def test_constant_history(self, system3):
         def proto(ctx, _):
